@@ -1,0 +1,70 @@
+//! Baseline scrolling techniques for the paper's open comparison.
+//!
+//! Section 7's first open question is "Is distance-based scrolling
+//! faster, equal or slower than other scrolling techniques?" The related
+//! work (Section 2) names the candidates; each is implemented here
+//! behind the common [`technique::ScrollTechnique`] trait and driven by
+//! the same synthetic users:
+//!
+//! * [`distscroll`] — the full device simulation (board + sensor +
+//!   firmware) driven by the positional-aim user controller; the
+//!   flagship,
+//! * [`buttons`] — up/down keys with typematic repeat, the mainstream
+//!   phone-keypad baseline,
+//! * [`wheel`] — a ratchet scroll wheel flicked a few detents at a time
+//!   (the Radial-Scroll / wheel family),
+//! * [`tilt`] — rate control by device tilt à la Bartlett's
+//!   Rock'n'Scroll, read through the ADXL311 model,
+//! * [`yoyo`] — Rantanen et al.'s garment-mounted pull-string wheel:
+//!   positional control like DistScroll but mechanical,
+//! * [`tuister`] — the two-handed tangible rotation interface, included
+//!   because its "both hands have to be used" limitation is the paper's
+//!   core motivation.
+//!
+//! Every technique runs a *closed perception–action loop* (the user only
+//! sees the display at discrete visual samples, acts after reaction
+//! delays, and corrects overshoot), so the selection times and error
+//! rates come out of the same behavioural machinery rather than being
+//! hand-assigned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buttons;
+pub mod distscroll;
+pub mod technique;
+pub mod tilt;
+pub mod tuister;
+pub mod wheel;
+pub mod yoyo;
+
+pub use technique::{ScrollTechnique, TrialResult, TrialSetup};
+
+/// Constructs every technique, DistScroll first — the standard lineup
+/// the experiments sweep.
+pub fn all_techniques() -> Vec<Box<dyn ScrollTechnique>> {
+    vec![
+        Box::new(distscroll::DistScrollTechnique::paper()),
+        Box::new(buttons::ButtonsTechnique::new()),
+        Box::new(wheel::WheelTechnique::new()),
+        Box::new(tilt::TiltTechnique::new()),
+        Box::new(yoyo::YoyoTechnique::new()),
+        Box::new(tuister::TuisterTechnique::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_is_complete_and_distinct() {
+        let ts = all_techniques();
+        assert_eq!(ts.len(), 6);
+        let names: std::collections::BTreeSet<&str> = ts.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains("distscroll"));
+        let one_handed = ts.iter().filter(|t| t.hands_required() == 1).count();
+        assert_eq!(one_handed, 5, "only the tuister needs both hands");
+    }
+}

@@ -1,0 +1,119 @@
+//! The common trial interface all scrolling techniques implement.
+//!
+//! A *trial* is the unit the Hinckley-style scrolling studies measure:
+//! starting from a known entry, select a given target entry in a menu of
+//! `n` entries. A technique runs the whole closed loop (user model ⇄
+//! device model) and reports how long it took, what got selected and how
+//! many corrective actions were needed.
+
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+
+/// One selection task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSetup {
+    /// Number of entries in the (flat) menu.
+    pub n_entries: usize,
+    /// Entry the cursor starts on.
+    pub start_idx: usize,
+    /// Entry to select.
+    pub target_idx: usize,
+    /// 1-based trial number for the practice curve.
+    pub trial_number: u32,
+}
+
+impl TrialSetup {
+    /// Validates the indices against the menu size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn new(n_entries: usize, start_idx: usize, target_idx: usize, trial_number: u32) -> Self {
+        assert!(start_idx < n_entries, "start index outside the menu");
+        assert!(target_idx < n_entries, "target index outside the menu");
+        TrialSetup { n_entries, start_idx, target_idx, trial_number }
+    }
+
+    /// The task's scroll distance in entries.
+    pub fn distance(&self) -> usize {
+        self.target_idx.abs_diff(self.start_idx)
+    }
+}
+
+/// What happened in one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Time from trial start to the select action, seconds (simulated).
+    pub time_s: f64,
+    /// The entry actually selected; `None` if the trial timed out.
+    pub selected_idx: Option<usize>,
+    /// Whether the selected entry was the target.
+    pub correct: bool,
+    /// Corrective actions (extra reaches, extra presses, reversals).
+    pub corrections: u32,
+}
+
+impl TrialResult {
+    /// A timed-out trial.
+    pub fn timeout(time_s: f64, corrections: u32) -> Self {
+        TrialResult { time_s, selected_idx: None, correct: false, corrections }
+    }
+}
+
+/// Trial timeout, seconds of simulated time.
+pub const TRIAL_TIMEOUT_S: f64 = 30.0;
+
+/// A scrolling technique that can run selection trials.
+pub trait ScrollTechnique {
+    /// Short lowercase identifier (used in tables and benches).
+    fn name(&self) -> &'static str;
+
+    /// How many hands the technique occupies (the paper's design goal is
+    /// exactly one; the TUISTER needs two).
+    fn hands_required(&self) -> u8 {
+        1
+    }
+
+    /// Runs one closed-loop trial for `user` on `setup`, drawing all
+    /// stochasticity from `rng`.
+    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult;
+}
+
+/// Standard-normal variate shared by the baseline models.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    use rand::Rng;
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_distance_is_symmetric() {
+        let a = TrialSetup::new(16, 2, 12, 1);
+        let b = TrialSetup::new(16, 12, 2, 1);
+        assert_eq!(a.distance(), 10);
+        assert_eq!(b.distance(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "target index outside the menu")]
+    fn target_must_fit() {
+        let _ = TrialSetup::new(8, 0, 8, 1);
+    }
+
+    #[test]
+    fn timeout_result_is_incorrect() {
+        let r = TrialResult::timeout(30.0, 5);
+        assert!(!r.correct);
+        assert_eq!(r.selected_idx, None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Tilt-based rate control à la Bartlett's Rock'n'Scroll.
+//!
+//! The related work (Section 2) discusses tilt interfaces (Rock'n'Scroll,
+//! TiltText, Unigesture): tipping the device sets a scroll *rate*. The
+//! model reads the tilt through the ADXL311 accelerometer model — the
+//! part that sits unused on the DistScroll board (Section 4.3) — so the
+//! baseline sees realistic sensor noise. The user runs proportional
+//! rate control with a neuromuscular lag on the wrist and discrete
+//! visual sampling; overshoot falls out of the delays, and the paper's
+//! fatigue argument ("using this input method for a longer period of
+//! time is fatiguing") shows up as the integrated wrist-deflection cost
+//! this module also reports.
+
+use distscroll_sensors::adxl311::{Adxl311, Orientation};
+use distscroll_user::perception::VisualSampler;
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+
+use crate::technique::{ScrollTechnique, TrialResult, TrialSetup, TRIAL_TIMEOUT_S};
+
+/// Maximum comfortable wrist tilt, degrees.
+const MAX_TILT_DEG: f64 = 30.0;
+/// Scroll gain: entries per second at full tilt.
+const MAX_RATE: f64 = 14.0;
+/// Neuromuscular first-order lag of the wrist, seconds.
+const WRIST_LAG_S: f64 = 0.12;
+/// Tilt dead band, degrees (below this nothing scrolls).
+const DEAD_BAND_DEG: f64 = 3.0;
+
+/// The tilt rate-control technique.
+#[derive(Debug, Clone)]
+pub struct TiltTechnique {
+    accel: Adxl311,
+    last_wrist_integral: f64,
+}
+
+impl TiltTechnique {
+    /// Tilt control read through a typical ADXL311.
+    pub fn new() -> Self {
+        TiltTechnique { accel: Adxl311::typical(), last_wrist_integral: 0.0 }
+    }
+
+    /// Integrated |wrist deflection|·dt of the last trial, degree-seconds
+    /// — the fatigue proxy.
+    pub fn last_wrist_effort(&self) -> f64 {
+        self.last_wrist_integral
+    }
+}
+
+impl Default for TiltTechnique {
+    fn default() -> Self {
+        TiltTechnique::new()
+    }
+}
+
+impl ScrollTechnique for TiltTechnique {
+    fn name(&self) -> &'static str {
+        "tilt"
+    }
+
+    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+        let practice = user.practice_factor(setup.trial_number);
+        let dt = 0.01;
+        let mut t = 0.0;
+        let react_until = user.perception.reaction_time_s(rng) * practice;
+        let mut cursor_f = setup.start_idx as f64;
+        let target = setup.target_idx as f64;
+        let n = setup.n_entries as f64;
+        let mut sampler = VisualSampler::new(user.perception.visual_sampling_s);
+        let mut tilt_cmd_deg = 0.0;
+        let mut tilt_deg = 0.0;
+        let mut wrist_integral = 0.0;
+        let mut reversals = 0u32;
+        let mut last_sign = 0.0;
+        let mut settle_since: Option<f64> = None;
+
+        while t < TRIAL_TIMEOUT_S {
+            let displayed = cursor_f.round().clamp(0.0, n - 1.0) as usize;
+            let seen = sampler.observe(t, displayed).unwrap_or(setup.start_idx) as f64;
+
+            if t >= react_until {
+                // Proportional control on the *seen* error, re-planned at
+                // each visual sample. The human gain is high: combined
+                // with the visual staleness and the wrist lag it sits near
+                // the stability margin, which is exactly what produces the
+                // overshoot rate control is known for.
+                let err = target - seen;
+                let desired_rate = (err * 5.0).clamp(-MAX_RATE, MAX_RATE);
+                tilt_cmd_deg = desired_rate / MAX_RATE * MAX_TILT_DEG;
+                if tilt_cmd_deg.signum() != last_sign && last_sign != 0.0 && tilt_cmd_deg != 0.0 {
+                    reversals += 1;
+                }
+                if tilt_cmd_deg != 0.0 {
+                    last_sign = tilt_cmd_deg.signum();
+                }
+            }
+
+            // Wrist follows the command with a first-order lag plus motor
+            // noise proportional to the deflection.
+            tilt_deg += (tilt_cmd_deg - tilt_deg) * (dt / WRIST_LAG_S).min(1.0);
+            let motor_noise = crate::technique::gaussian(rng) * 0.5;
+            let true_tilt = tilt_deg + motor_noise;
+            wrist_integral += true_tilt.abs() * dt;
+
+            // The firmware reads the tilt through the accelerometer.
+            let o = Orientation::from_degrees(true_tilt, 0.0);
+            let v = self.accel.y_volts(&o, 0.0, rng);
+            let meas_deg = Adxl311::volts_to_angle_rad(v).to_degrees();
+            let rate = if meas_deg.abs() < DEAD_BAND_DEG {
+                0.0
+            } else {
+                meas_deg / MAX_TILT_DEG * MAX_RATE
+            };
+            cursor_f = (cursor_f + rate * dt).clamp(0.0, n - 1.0);
+
+            // Settled on target with near-level wrist → confirm.
+            if displayed == setup.target_idx && tilt_cmd_deg.abs() < DEAD_BAND_DEG {
+                let since = *settle_since.get_or_insert(t);
+                if t - since >= user.dwell_s * practice.sqrt() {
+                    t += user.keystroke_s * practice;
+                    let selected = cursor_f.round().clamp(0.0, n - 1.0) as usize;
+                    self.last_wrist_integral = wrist_integral;
+                    return TrialResult {
+                        time_s: t,
+                        selected_idx: Some(selected),
+                        correct: selected == setup.target_idx,
+                        corrections: reversals,
+                    };
+                }
+            } else {
+                settle_since = None;
+            }
+            t += dt;
+        }
+        self.last_wrist_integral = wrist_integral;
+        TrialResult::timeout(t, reversals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run(setup: TrialSetup, seed: u64) -> TrialResult {
+        let mut tech = TiltTechnique::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        tech.run_trial(&UserParams::expert(), &setup, &mut rng)
+    }
+
+    #[test]
+    fn rate_control_reaches_targets() {
+        let correct = (0..30).filter(|&s| run(TrialSetup::new(32, 0, 20, 50), s).correct).count();
+        assert!(correct >= 24, "tilt should usually work: {correct}/30");
+    }
+
+    #[test]
+    fn overshoot_causes_reversals_on_long_jumps() {
+        let total: u32 =
+            (0..20).map(|s| run(TrialSetup::new(64, 0, 50, 50), s).corrections).sum();
+        assert!(total > 0, "rate control with lag must sometimes reverse");
+    }
+
+    #[test]
+    fn fatigue_proxy_accumulates() {
+        let mut tech = TiltTechnique::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = tech.run_trial(&UserParams::expert(), &TrialSetup::new(32, 0, 28, 50), &mut rng);
+        assert!(tech.last_wrist_effort() > 1.0, "long scrolls cost wrist effort");
+    }
+
+    #[test]
+    fn times_scale_with_distance() {
+        let avg = |target: usize| {
+            (0..10).map(|s| run(TrialSetup::new(64, 0, target, 50), s).time_s).sum::<f64>() / 10.0
+        };
+        assert!(avg(50) > avg(5));
+    }
+}

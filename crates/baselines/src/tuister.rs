@@ -1,0 +1,147 @@
+//! The TUISTER: a two-handed tangible rotation interface.
+//!
+//! "The TUISTER provides an interface where the user can turn part of a
+//! device thus exploring one level of a menu structure. Turning the
+//! second part with the other hand, an entry can be selected … For many
+//! application areas one limitation is that both hands have to be used"
+//! (paper, Section 2).
+//!
+//! The model: the dominant hand twists the upper half in wrist-sized
+//! turns (a comfortable twist covers ~4 entries, then the hand must
+//! regrip), the other hand confirms with a counter-twist. Selection is
+//! accurate (detents), but every trial *requires the second hand* — the
+//! property DistScroll was designed to avoid, surfaced through
+//! [`ScrollTechnique::hands_required`].
+
+use distscroll_user::perception::VisualSampler;
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::technique::{ScrollTechnique, TrialResult, TrialSetup, TRIAL_TIMEOUT_S};
+
+/// Entries per comfortable wrist twist before regripping.
+const TWIST_SPAN: i64 = 4;
+/// Time for one twist gesture, seconds.
+const TWIST_S: f64 = 0.28;
+/// Regrip pause, seconds.
+const REGRIP_S: f64 = 0.12;
+/// The confirming counter-twist with the other hand, seconds.
+const CONFIRM_TWIST_S: f64 = 0.35;
+
+/// The two-handed TUISTER baseline.
+#[derive(Debug, Clone, Default)]
+pub struct TuisterTechnique {
+    _priv: (),
+}
+
+impl TuisterTechnique {
+    /// A TUISTER with one detent per entry.
+    pub fn new() -> Self {
+        TuisterTechnique::default()
+    }
+}
+
+impl ScrollTechnique for TuisterTechnique {
+    fn name(&self) -> &'static str {
+        "tuister"
+    }
+
+    fn hands_required(&self) -> u8 {
+        2
+    }
+
+    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+        let practice = user.practice_factor(setup.trial_number);
+        // Two-handed acquisition: both hands must be on the device before
+        // anything happens.
+        let mut t = user.perception.reaction_time_s(rng) * practice + 0.35 * practice;
+        let mut cursor = setup.start_idx as i64;
+        let target = setup.target_idx as i64;
+        let n = setup.n_entries as i64;
+        let mut sampler = VisualSampler::new(user.perception.visual_sampling_s);
+        let mut corrections = 0u32;
+
+        while t < TRIAL_TIMEOUT_S {
+            let seen = sampler.observe(t, cursor.max(0) as usize).unwrap_or(setup.start_idx) as i64;
+            let remaining = target - seen;
+            if remaining == 0 && cursor == target {
+                break;
+            }
+            if remaining == 0 {
+                t += user.perception.visual_sampling_s;
+                continue;
+            }
+            let planned = remaining.clamp(-TWIST_SPAN, TWIST_SPAN);
+            // Large twists occasionally land one detent short (skin
+            // slip on the barrel).
+            let executed = if planned.abs() >= 3 && rng.gen_bool(0.15) {
+                planned - planned.signum()
+            } else {
+                planned
+            };
+            if executed != planned {
+                corrections += 1;
+            }
+            cursor = (cursor + executed).clamp(0, n - 1);
+            t += (TWIST_S + REGRIP_S) * practice;
+        }
+
+        // Verify, then confirm with the *other* hand's counter-twist.
+        t += user.dwell_s * practice.sqrt();
+        if cursor != target {
+            cursor = target;
+            corrections += 1;
+            t += (TWIST_S + REGRIP_S) * practice;
+        }
+        t += CONFIRM_TWIST_S * practice;
+        let selected = cursor.max(0) as usize;
+        TrialResult {
+            time_s: t,
+            selected_idx: Some(selected),
+            correct: selected == setup.target_idx,
+            corrections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run(setup: TrialSetup, seed: u64) -> TrialResult {
+        let mut tech = TuisterTechnique::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        tech.run_trial(&UserParams::expert(), &setup, &mut rng)
+    }
+
+    #[test]
+    fn it_needs_both_hands() {
+        assert_eq!(TuisterTechnique::new().hands_required(), 2);
+    }
+
+    #[test]
+    fn trials_complete_correctly() {
+        let correct = (0..30).filter(|&s| run(TrialSetup::new(16, 2, 13, 50), s).correct).count();
+        assert!(correct >= 27, "detented rotation is accurate: {correct}/30");
+    }
+
+    #[test]
+    fn twisting_batches_entries() {
+        let avg = |target: usize| {
+            (0..10).map(|s| run(TrialSetup::new(32, 0, target, 50), s).time_s).sum::<f64>() / 10.0
+        };
+        let t4 = avg(4);
+        let t16 = avg(16);
+        assert!(t16 > t4, "more twists cost more");
+        assert!(t16 < 4.0 * t4, "twists batch ~4 entries: {t4:.2}s vs {t16:.2}s");
+    }
+
+    #[test]
+    fn two_handed_acquisition_costs_up_front() {
+        // Even a zero-distance selection pays the bimanual setup.
+        let r = run(TrialSetup::new(8, 3, 4, 50), 1);
+        assert!(r.time_s > 0.9, "{}", r.time_s);
+    }
+}

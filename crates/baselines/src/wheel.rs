@@ -1,0 +1,143 @@
+//! A ratchet scroll wheel flicked a few detents at a time.
+//!
+//! The Radial Scroll Tool and the wheel family of the related work
+//! (Section 2) scroll by rotational input with tactile detents, one
+//! entry per detent. Users move in *flicks*: an open-loop burst of one
+//! to four detents, a short regrip, another flick — with the flick
+//! magnitude itself slightly noisy (a strong flick can skip a detent or
+//! land one short). Near the target users down-shift to careful
+//! single-detent flicks.
+
+use distscroll_user::perception::VisualSampler;
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::technique::{ScrollTechnique, TrialResult, TrialSetup, TRIAL_TIMEOUT_S};
+
+/// Time for one flick gesture, seconds.
+const FLICK_S: f64 = 0.16;
+/// Regrip pause between flicks, seconds.
+const REGRIP_S: f64 = 0.07;
+/// Maximum detents per flick.
+const MAX_FLICK: i64 = 4;
+
+/// The ratchet-wheel technique.
+#[derive(Debug, Clone, Default)]
+pub struct WheelTechnique {
+    _priv: (),
+}
+
+impl WheelTechnique {
+    /// A wheel with one detent per menu entry.
+    pub fn new() -> Self {
+        WheelTechnique::default()
+    }
+}
+
+impl ScrollTechnique for WheelTechnique {
+    fn name(&self) -> &'static str {
+        "wheel"
+    }
+
+    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+        let practice = user.practice_factor(setup.trial_number);
+        let mut t = user.perception.reaction_time_s(rng) * practice;
+        let mut cursor = setup.start_idx as i64;
+        let target = setup.target_idx as i64;
+        let n = setup.n_entries as i64;
+        let mut sampler = VisualSampler::new(user.perception.visual_sampling_s);
+        let mut corrections = 0u32;
+        let mut flicks = 0u32;
+
+        // Flick loop: each iteration is one flick decided on the *seen*
+        // cursor position.
+        while t < TRIAL_TIMEOUT_S {
+            let seen = sampler.observe(t, cursor.max(0) as usize).unwrap_or(setup.start_idx) as i64;
+            let remaining = target - seen;
+            if remaining == 0 && cursor == target {
+                break;
+            }
+            if remaining == 0 && cursor != target {
+                // Stale view: wait for a fresh sample.
+                t += user.perception.visual_sampling_s;
+                continue;
+            }
+            let planned = remaining.clamp(-MAX_FLICK, MAX_FLICK);
+            // Big flicks carry ±1 detent of magnitude noise.
+            let executed = if planned.abs() >= 3 && rng.gen_bool(0.25) {
+                planned + if rng.gen_bool(0.5) { 1 } else { -1 } * planned.signum()
+            } else {
+                planned
+            };
+            if executed != planned {
+                corrections += 1;
+            }
+            cursor = (cursor + executed).clamp(0, n - 1);
+            flicks += 1;
+            t += (FLICK_S + REGRIP_S) * practice;
+        }
+
+        // Verify + select press.
+        t += user.dwell_s * practice.sqrt();
+        let impulsive = rng.gen_bool((user.impulsivity * practice).min(0.9));
+        if !impulsive {
+            // One more confirming glance; fix a last-moment slip if seen.
+            if cursor != target {
+                cursor = target;
+                corrections += 1;
+                t += (FLICK_S + REGRIP_S) * practice;
+            }
+        }
+        t += user.keystroke_s * practice;
+        let selected = cursor.max(0) as usize;
+        let _ = flicks;
+        TrialResult {
+            time_s: t,
+            selected_idx: Some(selected),
+            correct: selected == setup.target_idx,
+            corrections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run(setup: TrialSetup, seed: u64) -> TrialResult {
+        let mut tech = WheelTechnique::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        tech.run_trial(&UserParams::expert(), &setup, &mut rng)
+    }
+
+    #[test]
+    fn trials_complete_correctly() {
+        let correct = (0..40).filter(|&s| run(TrialSetup::new(32, 0, 25, 50), s).correct).count();
+        assert!(correct >= 34, "wheel with verification is accurate: {correct}/40");
+    }
+
+    #[test]
+    fn time_scales_sublinearly_with_distance() {
+        let avg = |target: usize| {
+            (0..15).map(|s| run(TrialSetup::new(64, 0, target, 50), s).time_s).sum::<f64>() / 15.0
+        };
+        let t8 = avg(8);
+        let t32 = avg(32);
+        assert!(t32 > t8, "more detents cost more");
+        assert!(t32 < 4.0 * t8, "flicking batches detents: {t8:.2}s vs {t32:.2}s");
+    }
+
+    #[test]
+    fn single_step_is_one_flick() {
+        let r = run(TrialSetup::new(8, 3, 4, 50), 2);
+        assert!(r.correct);
+        assert!(r.time_s < 2.0, "{}", r.time_s);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run(TrialSetup::new(16, 0, 9, 1), 5), run(TrialSetup::new(16, 0, 9, 1), 5));
+    }
+}

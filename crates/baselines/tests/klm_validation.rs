@@ -1,0 +1,89 @@
+//! Cross-validation: the closed-loop simulation vs. the Keystroke-Level
+//! Model.
+//!
+//! Two independent routes to the same quantity: the simulation *builds*
+//! selection times from sensor physics, firmware and motor control; the
+//! KLM *predicts* them by summing standard operator costs. They will not
+//! agree exactly (KLM has no corrections, no noise), but an expert's
+//! simulated mean must land within a factor of two of the analytic
+//! prediction — the accepted accuracy band of the KLM itself. If this
+//! test fails, either the user model or a device model has drifted out
+//! of human plausibility.
+
+use distscroll_baselines::buttons::ButtonsTechnique;
+use distscroll_baselines::distscroll::DistScrollTechnique;
+use distscroll_baselines::tuister::TuisterTechnique;
+use distscroll_baselines::{ScrollTechnique, TrialSetup};
+use distscroll_user::klm;
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn simulated_mean(tech: &mut dyn ScrollTechnique, setup: TrialSetup, reps: u64) -> f64 {
+    let user = UserParams::expert();
+    let mut total = 0.0;
+    let mut n = 0;
+    for seed in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed * 7919 + 13);
+        let r = tech.run_trial(&user, &setup, &mut rng);
+        if r.correct {
+            total += r.time_s;
+            n += 1;
+        }
+    }
+    assert!(n as f64 >= reps as f64 * 0.7, "most trials must succeed");
+    total / f64::from(n)
+}
+
+fn within_factor_two(simulated: f64, predicted: f64) -> bool {
+    simulated > predicted / 2.0 && simulated < predicted * 2.0
+}
+
+#[test]
+fn distscroll_simulation_agrees_with_the_klm() {
+    let mut tech = DistScrollTechnique::paper();
+    // A mid-distance selection in an 8-entry menu: M + P + R + K.
+    let sim = simulated_mean(&mut tech, TrialSetup::new(8, 1, 5, 50), 15);
+    let klm = klm::distscroll_selection_practiced();
+    assert!(
+        within_factor_two(sim, klm),
+        "distscroll: simulated {sim:.2} s vs KLM {klm:.2} s"
+    );
+}
+
+#[test]
+fn buttons_simulation_agrees_with_the_klm() {
+    let mut tech = ButtonsTechnique::new();
+    for distance in [2usize, 4] {
+        let sim = simulated_mean(&mut tech, TrialSetup::new(12, 0, distance, 50), 20);
+        let klm = klm::buttons_selection_practiced(distance);
+        assert!(
+            within_factor_two(sim, klm),
+            "buttons d={distance}: simulated {sim:.2} s vs KLM {klm:.2} s"
+        );
+    }
+}
+
+#[test]
+fn tuister_simulation_agrees_with_the_klm() {
+    let mut tech = TuisterTechnique::new();
+    let sim = simulated_mean(&mut tech, TrialSetup::new(8, 1, 4, 50), 20);
+    let klm = klm::tuister_selection_practiced();
+    assert!(
+        within_factor_two(sim, klm),
+        "tuister: simulated {sim:.2} s vs KLM {klm:.2} s"
+    );
+}
+
+#[test]
+fn klm_and_simulation_agree_on_the_ordering_of_techniques() {
+    // For a short selection, both routes should agree that dedicated
+    // buttons beat the two-handed tuister.
+    let mut buttons = ButtonsTechnique::new();
+    let mut tuister = TuisterTechnique::new();
+    let setup = TrialSetup::new(8, 2, 4, 50);
+    let sim_buttons = simulated_mean(&mut buttons, setup, 20);
+    let sim_tuister = simulated_mean(&mut tuister, setup, 20);
+    assert!(sim_buttons < sim_tuister, "{sim_buttons:.2} vs {sim_tuister:.2}");
+    assert!(klm::buttons_selection_practiced(2) < klm::tuister_selection_practiced());
+}

@@ -1,0 +1,57 @@
+//! Property tests over every scrolling technique: whatever the task and
+//! seed, trials terminate with sane, reproducible results.
+
+use distscroll_baselines::{all_techniques, TrialSetup};
+use distscroll_user::population::UserParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // The full-device distscroll trials are comparatively slow; keep the
+    // case count moderate.
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_technique_terminates_with_sane_results(
+        n in 4usize..=12,
+        start_frac in 0.0f64..1.0,
+        target_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let start = ((start_frac * n as f64) as usize).min(n - 1);
+        let mut target = ((target_frac * n as f64) as usize).min(n - 1);
+        if target == start {
+            target = (target + 1) % n;
+        }
+        let setup = TrialSetup::new(n, start, target, 50);
+        for tech in all_techniques().iter_mut() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = tech.run_trial(&UserParams::expert(), &setup, &mut rng);
+            prop_assert!(r.time_s >= 0.0, "{}: negative time", tech.name());
+            prop_assert!(r.time_s <= 31.0, "{}: past the timeout", tech.name());
+            if let Some(idx) = r.selected_idx {
+                prop_assert!(idx < n, "{}: selected outside the menu", tech.name());
+                prop_assert_eq!(r.correct, idx == target, "{}: correctness flag lies", tech.name());
+            } else {
+                prop_assert!(!r.correct, "{}: timeout cannot be correct", tech.name());
+            }
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed(
+        seed in any::<u64>(),
+        target in 1usize..8,
+    ) {
+        let setup = TrialSetup::new(8, 0, target, 50);
+        for tech_pair in [0usize, 1, 2, 3, 4, 5] {
+            let run = || {
+                let mut techs = all_techniques();
+                let mut rng = StdRng::seed_from_u64(seed);
+                techs[tech_pair].run_trial(&UserParams::typical(), &setup, &mut rng)
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}

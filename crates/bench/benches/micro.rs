@@ -1,0 +1,93 @@
+//! Microbenches of the simulation's hot paths.
+//!
+//! These are the per-tick costs that bound how fast the closed-loop
+//! experiments can run: the sensor physics, the firmware filter chain,
+//! the island lookup, the frame codec, and one full device tick.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use distscroll_bench::BENCH_SEED;
+use distscroll_core::device::DistScrollDevice;
+use distscroll_core::mapping::{paper_curve, IslandMap};
+use distscroll_core::menu::Menu;
+use distscroll_core::profile::DeviceProfile;
+use distscroll_hw::link::{encode_frame, FrameDecoder};
+use distscroll_sensors::environment::Scene;
+use distscroll_sensors::filter::{Ema, MedianFilter, SlewGate};
+use distscroll_sensors::gp2d120::Gp2d120;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sensor_measure(c: &mut Criterion) {
+    let mut sensor = Gp2d120::typical();
+    let scene = Scene::lab();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    c.bench_function("gp2d120_measure", |b| {
+        b.iter(|| sensor.measure(black_box(&scene), &mut rng))
+    });
+}
+
+fn bench_filter_chain(c: &mut Criterion) {
+    let mut median = MedianFilter::new(5);
+    let mut ema = Ema::new(0.45);
+    let mut gate = SlewGate::new(120.0, 4);
+    let mut x = 0.0f64;
+    c.bench_function("filter_chain_tick", |b| {
+        b.iter(|| {
+            x = (x + 1.0) % 500.0;
+            ema.push(median.push(gate.push(black_box(x))))
+        })
+    });
+}
+
+fn bench_island_lookup(c: &mut Criterion) {
+    let curve = paper_curve();
+    let map = IslandMap::build(12, 4.0, 30.0, 0.35, &curve).expect("12 entries fit");
+    let mut code = 0u16;
+    c.bench_function("island_lookup", |b| {
+        b.iter(|| {
+            code = (code + 7) % 700;
+            map.lookup(black_box(code))
+        })
+    });
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let payload = [b'T', 1, 2, 3, 4, 5];
+    c.bench_function("frame_encode_decode", |b| {
+        b.iter(|| {
+            let frame = encode_frame(black_box(&payload));
+            let mut dec = FrameDecoder::new();
+            dec.push_all(&frame)
+        })
+    });
+}
+
+fn bench_device_tick(c: &mut Criterion) {
+    let mut dev = DistScrollDevice::new(DeviceProfile::paper(), Menu::flat(8), BENCH_SEED);
+    // Criterion runs millions of iterations = simulated *hours*: a real
+    // 9 V block would brown out mid-bench, so fit an effectively
+    // infinite cell.
+    dev.set_battery(distscroll_hw::power::Battery::with_capacity(1e12));
+    dev.set_distance(15.0);
+    c.bench_function("device_full_tick", |b| b.iter(|| dev.tick().expect("healthy device")));
+}
+
+fn bench_curve_fit(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> = (4..=30)
+        .map(|d| (f64::from(d), distscroll_sensors::gp2d120::ideal_voltage(f64::from(d))))
+        .collect();
+    c.bench_function("inverse_curve_fit", |b| {
+        b.iter(|| distscroll_sensors::calibrate::fit_inverse_curve(black_box(&points)))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_sensor_measure,
+    bench_filter_chain,
+    bench_island_lookup,
+    bench_frame_codec,
+    bench_device_tick,
+    bench_curve_fit
+);
+criterion_main!(micro);

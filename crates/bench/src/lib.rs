@@ -1,0 +1,14 @@
+//! Bench support crate.
+//!
+//! The benches themselves live in `benches/`: one Criterion group per
+//! reproduced figure/experiment (running the same code as
+//! `distscroll-eval` at [`Effort::Quick`]) plus microbenches of the hot
+//! paths (sensor model, filter chain, island lookup, frame codec).
+//!
+//! [`Effort::Quick`]: distscroll_eval::experiments::Effort
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Seed used by every bench so numbers are comparable across runs.
+pub const BENCH_SEED: u64 = 20050607;

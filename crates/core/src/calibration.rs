@@ -1,0 +1,180 @@
+//! Per-unit calibration stored in the PIC's data EEPROM.
+//!
+//! The paper calibrated against the GP2D120's typical curve ("this value
+//! distribution comes close to the distribution in the data sheet",
+//! Fig. 4 caption) — fine for one prototype, but real GP2D120 units vary
+//! a few percent in gain and offset, and a production DistScroll
+//! calibrates each device once on a jig and stores its own fitted curve.
+//! This module provides:
+//!
+//! * the EEPROM record format: a versioned, CRC-16-protected fixed-point
+//!   encoding of the fitted `V = a/(d+d0) + c` parameters,
+//! * [`run_jig_calibration`] — the factory procedure: hold a reference
+//!   surface at known distances, average raw ADC readings, fit the
+//!   curve,
+//! * load/store against any [`Eeprom`].
+//!
+//! The device handle exposes the workflow end to end
+//! (`DistScrollDevice::calibrate_on_jig` / `load_calibration`).
+
+use distscroll_hw::eeprom::Eeprom;
+use distscroll_hw::link::crc16_ccitt;
+use distscroll_sensors::calibrate::{fit_inverse_curve, InverseCurveFit};
+
+use crate::CoreError;
+
+/// EEPROM address the calibration record lives at.
+pub const CAL_ADDR: usize = 0;
+/// Record magic: "DC" (DistScroll Calibration).
+pub const CAL_MAGIC: [u8; 2] = *b"DC";
+/// Record format version.
+pub const CAL_VERSION: u8 = 1;
+/// Total record length in bytes.
+pub const CAL_LEN: usize = 2 + 1 + 4 + 4 + 4 + 2;
+
+/// Fixed-point scale: parameters are stored in 1/10000 units.
+const SCALE: f64 = 10_000.0;
+
+/// Encodes a fitted curve into the EEPROM record bytes.
+///
+/// # Errors
+///
+/// [`CoreError::BadMapping`] if the parameters do not fit the
+/// fixed-point encoding (they always do for physical GP2D120 curves).
+pub fn encode(curve: &InverseCurveFit) -> Result<[u8; CAL_LEN], CoreError> {
+    let to_fixed = |v: f64| -> Result<i32, CoreError> {
+        let scaled = v * SCALE;
+        if !scaled.is_finite() || scaled.abs() > f64::from(i32::MAX) {
+            return Err(CoreError::BadMapping { reason: "calibration parameter out of fixed-point range" });
+        }
+        Ok(scaled.round() as i32)
+    };
+    let mut rec = [0u8; CAL_LEN];
+    rec[0..2].copy_from_slice(&CAL_MAGIC);
+    rec[2] = CAL_VERSION;
+    rec[3..7].copy_from_slice(&to_fixed(curve.a)?.to_le_bytes());
+    rec[7..11].copy_from_slice(&to_fixed(curve.d0)?.to_le_bytes());
+    rec[11..15].copy_from_slice(&to_fixed(curve.c)?.to_le_bytes());
+    let crc = crc16_ccitt(&rec[0..15]);
+    rec[15..17].copy_from_slice(&crc.to_le_bytes());
+    Ok(rec)
+}
+
+/// Decodes an EEPROM record back into a curve.
+///
+/// Returns `None` on a missing, corrupted, or wrong-version record — a
+/// device without calibration falls back to the typical curve.
+pub fn decode(rec: &[u8; CAL_LEN]) -> Option<InverseCurveFit> {
+    if rec[0..2] != CAL_MAGIC || rec[2] != CAL_VERSION {
+        return None;
+    }
+    let stored_crc = u16::from_le_bytes([rec[15], rec[16]]);
+    if crc16_ccitt(&rec[0..15]) != stored_crc {
+        return None;
+    }
+    let from_fixed = |bytes: &[u8]| -> f64 {
+        i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64 / SCALE
+    };
+    Some(InverseCurveFit {
+        a: from_fixed(&rec[3..7]),
+        d0: from_fixed(&rec[7..11]),
+        c: from_fixed(&rec[11..15]),
+        // The stored record carries parameters only; fit-quality metadata
+        // is not persisted.
+        r2: 1.0,
+        rmse: 0.0,
+    })
+}
+
+/// Writes a calibration record to the EEPROM.
+///
+/// # Errors
+///
+/// As [`encode`].
+pub fn store(eeprom: &mut Eeprom, curve: &InverseCurveFit) -> Result<(), CoreError> {
+    let rec = encode(curve)?;
+    eeprom.write_slice(CAL_ADDR, &rec);
+    Ok(())
+}
+
+/// Reads the calibration record from the EEPROM, if a valid one exists.
+pub fn load(eeprom: &Eeprom) -> Option<InverseCurveFit> {
+    let mut rec = [0u8; CAL_LEN];
+    eeprom.read_slice(CAL_ADDR, &mut rec);
+    decode(&rec)
+}
+
+/// Fits a curve from jig measurements: `(distance_cm, mean_adc_code)`
+/// pairs taken with a reference surface at known positions.
+///
+/// # Errors
+///
+/// [`CoreError::BadMapping`] if the points cannot be fitted (fewer than
+/// four, or degenerate).
+pub fn run_jig_calibration(points: &[(f64, f64)]) -> Result<InverseCurveFit, CoreError> {
+    let volt_points: Vec<(f64, f64)> =
+        points.iter().map(|&(d, code)| (d, code / 1023.0 * 5.0)).collect();
+    fit_inverse_curve(&volt_points)
+        .map_err(|_| CoreError::BadMapping { reason: "jig calibration points do not fit the sensor law" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::paper_curve;
+
+    #[test]
+    fn record_round_trips_through_eeprom() {
+        let curve = paper_curve();
+        let mut eeprom = Eeprom::new();
+        store(&mut eeprom, &curve).unwrap();
+        let loaded = load(&eeprom).expect("valid record loads");
+        assert!((loaded.a - curve.a).abs() < 1e-3);
+        assert!((loaded.d0 - curve.d0).abs() < 1e-3);
+        assert!((loaded.c - curve.c).abs() < 1e-3);
+    }
+
+    #[test]
+    fn factory_fresh_eeprom_has_no_calibration() {
+        assert!(load(&Eeprom::new()).is_none());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut eeprom = Eeprom::new();
+        store(&mut eeprom, &paper_curve()).unwrap();
+        // Flip one payload bit.
+        let byte = eeprom.read(5);
+        eeprom.write(5, byte ^ 0x10);
+        assert!(load(&eeprom).is_none(), "crc must catch the flip");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut eeprom = Eeprom::new();
+        store(&mut eeprom, &paper_curve()).unwrap();
+        eeprom.write(2, CAL_VERSION + 1);
+        assert!(load(&eeprom).is_none());
+    }
+
+    #[test]
+    fn jig_fit_recovers_a_shifted_unit() {
+        // A unit with 5 % gain: codes scaled accordingly.
+        let points: Vec<(f64, f64)> = (4..=30)
+            .step_by(2)
+            .map(|d| {
+                let d = f64::from(d);
+                let v = 1.05 * (9.7 / (d + 0.42)) + 0.05;
+                (d, v / 5.0 * 1023.0)
+            })
+            .collect();
+        let fit = run_jig_calibration(&points).unwrap();
+        assert!((fit.a - 1.05 * 9.7).abs() < 0.2, "a = {}", fit.a);
+    }
+
+    #[test]
+    fn encode_rejects_absurd_parameters() {
+        let bad = InverseCurveFit { a: f64::INFINITY, d0: 0.4, c: 0.05, r2: 1.0, rmse: 0.0 };
+        assert!(encode(&bad).is_err());
+    }
+}

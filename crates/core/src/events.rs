@@ -1,0 +1,144 @@
+//! The timestamped interaction event stream.
+//!
+//! The firmware emits an event whenever something user-visible happens:
+//! the highlight moves, an entry is selected, a page flips. The
+//! evaluation harness consumes this stream to measure selection times and
+//! error rates, and the same encoding rides the radio link to the host
+//! as telemetry — mirroring how the authors' prototype reported debug
+//! state to the PC.
+
+use distscroll_hw::clock::SimInstant;
+
+/// One interaction event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The highlight moved to `index` at the current level.
+    Highlight {
+        /// New highlighted index.
+        index: usize,
+        /// Label of the newly highlighted entry.
+        label: String,
+    },
+    /// A leaf entry was activated.
+    Activated {
+        /// Labels from the root to the activated leaf.
+        path: Vec<String>,
+    },
+    /// The cursor entered a submenu.
+    EnteredSubmenu {
+        /// Label of the submenu.
+        label: String,
+    },
+    /// The cursor moved back up one level.
+    WentBack,
+    /// A long-menu page flip towards index 0.
+    PageBack,
+    /// A long-menu page flip away from index 0.
+    PageForward,
+    /// The supply browned out; the device died.
+    BrownOut,
+}
+
+impl Event {
+    /// Compact single-byte tag used in telemetry frames.
+    pub fn wire_tag(&self) -> u8 {
+        match self {
+            Event::Highlight { .. } => b'H',
+            Event::Activated { .. } => b'A',
+            Event::EnteredSubmenu { .. } => b'S',
+            Event::WentBack => b'B',
+            Event::PageBack => b'<',
+            Event::PageForward => b'>',
+            Event::BrownOut => b'!',
+        }
+    }
+}
+
+/// An event with the simulated time it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When the event happened.
+    pub at: SimInstant,
+    /// The event.
+    pub event: Event,
+}
+
+/// A bounded event log: the firmware appends, the harness drains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLog {
+    events: Vec<TimedEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event at `at`.
+    pub fn push(&mut self, at: SimInstant, event: Event) {
+        self.events.push(TimedEvent { at, event });
+    }
+
+    /// All events so far, in order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all events.
+    pub fn drain(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<&TimedEvent> {
+        self.events.last()
+    }
+
+    /// Number of events logged.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimInstant {
+        SimInstant::from_micros(us)
+    }
+
+    #[test]
+    fn log_preserves_order_and_drains() {
+        let mut log = EventLog::new();
+        log.push(t(1), Event::Highlight { index: 0, label: "A".into() });
+        log.push(t(2), Event::WentBack);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last().unwrap().event, Event::WentBack);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].at < drained[1].at);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn wire_tags_are_distinct() {
+        let events = [
+            Event::Highlight { index: 0, label: String::new() },
+            Event::Activated { path: vec![] },
+            Event::EnteredSubmenu { label: String::new() },
+            Event::WentBack,
+            Event::PageBack,
+            Event::PageForward,
+            Event::BrownOut,
+        ];
+        let tags: std::collections::BTreeSet<u8> = events.iter().map(Event::wire_tag).collect();
+        assert_eq!(tags.len(), events.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! The DistScroll interaction technique (Kranz, Holleis, Schmidt 2005).
+//!
+//! "The basic idea of DistScroll is to sense the distance between the
+//! user's body and the mobile device he or she is holding" (paper,
+//! Section 3) and to map that distance onto a position in a hierarchical
+//! data structure — one-handed, glove-friendly, with no mechanical parts.
+//!
+//! This crate is the paper's primary contribution, implemented as the
+//! firmware would be on the real Smart-Its board (and runnable against
+//! the simulated board from `distscroll-hw`):
+//!
+//! * [`calibration`] — per-unit curve calibration stored in the EEPROM,
+//! * [`menu`] — hierarchical menu trees and the navigation cursor,
+//! * [`mapping`] — the **island mapping** of Section 4.2: menu entries
+//!   placed equally spaced in *distance*, converted through the fitted
+//!   sensor curve into ADC-code islands separated by dead zones,
+//! * [`long_menu`] — the Section 7 strategies for menus too long for the
+//!   4–30 cm range: chunked paging and speed-dependent zooming,
+//! * [`profile`] — the device configuration (range, gaps, filters,
+//!   direction mapping, button layout, expert fold-back mode),
+//! * [`events`] — the timestamped interaction event stream,
+//! * [`ui`] — rendering menus and debug state onto the two displays,
+//! * [`firmware`] — the main loop: sample → filter → map → render,
+//! * [`device`] — the assembled simulated prototype: board + sensor +
+//!   scene + firmware behind one handle,
+//! * [`phone_menu`] — the "fictive mobile phone menu" of the initial
+//!   user study (Section 6).
+//!
+//! # Example
+//!
+//! ```
+//! use distscroll_core::device::DistScrollDevice;
+//! use distscroll_core::phone_menu::phone_menu;
+//! use distscroll_core::profile::DeviceProfile;
+//!
+//! # fn main() -> Result<(), distscroll_core::CoreError> {
+//! let mut dev = DistScrollDevice::new(DeviceProfile::paper(), phone_menu(), 42);
+//! // Hold the device 10 cm from the body and let the firmware run a bit.
+//! dev.set_distance(10.0);
+//! dev.run_for_ms(300)?;
+//! let highlighted = dev.highlighted_label();
+//! assert!(!highlighted.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod device;
+pub mod events;
+pub mod firmware;
+pub mod long_menu;
+pub mod mapping;
+pub mod menu;
+pub mod phone_menu;
+pub mod profile;
+pub mod ui;
+
+use distscroll_hw::HwError;
+
+/// Errors reported by the DistScroll core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A hardware fault surfaced through the firmware.
+    Hw(HwError),
+    /// The device profile is internally inconsistent.
+    BadProfile {
+        /// Human-readable reason, lowercase, no trailing punctuation.
+        reason: &'static str,
+    },
+    /// A menu operation addressed a nonexistent entry.
+    BadMenuIndex {
+        /// The requested index.
+        index: usize,
+        /// Number of entries at the current level.
+        len: usize,
+    },
+    /// An island mapping could not be built (e.g. zero entries).
+    BadMapping {
+        /// Human-readable reason, lowercase, no trailing punctuation.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Hw(e) => write!(f, "hardware fault: {e}"),
+            CoreError::BadProfile { reason } => write!(f, "invalid device profile: {reason}"),
+            CoreError::BadMenuIndex { index, len } => {
+                write!(f, "menu index {index} out of range for {len} entries")
+            }
+            CoreError::BadMapping { reason } => write!(f, "invalid island mapping: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Hw(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HwError> for CoreError {
+    fn from(e: HwError) -> Self {
+        CoreError::Hw(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = CoreError::from(HwError::WatchdogReset);
+        assert!(e.to_string().contains("watchdog"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::BadMenuIndex { index: 9, len: 3 };
+        assert_eq!(e.to_string(), "menu index 9 out of range for 3 entries");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! Strategies for menus longer than the distance range can resolve.
+//!
+//! Section 7 of the paper asks: "How to scroll long menus? A possible
+//! solution could be similar to the one suggested in their reference 6" (Igarashi &
+//! Hinckley's speed-dependent automatic zooming), and "is it more
+//! intuitive to scroll down towards oneself or away from oneself,
+//! especially if large menus could only be accessed in chunks of e.g. 10
+//! entries?"
+//!
+//! Both candidate designs, plus the naive baseline, are implemented here
+//! and compared in experiment E4:
+//!
+//! * [`LongMenuStrategy::Chunked`] — the paper's "chunks of e.g. 10
+//!   entries": islands cover one page; dwelling beyond the near/far edge
+//!   flips pages,
+//! * [`LongMenuStrategy::Sdaz`] — rate control: displacement from the
+//!   range centre sets a scroll *velocity*, larger displacement scrolls
+//!   faster (the speed-dependent part of SDAZ; the simulated display
+//!   cannot zoom),
+//! * [`LongMenuStrategy::Continuous`] — simply dividing the range into
+//!   N ever-thinner islands, which stops working once islands collapse
+//!   below the ADC resolution (the failure that motivates the question).
+
+use crate::mapping::IslandHit;
+
+/// How the firmware handles a level with many entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LongMenuStrategy {
+    /// Divide the whole range into one island per entry, regardless of
+    /// how thin they get.
+    Continuous,
+    /// Page through the menu in fixed-size chunks; dwelling past the
+    /// near/far edge for `dwell_ticks` firmware ticks flips a page.
+    Chunked {
+        /// Entries per page (the paper suggests 10).
+        page_size: usize,
+        /// Firmware ticks of dwell required to flip a page.
+        dwell_ticks: u32,
+    },
+    /// Displacement-to-velocity rate control around the range centre.
+    Sdaz {
+        /// Maximum scroll rate in entries per second at full displacement.
+        max_rate: f64,
+        /// Half-width of the central dead band, as a fraction of the
+        /// normalized range (no motion inside it).
+        dead_band: f64,
+    },
+}
+
+impl LongMenuStrategy {
+    /// The paper's suggested chunking: pages of 10, a third of a second
+    /// of dwell to flip.
+    pub fn paper_chunked() -> Self {
+        LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 30 }
+    }
+
+    /// A representative SDAZ tuning.
+    pub fn paper_sdaz() -> Self {
+        LongMenuStrategy::Sdaz { max_rate: 25.0, dead_band: 0.12 }
+    }
+}
+
+impl Default for LongMenuStrategy {
+    fn default() -> Self {
+        LongMenuStrategy::paper_chunked()
+    }
+}
+
+/// What a controller update did, beyond moving the cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LongMenuAction {
+    /// Nothing page-related happened.
+    None,
+    /// Flipped to the previous page (towards index 0).
+    PageBack,
+    /// Flipped to the next page.
+    PageForward,
+}
+
+/// Runtime state for navigating one long menu level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongMenuController {
+    strategy: LongMenuStrategy,
+    n_total: usize,
+    page: usize,
+    cursor_f: f64,
+    dwell_near: u32,
+    dwell_far: u32,
+}
+
+impl LongMenuController {
+    /// A controller for a level with `n_total` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_total` is zero or a chunked strategy has a zero page
+    /// size.
+    pub fn new(strategy: LongMenuStrategy, n_total: usize) -> Self {
+        assert!(n_total > 0, "a level needs at least one entry");
+        if let LongMenuStrategy::Chunked { page_size, .. } = strategy {
+            assert!(page_size > 0, "page size must be positive");
+        }
+        LongMenuController { strategy, n_total, page: 0, cursor_f: 0.0, dwell_near: 0, dwell_far: 0 }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> LongMenuStrategy {
+        self.strategy
+    }
+
+    /// Number of islands the firmware should build for this level:
+    /// the page size for chunked, everything for continuous, and a single
+    /// placeholder for rate control (which does not use islands).
+    pub fn islands_needed(&self) -> usize {
+        match self.strategy {
+            LongMenuStrategy::Continuous => self.n_total,
+            LongMenuStrategy::Chunked { page_size, .. } => page_size.min(self.n_total),
+            LongMenuStrategy::Sdaz { .. } => 1,
+        }
+    }
+
+    /// Current page (chunked only; 0 otherwise).
+    pub fn page(&self) -> usize {
+        self.page
+    }
+
+    /// Number of pages (chunked only; 1 otherwise).
+    pub fn page_count(&self) -> usize {
+        match self.strategy {
+            LongMenuStrategy::Chunked { page_size, .. } => self.n_total.div_ceil(page_size),
+            _ => 1,
+        }
+    }
+
+    /// Feeds one firmware tick.
+    ///
+    /// * `hit` — the island classification of the latest sample (used by
+    ///   continuous and chunked),
+    /// * `u` — the normalized position in the range, 0.0 at the near
+    ///   edge, 1.0 at the far edge, `None` when out of range (used by
+    ///   rate control),
+    /// * `dt_s` — the tick length in seconds.
+    ///
+    /// Returns the selected **global** entry index and any page action.
+    pub fn update(
+        &mut self,
+        hit: IslandHit,
+        u: Option<f64>,
+        dt_s: f64,
+        current_global: usize,
+    ) -> (usize, LongMenuAction) {
+        match self.strategy {
+            LongMenuStrategy::Continuous => {
+                let idx = match hit {
+                    IslandHit::Entry(i) => i.min(self.n_total - 1),
+                    _ => current_global,
+                };
+                (idx, LongMenuAction::None)
+            }
+            LongMenuStrategy::Chunked { page_size, dwell_ticks } => {
+                let mut action = LongMenuAction::None;
+                match hit {
+                    IslandHit::TooNear => {
+                        self.dwell_far = 0;
+                        self.dwell_near += 1;
+                        if self.dwell_near >= dwell_ticks {
+                            self.dwell_near = 0;
+                            if self.page > 0 {
+                                self.page -= 1;
+                                action = LongMenuAction::PageBack;
+                            }
+                        }
+                    }
+                    IslandHit::TooFar => {
+                        self.dwell_near = 0;
+                        self.dwell_far += 1;
+                        if self.dwell_far >= dwell_ticks {
+                            self.dwell_far = 0;
+                            if self.page + 1 < self.page_count() {
+                                self.page += 1;
+                                action = LongMenuAction::PageForward;
+                            }
+                        }
+                    }
+                    _ => {
+                        self.dwell_near = 0;
+                        self.dwell_far = 0;
+                    }
+                }
+                let idx = match (hit, action) {
+                    (IslandHit::Entry(local), _) => {
+                        (self.page * page_size + local).min(self.n_total - 1)
+                    }
+                    // A flip lands the highlight on the new page's first
+                    // entry so the user *sees* the page change while still
+                    // dwelling in the zone.
+                    (_, LongMenuAction::PageBack | LongMenuAction::PageForward) => {
+                        (self.page * page_size).min(self.n_total - 1)
+                    }
+                    _ => current_global,
+                };
+                (idx, action)
+            }
+            LongMenuStrategy::Sdaz { max_rate, dead_band } => {
+                if let Some(u) = u {
+                    let offset = u - 0.5;
+                    if offset.abs() > dead_band {
+                        // Quadratic gain outside the dead band: fine control
+                        // near the centre, fast far out.
+                        let span = 0.5 - dead_band;
+                        let x = (offset.abs() - dead_band) / span;
+                        let rate = max_rate * x * x * offset.signum();
+                        self.cursor_f =
+                            (self.cursor_f + rate * dt_s).clamp(0.0, (self.n_total - 1) as f64);
+                    }
+                } else {
+                    // Out of range: hold (the sensor cannot see the hand).
+                }
+                (self.cursor_f.round() as usize, LongMenuAction::None)
+            }
+        }
+    }
+
+    /// Moves the rate-control cursor (and chunked page) to a known global
+    /// index, e.g. after entering a level with a remembered position.
+    pub fn seek(&mut self, global_index: usize) {
+        let idx = global_index.min(self.n_total - 1);
+        self.cursor_f = idx as f64;
+        if let LongMenuStrategy::Chunked { page_size, .. } = self.strategy {
+            self.page = idx / page_size;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_tracks_hits_directly() {
+        let mut c = LongMenuController::new(LongMenuStrategy::Continuous, 50);
+        assert_eq!(c.islands_needed(), 50);
+        let (idx, act) = c.update(IslandHit::Entry(17), Some(0.3), 0.01, 0);
+        assert_eq!((idx, act), (17, LongMenuAction::None));
+        let (idx, _) = c.update(IslandHit::Gap, Some(0.3), 0.01, 17);
+        assert_eq!(idx, 17, "gap holds");
+    }
+
+    #[test]
+    fn chunked_maps_local_to_global() {
+        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 3 }, 45);
+        assert_eq!(c.islands_needed(), 10);
+        assert_eq!(c.page_count(), 5);
+        let (idx, _) = c.update(IslandHit::Entry(7), None, 0.01, 0);
+        assert_eq!(idx, 7);
+        // Flip forward: three consecutive too-far ticks.
+        for _ in 0..2 {
+            let (_, act) = c.update(IslandHit::TooFar, None, 0.01, 7);
+            assert_eq!(act, LongMenuAction::None);
+        }
+        let (_, act) = c.update(IslandHit::TooFar, None, 0.01, 7);
+        assert_eq!(act, LongMenuAction::PageForward);
+        assert_eq!(c.page(), 1);
+        let (idx, _) = c.update(IslandHit::Entry(7), None, 0.01, 7);
+        assert_eq!(idx, 17);
+    }
+
+    #[test]
+    fn chunked_clamps_last_partial_page() {
+        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 1 }, 45);
+        c.seek(44);
+        assert_eq!(c.page(), 4);
+        let (idx, _) = c.update(IslandHit::Entry(9), None, 0.01, 44);
+        assert_eq!(idx, 44, "local 9 on the last page clamps to the final entry");
+    }
+
+    #[test]
+    fn chunked_dwell_resets_when_leaving_the_zone() {
+        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 3 }, 40);
+        c.update(IslandHit::TooFar, None, 0.01, 0);
+        c.update(IslandHit::TooFar, None, 0.01, 0);
+        c.update(IslandHit::Entry(2), None, 0.01, 0); // leaves the zone
+        c.update(IslandHit::TooFar, None, 0.01, 2);
+        let (_, act) = c.update(IslandHit::TooFar, None, 0.01, 2);
+        assert_eq!(act, LongMenuAction::None, "dwell counter restarted");
+    }
+
+    #[test]
+    fn chunked_does_not_page_past_the_ends() {
+        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 1 }, 30);
+        let (_, act) = c.update(IslandHit::TooNear, None, 0.01, 0);
+        assert_eq!(act, LongMenuAction::None, "already at page 0");
+        c.seek(29);
+        let (_, act) = c.update(IslandHit::TooFar, None, 0.01, 29);
+        assert_eq!(act, LongMenuAction::None, "already at the last page");
+    }
+
+    #[test]
+    fn sdaz_dead_band_holds_still() {
+        let mut c = LongMenuController::new(LongMenuStrategy::paper_sdaz(), 100);
+        c.seek(50);
+        for _ in 0..100 {
+            let (idx, _) = c.update(IslandHit::Gap, Some(0.55), 0.01, 50);
+            assert_eq!(idx, 50, "inside the dead band nothing moves");
+        }
+    }
+
+    #[test]
+    fn sdaz_scrolls_faster_with_larger_displacement() {
+        let run = |u: f64| {
+            let mut c = LongMenuController::new(LongMenuStrategy::paper_sdaz(), 1000);
+            c.seek(500);
+            let mut idx = 500;
+            for _ in 0..200 {
+                idx = c.update(IslandHit::Gap, Some(u), 0.01, idx).0;
+            }
+            (idx as i64 - 500).abs()
+        };
+        let slow = run(0.70);
+        let fast = run(0.95);
+        assert!(fast > 2 * slow, "0.95 displacement ({fast}) should beat 0.70 ({slow})");
+    }
+
+    #[test]
+    fn sdaz_direction_follows_displacement_sign() {
+        let mut c = LongMenuController::new(LongMenuStrategy::paper_sdaz(), 100);
+        c.seek(50);
+        let mut idx = 50;
+        for _ in 0..100 {
+            idx = c.update(IslandHit::Gap, Some(0.9), 0.01, idx).0;
+        }
+        assert!(idx > 50, "far displacement scrolls forward");
+        let mut c = LongMenuController::new(LongMenuStrategy::paper_sdaz(), 100);
+        c.seek(50);
+        let mut idx = 50;
+        for _ in 0..100 {
+            idx = c.update(IslandHit::Gap, Some(0.1), 0.01, idx).0;
+        }
+        assert!(idx < 50, "near displacement scrolls back");
+    }
+
+    #[test]
+    fn sdaz_clamps_at_the_ends_and_holds_out_of_range() {
+        let mut c = LongMenuController::new(LongMenuStrategy::paper_sdaz(), 10);
+        let mut idx = 0;
+        for _ in 0..2000 {
+            idx = c.update(IslandHit::Gap, Some(1.0), 0.01, idx).0;
+        }
+        assert_eq!(idx, 9, "clamped at the last entry");
+        let (held, _) = c.update(IslandHit::TooFar, None, 0.01, idx);
+        assert_eq!(held, 9, "out of range holds");
+    }
+
+    #[test]
+    fn seek_aligns_page_and_cursor() {
+        let mut c = LongMenuController::new(LongMenuStrategy::paper_chunked(), 100);
+        c.seek(37);
+        assert_eq!(c.page(), 3);
+        c.seek(9999);
+        assert_eq!(c.page(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_is_rejected() {
+        let _ = LongMenuController::new(LongMenuStrategy::Continuous, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The "fictive mobile phone menu" of the initial user study.
+//!
+//! "We simulated a fictive mobile phone menu and used the second display
+//! to provide debug information" (paper, Section 6). This fixture is a
+//! period-accurate early-2000s phone menu: messages, call registers,
+//! profiles, settings, organizer and the obligatory snake-like game —
+//! deep enough to exercise submenu entry/back navigation, wide enough
+//! (up to 9 entries per level) to exercise the island mapping at the
+//! sizes the prototype targeted.
+
+use crate::menu::{Menu, MenuNode};
+
+/// Builds the fictive phone menu used by the study experiments and the
+/// examples.
+pub fn phone_menu() -> Menu {
+    use MenuNode as N;
+    Menu::new(N::submenu(
+        "Phone",
+        vec![
+            N::submenu(
+                "Messages",
+                vec![
+                    N::leaf("Inbox"),
+                    N::leaf("Outbox"),
+                    N::leaf("Compose"),
+                    N::leaf("Drafts"),
+                    N::submenu(
+                        "Templates",
+                        vec![
+                            N::leaf("On my way"),
+                            N::leaf("Call me back"),
+                            N::leaf("In a meeting"),
+                        ],
+                    ),
+                    N::leaf("Delete all"),
+                ],
+            ),
+            N::submenu(
+                "Call register",
+                vec![
+                    N::leaf("Missed calls"),
+                    N::leaf("Received calls"),
+                    N::leaf("Dialled numbers"),
+                    N::leaf("Clear lists"),
+                ],
+            ),
+            N::submenu(
+                "Contacts",
+                vec![
+                    N::leaf("Search"),
+                    N::leaf("Add contact"),
+                    N::leaf("Speed dials"),
+                    N::leaf("Groups"),
+                ],
+            ),
+            N::submenu(
+                "Profiles",
+                vec![
+                    N::leaf("General"),
+                    N::leaf("Silent"),
+                    N::leaf("Meeting"),
+                    N::leaf("Outdoor"),
+                    N::leaf("Pager"),
+                ],
+            ),
+            N::submenu(
+                "Settings",
+                vec![
+                    N::submenu(
+                        "Tone settings",
+                        vec![
+                            N::leaf("Ringing tone"),
+                            N::leaf("Ringing volume"),
+                            N::leaf("Message alert"),
+                            N::leaf("Keypad tones"),
+                        ],
+                    ),
+                    N::submenu(
+                        "Display",
+                        vec![N::leaf("Wallpaper"), N::leaf("Contrast"), N::leaf("Backlight")],
+                    ),
+                    N::leaf("Time and date"),
+                    N::leaf("Call settings"),
+                    N::leaf("Security"),
+                    N::leaf("Restore factory"),
+                ],
+            ),
+            N::submenu(
+                "Organizer",
+                vec![N::leaf("Alarm clock"), N::leaf("Calendar"), N::leaf("Calculator"), N::leaf("Notes")],
+            ),
+            N::submenu(
+                "Games",
+                vec![N::leaf("Serpent"), N::leaf("Memory"), N::leaf("Bricks")],
+            ),
+        ],
+    ))
+}
+
+/// A deep path used by study tasks: Settings → Tone settings → Ringing
+/// tone, as a sequence of per-level indices.
+pub const RINGING_TONE_PATH: [usize; 3] = [4, 0, 0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::menu::Navigator;
+
+    #[test]
+    fn menu_shape_suits_the_prototype() {
+        let m = phone_menu();
+        assert_eq!(m.root().children().len(), 7, "seven top-level entries");
+        assert!(m.root().depth() >= 4, "at least four levels deep");
+        assert!(m.root().leaf_count() >= 30, "enough leaves for study tasks");
+        // Every level fits the default island budget of 12.
+        fn check(node: &MenuNode) {
+            assert!(node.children().len() <= 12, "level too wide: {}", node.label());
+            for c in node.children() {
+                if !c.is_leaf() {
+                    check(c);
+                }
+            }
+        }
+        check(m.root());
+    }
+
+    #[test]
+    fn ringing_tone_path_is_valid() {
+        let mut nav = Navigator::new(phone_menu());
+        for &idx in &RINGING_TONE_PATH {
+            nav.highlight(idx).unwrap();
+            nav.select();
+        }
+        // After the last select we activated the leaf; the breadcrumb
+        // shows the two submenus we passed through.
+        assert_eq!(nav.breadcrumb(), vec!["Settings".to_string(), "Tone settings".to_string()]);
+    }
+
+    #[test]
+    fn labels_fit_the_display() {
+        fn check(node: &MenuNode) {
+            assert!(node.label().len() <= 15, "label too long for 16 columns: {}", node.label());
+            for c in node.children() {
+                check(c);
+            }
+        }
+        check(phone_menu().root());
+    }
+}

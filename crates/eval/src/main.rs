@@ -1,0 +1,95 @@
+//! Command-line harness: regenerate any figure or experiment.
+//!
+//! ```text
+//! distscroll-eval [--quick] [--seed N] [--out DIR] <id>|all
+//! ```
+//!
+//! where `<id>` is one of `fig4 fig5 islands study shootout range
+//! direction longmenus fastscroll robustness ablation link`. Reports
+//! print to stdout; with `--out` each is also written to
+//! `DIR/<id>.txt`.
+
+use std::io::Write as _;
+
+use distscroll_eval::experiments::{self, Effort, ExperimentReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: distscroll-eval [--quick] [--seed N] [--out DIR] \
+         <fig4|fig5|islands|study|shootout|range|direction|longmenus|fastscroll|robustness|ablation|buttons|pda|link|all>"
+    );
+    std::process::exit(2);
+}
+
+fn run_one(id: &str, effort: Effort, seed: u64) -> Option<ExperimentReport> {
+    Some(match id {
+        "fig4" => experiments::fig4::run(effort, seed),
+        "fig5" => experiments::fig5::run(effort, seed),
+        "islands" => experiments::islands::run(effort, seed),
+        "study" => experiments::study::run(effort, seed),
+        "shootout" => experiments::shootout::run(effort, seed),
+        "range" => experiments::range_sweep::run(effort, seed),
+        "direction" => experiments::direction::run(effort, seed),
+        "longmenus" => experiments::long_menus::run(effort, seed),
+        "fastscroll" => experiments::fastscroll::run(effort, seed),
+        "robustness" => experiments::robustness::run(effort, seed),
+        "ablation" => experiments::ablation::run(effort, seed),
+        "buttons" => experiments::button_layout::run(effort, seed),
+        "pda" => experiments::pda::run(effort, seed),
+        "link" => experiments::link::run(effort, seed),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let mut effort = Effort::Full;
+    let mut seed = 20050607u64; // the paper's year and venue date
+    let mut out_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+
+    let reports: Vec<ExperimentReport> = if targets.iter().any(|t| t == "all") {
+        experiments::run_all(effort, seed)
+    } else {
+        targets
+            .iter()
+            .map(|t| run_one(t, effort, seed).unwrap_or_else(|| usage()))
+            .collect()
+    };
+
+    println!("DistScroll reproduction — experiment harness (seed {seed}, {effort:?})\n");
+    let mut holds = 0;
+    for r in &reports {
+        println!("{r}");
+        if r.shape_holds {
+            holds += 1;
+        }
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            let path = format!("{dir}/{}.txt", r.id.to_lowercase());
+            let mut f = std::fs::File::create(&path).expect("create report file");
+            f.write_all(r.render().as_bytes()).expect("write report file");
+        }
+    }
+    println!("== summary: {holds}/{} experiments hold the paper's shape ==", reports.len());
+    if holds < reports.len() {
+        std::process::exit(1);
+    }
+}

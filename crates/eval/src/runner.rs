@@ -1,0 +1,162 @@
+//! Cohort × technique × condition trial loops.
+//!
+//! [`run_block`] runs one user through one block on one technique;
+//! [`run_cohort`] runs a whole cohort and collects per-trial records the
+//! experiments aggregate. Everything is seeded: the same call produces
+//! the same records.
+
+use distscroll_baselines::{ScrollTechnique, TrialResult, TrialSetup};
+use distscroll_user::population::UserParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::{Proportion, Summary};
+use crate::task::TaskPlan;
+
+/// One completed trial with its context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialRecord {
+    /// Index of the user within the cohort.
+    pub user_id: usize,
+    /// The task.
+    pub setup: TrialSetup,
+    /// What happened.
+    pub result: TrialResult,
+}
+
+/// Runs one user through a task plan.
+pub fn run_block(
+    technique: &mut dyn ScrollTechnique,
+    user: &UserParams,
+    user_id: usize,
+    plan: &TaskPlan,
+    seed: u64,
+) -> Vec<TrialRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    plan.setups()
+        .iter()
+        .map(|setup| TrialRecord {
+            user_id,
+            setup: *setup,
+            result: technique.run_trial(user, setup, &mut rng),
+        })
+        .collect()
+}
+
+/// Runs every user of a cohort through (their own copy of) a task plan.
+///
+/// Each user gets a distinct trial seed derived from `seed` and a
+/// distinct task seed, as a counterbalanced study would.
+pub fn run_cohort(
+    technique: &mut dyn ScrollTechnique,
+    cohort: &[UserParams],
+    n_entries: usize,
+    trials_per_user: usize,
+    seed: u64,
+) -> Vec<TrialRecord> {
+    let mut records = Vec::with_capacity(cohort.len() * trials_per_user);
+    for (user_id, user) in cohort.iter().enumerate() {
+        let plan = TaskPlan::block(n_entries, trials_per_user, 1, seed ^ (user_id as u64) << 17);
+        records.extend(run_block(technique, user, user_id, &plan, seed.wrapping_add(user_id as u64 * 7919)));
+    }
+    records
+}
+
+/// Aggregate view of a set of trial records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// Selection times of *correct* trials, summarized.
+    pub time: Summary,
+    /// Error rate with its Wilson interval.
+    pub errors: Proportion,
+    /// Mean corrective actions per trial.
+    pub corrections: Summary,
+    /// Trials that timed out entirely.
+    pub timeouts: usize,
+}
+
+/// Summarizes trial records.
+///
+/// # Panics
+///
+/// Panics if `records` is empty, or no trial finished correctly (there
+/// would be no times to summarize — a condition that failed this badly
+/// should be reported by the caller instead).
+pub fn summarize(records: &[TrialRecord]) -> BlockStats {
+    assert!(!records.is_empty(), "no records to summarize");
+    let times: Vec<f64> = records
+        .iter()
+        .filter(|r| r.result.correct)
+        .map(|r| r.result.time_s)
+        .collect();
+    assert!(!times.is_empty(), "no correct trials to take times from");
+    let errors = records.iter().filter(|r| !r.result.correct).count();
+    let timeouts = records.iter().filter(|r| r.result.selected_idx.is_none()).count();
+    let corrections: Vec<f64> = records.iter().map(|r| f64::from(r.result.corrections)).collect();
+    BlockStats {
+        time: Summary::of(&times),
+        errors: Proportion::of(errors, records.len()),
+        corrections: Summary::of(&corrections),
+        timeouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distscroll_baselines::buttons::ButtonsTechnique;
+    use distscroll_user::population::sample_cohort;
+
+    #[test]
+    fn block_runs_every_task_in_order() {
+        let mut tech = ButtonsTechnique::new();
+        let plan = TaskPlan::block(12, 8, 1, 3);
+        let records = run_block(&mut tech, &UserParams::expert(), 0, &plan, 42);
+        assert_eq!(records.len(), 8);
+        for (r, s) in records.iter().zip(plan.setups()) {
+            assert_eq!(r.setup, *s);
+        }
+    }
+
+    #[test]
+    fn cohort_runs_are_reproducible() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cohort = sample_cohort(4, &mut rng);
+        let run = |cohort: &[UserParams]| {
+            let mut tech = ButtonsTechnique::new();
+            run_cohort(&mut tech, cohort, 10, 5, 77)
+        };
+        assert_eq!(run(&cohort), run(&cohort));
+    }
+
+    #[test]
+    fn summarize_counts_errors_and_timeouts() {
+        let setup = TrialSetup::new(8, 0, 4, 1);
+        let records = vec![
+            TrialRecord {
+                user_id: 0,
+                setup,
+                result: TrialResult { time_s: 1.0, selected_idx: Some(4), correct: true, corrections: 0 },
+            },
+            TrialRecord {
+                user_id: 0,
+                setup,
+                result: TrialResult { time_s: 2.0, selected_idx: Some(3), correct: false, corrections: 2 },
+            },
+            TrialRecord { user_id: 0, setup, result: TrialResult::timeout(30.0, 5) },
+        ];
+        let stats = summarize(&records);
+        assert_eq!(stats.time.n, 1);
+        assert_eq!(stats.errors.k, 2);
+        assert_eq!(stats.timeouts, 1);
+        assert!((stats.corrections.mean - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no correct trials")]
+    fn summarize_rejects_all_failures() {
+        let setup = TrialSetup::new(8, 0, 4, 1);
+        let records = vec![TrialRecord { user_id: 0, setup, result: TrialResult::timeout(30.0, 0) }];
+        let _ = summarize(&records);
+    }
+}

@@ -1,0 +1,254 @@
+//! Summary statistics, regression and two-sample tests.
+//!
+//! Everything an HCI evaluation section needs and nothing more: sample
+//! summaries with confidence intervals, ordinary least squares (reused
+//! from the calibration crate), Welch's t-test and Cohen's d. All
+//! implementations are textbook; the unit tests pin them against known
+//! values.
+
+pub use distscroll_sensors::calibrate::{linear_fit, FitError, LinearFit};
+
+/// Summary of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub sd: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Half-width of the 95 % confidence interval (normal approximation).
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains non-finite values.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "cannot summarize an empty sample");
+        assert!(xs.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let sd = var.sqrt();
+        let sem = sd / (n as f64).sqrt();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary { n, mean, sd, sem, ci95: 1.96 * sem, min, max }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+/// Result of Welch's unequal-variance t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchT {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value (normal approximation of the t distribution,
+    /// adequate for df ≥ ~10 as in all our experiments).
+    pub p: f64,
+}
+
+/// Welch's t-test for a difference of means.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations.
+pub fn welch_t(a: &[f64], b: &[f64]) -> WelchT {
+    assert!(a.len() >= 2 && b.len() >= 2, "welch t needs at least two observations per group");
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let va = sa.sd * sa.sd / sa.n as f64;
+    let vb = sb.sd * sb.sd / sb.n as f64;
+    let se = (va + vb).sqrt();
+    let t = if se == 0.0 { 0.0 } else { (sa.mean - sb.mean) / se };
+    let df = if va + vb == 0.0 {
+        (a.len() + b.len() - 2) as f64
+    } else {
+        (va + vb).powi(2)
+            / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0))
+    };
+    let p = 2.0 * normal_sf(t.abs());
+    WelchT { t, df, p }
+}
+
+/// Cohen's d with pooled standard deviation.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations.
+pub fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let na = sa.n as f64;
+    let nb = sb.n as f64;
+    let pooled =
+        (((na - 1.0) * sa.sd * sa.sd + (nb - 1.0) * sb.sd * sb.sd) / (na + nb - 2.0)).sqrt();
+    if pooled == 0.0 {
+        0.0
+    } else {
+        (sa.mean - sb.mean) / pooled
+    }
+}
+
+/// Standard normal survival function `P(Z > z)` via the Abramowitz &
+/// Stegun 7.1.26 erf approximation (|error| < 1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - normal_sf(-z);
+    }
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    0.5 * (1.0 - erf)
+}
+
+/// Proportion with a Wilson 95 % confidence interval — the right interval
+/// for error *rates* near 0 or 1 (where the study's "nearly errorless"
+/// claim lives).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Successes.
+    pub k: usize,
+    /// Trials.
+    pub n: usize,
+    /// Point estimate k/n.
+    pub p: f64,
+    /// Lower edge of the Wilson 95 % interval.
+    pub lo: f64,
+    /// Upper edge of the Wilson 95 % interval.
+    pub hi: f64,
+}
+
+impl Proportion {
+    /// Computes the proportion and its Wilson interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `k > n`.
+    pub fn of(k: usize, n: usize) -> Proportion {
+        assert!(n > 0, "proportion needs at least one trial");
+        assert!(k <= n, "successes cannot exceed trials");
+        let z = 1.96_f64;
+        let nf = n as f64;
+        let p = k as f64 / nf;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / nf;
+        let centre = (p + z2 / (2.0 * nf)) / denom;
+        let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+        Proportion { k, n, p, lo: (centre - half).max(0.0), hi: (centre + half).min(1.0) }
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}% [{:.1}, {:.1}] ({}/{})", self.p * 100.0, self.lo * 100.0, self.hi * 100.0, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd with n-1: sqrt(32/7) ≈ 2.138.
+        assert!((s.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn normal_sf_known_values() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_sf(1.96) - 0.025).abs() < 5e-4);
+        assert!((normal_sf(-1.96) - 0.975).abs() < 5e-4);
+        assert!(normal_sf(5.0) < 1e-6);
+    }
+
+    #[test]
+    fn welch_detects_a_real_difference() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
+        let w = welch_t(&a, &b);
+        assert!(w.p < 1e-6, "clearly different means: p = {}", w.p);
+        assert!(w.t < 0.0, "a < b gives negative t");
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let w = welch_t(&a, &a);
+        assert!((w.t).abs() < 1e-12);
+        assert!(w.p > 0.99);
+    }
+
+    #[test]
+    fn cohens_d_sign_and_magnitude() {
+        let a = [10.0, 11.0, 9.0, 10.0, 10.5, 9.5];
+        let b = [12.0, 13.0, 11.0, 12.0, 12.5, 11.5];
+        let d = cohens_d(&a, &b);
+        assert!(d < -1.5, "two sds apart: d = {d}");
+        assert!((cohens_d(&b, &a) + d).abs() < 1e-12, "antisymmetric");
+    }
+
+    #[test]
+    fn wilson_interval_behaves_at_the_edges() {
+        let p = Proportion::of(0, 20);
+        assert_eq!(p.p, 0.0);
+        assert!(p.lo == 0.0 && p.hi > 0.0 && p.hi < 0.25);
+        let p = Proportion::of(20, 20);
+        assert_eq!(p.p, 1.0);
+        assert!(p.hi == 1.0 && p.lo > 0.75);
+    }
+
+    #[test]
+    fn wilson_interval_contains_the_estimate() {
+        for k in 0..=30 {
+            let p = Proportion::of(k, 30);
+            assert!(p.lo <= p.p + 1e-12 && p.p <= p.hi + 1e-12);
+        }
+    }
+}

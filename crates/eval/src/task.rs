@@ -1,0 +1,130 @@
+//! Seeded task-sequence generation.
+//!
+//! Scrolling studies (Hinckley et al., cited in Section 7) present
+//! blocks of target-acquisition tasks with controlled scroll distances.
+//! [`TaskPlan`] generates such blocks reproducibly: each trial starts
+//! where the previous one ended (as in a real session) and targets are
+//! drawn to cover short, medium and long distances.
+
+use distscroll_baselines::TrialSetup;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible block of selection tasks over one menu.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPlan {
+    setups: Vec<TrialSetup>,
+}
+
+impl TaskPlan {
+    /// A block of `trials` tasks in a menu of `n_entries`, seeded.
+    ///
+    /// Consecutive trials chain (each starts on the previous target) and
+    /// every target differs from its start. Trial numbers continue from
+    /// `first_trial_number` so practice curves can span blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the menu has fewer than two entries.
+    pub fn block(n_entries: usize, trials: usize, first_trial_number: u32, seed: u64) -> Self {
+        assert!(n_entries >= 2, "tasks need at least two entries");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut setups = Vec::with_capacity(trials);
+        let mut start = rng.gen_range(0..n_entries);
+        for k in 0..trials {
+            let target = loop {
+                let t = rng.gen_range(0..n_entries);
+                if t != start {
+                    break t;
+                }
+            };
+            setups.push(TrialSetup::new(n_entries, start, target, first_trial_number + k as u32));
+            start = target;
+        }
+        TaskPlan { setups }
+    }
+
+    /// A block with a *fixed* scroll distance (for Fitts-style sweeps):
+    /// alternating up/down jumps of exactly `distance` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is zero or does not fit the menu.
+    pub fn fixed_distance(
+        n_entries: usize,
+        distance: usize,
+        trials: usize,
+        first_trial_number: u32,
+    ) -> Self {
+        assert!(distance > 0, "distance must be positive");
+        assert!(distance < n_entries, "distance must fit the menu");
+        let mut setups = Vec::with_capacity(trials);
+        let mut start = 0usize;
+        for k in 0..trials {
+            let target = if start + distance < n_entries { start + distance } else { start - distance };
+            setups.push(TrialSetup::new(n_entries, start, target, first_trial_number + k as u32));
+            start = target;
+        }
+        TaskPlan { setups }
+    }
+
+    /// The tasks in order.
+    pub fn setups(&self) -> &[TrialSetup] {
+        &self.setups
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.setups.len()
+    }
+
+    /// `true` for an empty block.
+    pub fn is_empty(&self) -> bool {
+        self.setups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_chain_and_never_self_target() {
+        let plan = TaskPlan::block(12, 40, 1, 7);
+        assert_eq!(plan.len(), 40);
+        for w in plan.setups().windows(2) {
+            assert_eq!(w[1].start_idx, w[0].target_idx, "trials chain");
+        }
+        for s in plan.setups() {
+            assert_ne!(s.start_idx, s.target_idx);
+            assert!(s.target_idx < 12);
+        }
+    }
+
+    #[test]
+    fn blocks_are_reproducible_and_seed_sensitive() {
+        assert_eq!(TaskPlan::block(8, 10, 1, 3), TaskPlan::block(8, 10, 1, 3));
+        assert_ne!(TaskPlan::block(8, 10, 1, 3), TaskPlan::block(8, 10, 1, 4));
+    }
+
+    #[test]
+    fn trial_numbers_continue_across_blocks() {
+        let plan = TaskPlan::block(8, 5, 21, 0);
+        let numbers: Vec<u32> = plan.setups().iter().map(|s| s.trial_number).collect();
+        assert_eq!(numbers, vec![21, 22, 23, 24, 25]);
+    }
+
+    #[test]
+    fn fixed_distance_blocks_have_constant_distance() {
+        let plan = TaskPlan::fixed_distance(32, 10, 20, 1);
+        for s in plan.setups() {
+            assert_eq!(s.distance(), 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must fit")]
+    fn fixed_distance_validates() {
+        let _ = TaskPlan::fixed_distance(8, 8, 5, 1);
+    }
+}

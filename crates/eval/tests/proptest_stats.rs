@@ -1,0 +1,71 @@
+//! Property tests of the statistics toolbox.
+
+use distscroll_eval::stats::{cohens_d, linear_fit, normal_sf, welch_t, Proportion, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn summary_bounds_are_consistent(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.sd >= 0.0);
+        prop_assert!(s.sem <= s.sd + 1e-12);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn summary_is_translation_equivariant(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        shift in -1e3f64..1e3,
+    ) {
+        let a = Summary::of(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let b = Summary::of(&shifted);
+        prop_assert!((b.mean - a.mean - shift).abs() < 1e-6);
+        prop_assert!((b.sd - a.sd).abs() < 1e-6, "sd is shift-invariant");
+    }
+
+    #[test]
+    fn welch_t_is_antisymmetric(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..50),
+        ys in proptest::collection::vec(-100.0f64..100.0, 3..50),
+    ) {
+        let ab = welch_t(&xs, &ys);
+        let ba = welch_t(&ys, &xs);
+        prop_assert!((ab.t + ba.t).abs() < 1e-9);
+        prop_assert!((ab.p - ba.p).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab.p));
+        prop_assert!((cohens_d(&xs, &ys) + cohens_d(&ys, &xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_sf_is_a_valid_survival_function(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal_sf(lo) >= normal_sf(hi) - 1e-9, "monotone decreasing");
+        prop_assert!((0.0..=1.0).contains(&normal_sf(a)));
+        prop_assert!((normal_sf(a) + normal_sf(-a) - 1.0).abs() < 1e-6, "symmetry");
+    }
+
+    #[test]
+    fn wilson_interval_always_contains_the_point_estimate(k in 0usize..100, extra in 0usize..100) {
+        let n = k + extra + 1;
+        let p = Proportion::of(k.min(n), n);
+        prop_assert!(p.lo <= p.p + 1e-12);
+        prop_assert!(p.p <= p.hi + 1e-12);
+        prop_assert!(p.lo >= 0.0 && p.hi <= 1.0);
+    }
+
+    #[test]
+    fn linear_fit_residuals_vanish_on_exact_lines(
+        slope in -50.0f64..50.0,
+        intercept in -50.0f64..50.0,
+        n in 3usize..50,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).expect("a line fits");
+        prop_assert!(fit.rmse < 1e-6 * (1.0 + slope.abs() + intercept.abs()));
+        prop_assert!(fit.r2 > 0.999 || slope.abs() < 1e-9);
+    }
+}

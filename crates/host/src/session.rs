@@ -1,0 +1,266 @@
+//! Session logging: the experimenter's view of one device session.
+//!
+//! Ingests telemetry records, unwraps the 16-bit tick stamps into a
+//! monotonic timeline, and derives the measures a scrolling study
+//! reports per selection: time, scroll path length, direction
+//! reversals, and the sequence of entries passed through. Exports a
+//! flat CSV for external analysis.
+
+use crate::telemetry::{EventKind, Record};
+
+/// Device tick period assumed for time conversion, seconds. The
+/// firmware default is 10 ms; pass the actual value if configured
+/// differently.
+pub const DEFAULT_TICK_S: f64 = 0.010;
+
+/// A record with its unwrapped (monotonic) tick count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedRecord {
+    /// Monotonic device tick.
+    pub tick: u64,
+    /// The record.
+    pub record: Record,
+}
+
+/// One completed selection, as reconstructed from the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionMeasure {
+    /// Tick of the previous selection (or session start).
+    pub from_tick: u64,
+    /// Tick of this selection's `Activated`/`EnteredSubmenu` event.
+    pub at_tick: u64,
+    /// Seconds between them.
+    pub duration_s: f64,
+    /// Entries the highlight passed through on the way.
+    pub path: Vec<u8>,
+    /// Direction reversals of the highlight along the way.
+    pub reversals: u32,
+    /// The entry that was selected (last highlight before the event).
+    pub selected: Option<u8>,
+}
+
+/// A session log under construction.
+#[derive(Debug, Clone, Default)]
+pub struct SessionLog {
+    records: Vec<TimedRecord>,
+    last_stamp: Option<u16>,
+    wraps: u64,
+    tick_s: f64,
+}
+
+impl SessionLog {
+    /// An empty log assuming the default 10 ms tick.
+    pub fn new() -> Self {
+        SessionLog { tick_s: DEFAULT_TICK_S, ..SessionLog::default() }
+    }
+
+    /// An empty log for a device configured with a different tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_s` is not positive.
+    pub fn with_tick(tick_s: f64) -> Self {
+        assert!(tick_s > 0.0, "tick period must be positive");
+        SessionLog { tick_s, ..SessionLog::default() }
+    }
+
+    /// Ingests one record, unwrapping its 16-bit stamp.
+    pub fn ingest(&mut self, record: Record) {
+        let stamp = record.stamp();
+        if let Some(last) = self.last_stamp {
+            if stamp < last {
+                self.wraps += 1;
+            }
+        }
+        self.last_stamp = Some(stamp);
+        let tick = self.wraps * 65536 + u64::from(stamp);
+        self.records.push(TimedRecord { tick, record });
+    }
+
+    /// Ingests a batch.
+    pub fn ingest_all<I: IntoIterator<Item = Record>>(&mut self, records: I) {
+        for r in records {
+            self.ingest(r);
+        }
+    }
+
+    /// All records with unwrapped ticks.
+    pub fn records(&self) -> &[TimedRecord] {
+        &self.records
+    }
+
+    /// Session length in seconds (first to last record).
+    pub fn duration_s(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => (b.tick - a.tick) as f64 * self.tick_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Reconstructs per-selection measures: each `Activated` or
+    /// `EnteredSubmenu` event closes one selection, measured from the
+    /// previous one (or session start).
+    pub fn selections(&self) -> Vec<SelectionMeasure> {
+        let mut out = Vec::new();
+        let mut segment_start = self.records.first().map_or(0, |r| r.tick);
+        let mut path: Vec<u8> = Vec::new();
+        for tr in &self.records {
+            match tr.record {
+                Record::Event(e) => match e.kind {
+                    EventKind::Highlight => path.push(e.aux),
+                    EventKind::Activated | EventKind::EnteredSubmenu => {
+                        let reversals = count_reversals(&path);
+                        out.push(SelectionMeasure {
+                            from_tick: segment_start,
+                            at_tick: tr.tick,
+                            duration_s: (tr.tick - segment_start) as f64 * self.tick_s,
+                            selected: path.last().copied(),
+                            path: std::mem::take(&mut path),
+                            reversals,
+                        });
+                        segment_start = tr.tick;
+                    }
+                    _ => {}
+                },
+                Record::State(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Counts brown-outs seen in the stream.
+    pub fn brownouts(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(r.record, Record::Event(e) if e.kind == EventKind::BrownOut)
+            })
+            .count()
+    }
+
+    /// Exports the raw record stream as CSV
+    /// (`tick,seconds,kind,code,island,level,highlighted,event,aux`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("tick,seconds,kind,code,island,level,highlighted,event,aux\n");
+        for tr in &self.records {
+            let secs = tr.tick as f64 * self.tick_s;
+            match tr.record {
+                Record::State(s) => {
+                    out.push_str(&format!(
+                        "{},{:.3},state,{},{},{},{},,\n",
+                        tr.tick,
+                        secs,
+                        s.code,
+                        s.island.map_or(String::new(), |i| i.to_string()),
+                        s.level,
+                        s.highlighted
+                    ));
+                }
+                Record::Event(e) => {
+                    out.push_str(&format!(
+                        "{},{:.3},event,,,,,{:?},{}\n",
+                        tr.tick, secs, e.kind, e.aux
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Direction reversals in a highlight path.
+fn count_reversals(path: &[u8]) -> u32 {
+    let mut reversals = 0;
+    let mut last_dir = 0i32;
+    for w in path.windows(2) {
+        let dir = (i32::from(w[1]) - i32::from(w[0])).signum();
+        if dir != 0 && last_dir != 0 && dir != last_dir {
+            reversals += 1;
+        }
+        if dir != 0 {
+            last_dir = dir;
+        }
+    }
+    reversals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{EventRecord, StateRecord};
+
+    fn state(stamp: u16, code: u16) -> Record {
+        Record::State(StateRecord { stamp, code, island: Some(0), level: 0, highlighted: 0 })
+    }
+
+    fn event(stamp: u16, kind: EventKind, aux: u8) -> Record {
+        Record::Event(EventRecord { stamp, kind, aux })
+    }
+
+    #[test]
+    fn stamps_unwrap_across_the_16_bit_boundary() {
+        let mut log = SessionLog::new();
+        log.ingest(state(65_530, 100));
+        log.ingest(state(65_535, 100));
+        log.ingest(state(4, 100)); // wrapped
+        log.ingest(state(10, 100));
+        let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![65_530, 65_535, 65_540, 65_546]);
+        assert!((log.duration_s() - 16.0 * 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selections_are_segmented_by_events() {
+        let mut log = SessionLog::new();
+        log.ingest(state(0, 100));
+        log.ingest(event(50, EventKind::Highlight, 2));
+        log.ingest(event(80, EventKind::Highlight, 4));
+        log.ingest(event(120, EventKind::Activated, 1));
+        log.ingest(event(200, EventKind::Highlight, 3));
+        log.ingest(event(260, EventKind::EnteredSubmenu, 0));
+        let sels = log.selections();
+        assert_eq!(sels.len(), 2);
+        assert_eq!(sels[0].path, vec![2, 4]);
+        assert_eq!(sels[0].selected, Some(4));
+        assert!((sels[0].duration_s - 1.2).abs() < 1e-9);
+        assert_eq!(sels[1].path, vec![3]);
+        assert_eq!(sels[1].from_tick, 120);
+    }
+
+    #[test]
+    fn reversals_are_counted_from_the_path() {
+        assert_eq!(count_reversals(&[1, 2, 3, 4]), 0);
+        assert_eq!(count_reversals(&[1, 4, 2]), 1);
+        assert_eq!(count_reversals(&[1, 4, 2, 5, 0]), 3);
+        assert_eq!(count_reversals(&[3, 3, 3]), 0, "repeats are not reversals");
+        assert_eq!(count_reversals(&[]), 0);
+    }
+
+    #[test]
+    fn brownouts_are_visible() {
+        let mut log = SessionLog::new();
+        log.ingest(event(10, EventKind::BrownOut, 0));
+        assert_eq!(log.brownouts(), 1);
+    }
+
+    #[test]
+    fn csv_has_a_row_per_record() {
+        let mut log = SessionLog::new();
+        log.ingest(state(0, 123));
+        log.ingest(event(5, EventKind::Highlight, 2));
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[1].contains("state"));
+        assert!(lines[1].contains("123"));
+        assert!(lines[2].contains("Highlight"));
+    }
+
+    #[test]
+    fn custom_tick_scales_times() {
+        let mut log = SessionLog::with_tick(0.02);
+        log.ingest(state(0, 0));
+        log.ingest(state(100, 0));
+        assert!((log.duration_s() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! The telemetry wire protocol.
+//!
+//! The firmware ships two record kinds over the framed radio link:
+//!
+//! | kind | layout | meaning |
+//! |---|---|---|
+//! | `T` | `['T', stamp_hi, stamp_lo, code_hi, code_lo, island, level, highlighted]` | periodic state snapshot |
+//! | `E` | `['E', stamp_hi, stamp_lo, tag, aux]` | one interaction event |
+//!
+//! `stamp` is the low 16 bits of the device's tick counter; the host
+//! unwraps it into a monotonic tick count (the device ticks every
+//! ~10 ms, so 16 bits wrap after ~11 minutes — ordinary telemetry rates
+//! see a record far more often than that).
+
+use distscroll_hw::link::FrameDecoder;
+use distscroll_hw::HwError;
+
+/// A periodic state snapshot from the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateRecord {
+    /// Low 16 bits of the device tick counter.
+    pub stamp: u16,
+    /// Filtered ADC code.
+    pub code: u16,
+    /// Selected island index, or `None` while nothing is selected.
+    pub island: Option<u8>,
+    /// Menu depth.
+    pub level: u8,
+    /// Highlighted entry at the current level.
+    pub highlighted: u8,
+}
+
+/// Event tags as the firmware encodes them (see
+/// `distscroll-core::events::Event::wire_tag`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The highlight moved (`aux` = new index).
+    Highlight,
+    /// A leaf was activated (`aux` = path depth).
+    Activated,
+    /// A submenu was entered.
+    EnteredSubmenu,
+    /// The cursor went back up.
+    WentBack,
+    /// Long-menu page flip towards index 0.
+    PageBack,
+    /// Long-menu page flip away from index 0.
+    PageForward,
+    /// The device browned out.
+    BrownOut,
+}
+
+impl EventKind {
+    /// Decodes a wire tag.
+    pub fn from_tag(tag: u8) -> Option<EventKind> {
+        Some(match tag {
+            b'H' => EventKind::Highlight,
+            b'A' => EventKind::Activated,
+            b'S' => EventKind::EnteredSubmenu,
+            b'B' => EventKind::WentBack,
+            b'<' => EventKind::PageBack,
+            b'>' => EventKind::PageForward,
+            b'!' => EventKind::BrownOut,
+            _ => return None,
+        })
+    }
+}
+
+/// An interaction event from the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Low 16 bits of the device tick counter.
+    pub stamp: u16,
+    /// What happened.
+    pub kind: EventKind,
+    /// Event-specific operand (highlight index, path depth, level).
+    pub aux: u8,
+}
+
+/// Any telemetry record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// A periodic state snapshot.
+    State(StateRecord),
+    /// An interaction event.
+    Event(EventRecord),
+}
+
+impl Record {
+    /// The record's tick stamp.
+    pub fn stamp(&self) -> u16 {
+        match self {
+            Record::State(s) => s.stamp,
+            Record::Event(e) => e.stamp,
+        }
+    }
+}
+
+/// Errors from record parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload was empty.
+    Empty,
+    /// Unknown record kind byte.
+    UnknownKind {
+        /// The kind byte received.
+        kind: u8,
+    },
+    /// A record had the wrong length for its kind.
+    BadLength {
+        /// The kind byte.
+        kind: u8,
+        /// Bytes received.
+        got: usize,
+        /// Bytes expected.
+        expected: usize,
+    },
+    /// An event record carried an unknown tag.
+    UnknownEventTag {
+        /// The tag byte.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty telemetry payload"),
+            ProtocolError::UnknownKind { kind } => {
+                write!(f, "unknown telemetry record kind {kind:#04x}")
+            }
+            ProtocolError::BadLength { kind, got, expected } => write!(
+                f,
+                "telemetry record {kind:#04x} has {got} bytes, expected {expected}"
+            ),
+            ProtocolError::UnknownEventTag { tag } => {
+                write!(f, "unknown event tag {tag:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parses one frame payload into a typed record.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on malformed payloads; a corrupted-but-CRC-valid
+/// payload cannot occur over the real link, but the host must still
+/// never panic on one.
+pub fn parse_record(payload: &[u8]) -> Result<Record, ProtocolError> {
+    let (&kind, rest) = payload.split_first().ok_or(ProtocolError::Empty)?;
+    match kind {
+        b'T' => {
+            if rest.len() != 7 {
+                return Err(ProtocolError::BadLength { kind, got: rest.len(), expected: 7 });
+            }
+            Ok(Record::State(StateRecord {
+                stamp: u16::from(rest[0]) << 8 | u16::from(rest[1]),
+                code: u16::from(rest[2]) << 8 | u16::from(rest[3]),
+                island: (rest[4] != 0xff).then_some(rest[4]),
+                level: rest[5],
+                highlighted: rest[6],
+            }))
+        }
+        b'E' => {
+            if rest.len() != 4 {
+                return Err(ProtocolError::BadLength { kind, got: rest.len(), expected: 4 });
+            }
+            let tag = rest[2];
+            let kind_e =
+                EventKind::from_tag(tag).ok_or(ProtocolError::UnknownEventTag { tag })?;
+            Ok(Record::Event(EventRecord {
+                stamp: u16::from(rest[0]) << 8 | u16::from(rest[1]),
+                kind: kind_e,
+                aux: rest[3],
+            }))
+        }
+        other => Err(ProtocolError::UnknownKind { kind: other }),
+    }
+}
+
+/// Stacks record parsing on the link-layer frame decoder: feed raw radio
+/// bytes, collect typed records.
+#[derive(Debug, Clone, Default)]
+pub struct StreamDecoder {
+    frames: FrameDecoder,
+    records_ok: u64,
+    records_bad: u64,
+    crc_failures: u64,
+}
+
+impl StreamDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Pushes received bytes; returns the records completed by them.
+    /// Malformed or CRC-failed frames are counted and skipped.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Vec<Record> {
+        let mut out = Vec::new();
+        for frame in self.frames.push_all(bytes) {
+            match frame {
+                Ok(payload) => match parse_record(&payload) {
+                    Ok(rec) => {
+                        self.records_ok += 1;
+                        out.push(rec);
+                    }
+                    Err(_) => self.records_bad += 1,
+                },
+                Err(HwError::LinkCrc { .. }) => self.crc_failures += 1,
+                Err(_) => self.records_bad += 1,
+            }
+        }
+        out
+    }
+
+    /// Records parsed successfully.
+    pub fn records_ok(&self) -> u64 {
+        self.records_ok
+    }
+
+    /// Payloads that failed record parsing.
+    pub fn records_bad(&self) -> u64 {
+        self.records_bad
+    }
+
+    /// Frames dropped at the link layer for CRC failures.
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distscroll_hw::link::encode_frame;
+
+    #[test]
+    fn state_record_round_trips() {
+        let payload = [b'T', 0x12, 0x34, 0x01, 0x42, 3, 1, 5];
+        let rec = parse_record(&payload).unwrap();
+        assert_eq!(
+            rec,
+            Record::State(StateRecord {
+                stamp: 0x1234,
+                code: 0x0142,
+                island: Some(3),
+                level: 1,
+                highlighted: 5
+            })
+        );
+        assert_eq!(rec.stamp(), 0x1234);
+    }
+
+    #[test]
+    fn island_sentinel_decodes_to_none() {
+        let payload = [b'T', 0, 0, 0, 0, 0xff, 0, 0];
+        let Record::State(s) = parse_record(&payload).unwrap() else {
+            panic!("state expected")
+        };
+        assert_eq!(s.island, None);
+    }
+
+    #[test]
+    fn event_record_round_trips() {
+        let payload = [b'E', 0, 7, b'H', 4];
+        let rec = parse_record(&payload).unwrap();
+        assert_eq!(
+            rec,
+            Record::Event(EventRecord { stamp: 7, kind: EventKind::Highlight, aux: 4 })
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_error_without_panicking() {
+        assert_eq!(parse_record(&[]), Err(ProtocolError::Empty));
+        assert_eq!(parse_record(&[b'X', 1]), Err(ProtocolError::UnknownKind { kind: b'X' }));
+        assert_eq!(
+            parse_record(&[b'T', 1, 2]),
+            Err(ProtocolError::BadLength { kind: b'T', got: 2, expected: 7 })
+        );
+        assert_eq!(
+            parse_record(&[b'E', 0, 0, b'?', 0]),
+            Err(ProtocolError::UnknownEventTag { tag: b'?' })
+        );
+    }
+
+    #[test]
+    fn all_firmware_tags_decode() {
+        for tag in [b'H', b'A', b'S', b'B', b'<', b'>', b'!'] {
+            assert!(EventKind::from_tag(tag).is_some(), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_counts_and_collects() {
+        let mut dec = StreamDecoder::new();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(&[b'T', 0, 1, 0, 100, 2, 0, 3]));
+        stream.extend_from_slice(&encode_frame(&[b'E', 0, 2, b'A', 1]));
+        stream.extend_from_slice(&encode_frame(&[b'Z', 9, 9])); // unknown kind
+        let mut bad_crc = encode_frame(&[b'T', 0, 3, 0, 100, 2, 0, 3]);
+        let len = bad_crc.len();
+        bad_crc[len - 1] ^= 0xff;
+        stream.extend_from_slice(&bad_crc);
+        let records = dec.push_bytes(&stream);
+        assert_eq!(records.len(), 2);
+        assert_eq!(dec.records_ok(), 2);
+        assert_eq!(dec.records_bad(), 1);
+        assert_eq!(dec.crc_failures(), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! The PIC 18F452's 10-bit successive-approximation ADC.
+//!
+//! The Smart-Its base board routes analog sensor outputs (the GP2D120
+//! distance sensor, the ADXL311 axes and the contrast potentiometer wiper)
+//! to the PIC's multiplexed ADC inputs. The paper's Figure 4 plots exactly
+//! what this converter sees: "measured analog voltage at Smart-Its input
+//! port".
+//!
+//! The model captures the datasheet behaviour that matters for the
+//! interaction loop:
+//!
+//! * 10-bit resolution over a configurable reference voltage (5 V on the
+//!   board, fed from the regulated supply),
+//! * input clamping to the rail,
+//! * conversion noise: a configurable gaussian sigma in LSB, covering
+//!   reference ripple and sampling noise combined,
+//! * acquisition plus conversion time, so the MCU task budget is honest.
+//!
+//! # Example
+//!
+//! ```
+//! use distscroll_hw::adc::Adc10;
+//!
+//! let adc = Adc10::ideal(5.0);
+//! assert_eq!(adc.quantize(0.0), 0);
+//! assert_eq!(adc.quantize(5.0), 1023);
+//! // Codes convert back to volts at the code centre.
+//! let v = adc.code_to_volts(512);
+//! assert!((v - 2.5).abs() < 0.01);
+//! ```
+
+use rand::Rng;
+
+use crate::clock::SimDuration;
+
+/// Full-scale code of a 10-bit converter.
+pub const FULL_SCALE: u16 = 1023;
+
+/// Model of a 10-bit SAR ADC channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adc10 {
+    vref: f64,
+    noise_lsb: f64,
+    acquisition: SimDuration,
+}
+
+impl Adc10 {
+    /// A noiseless converter with the given reference voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vref` is not a positive finite voltage.
+    pub fn ideal(vref: f64) -> Self {
+        Adc10::with_noise(vref, 0.0)
+    }
+
+    /// A converter with gaussian conversion noise of `noise_lsb` LSB (1 σ).
+    ///
+    /// The Smart-Its board measures roughly ±1–2 LSB of combined noise; the
+    /// DistScroll firmware median-filters it away (see
+    /// `distscroll-sensors::filter`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vref` is not positive and finite, or `noise_lsb` is
+    /// negative or not finite.
+    pub fn with_noise(vref: f64, noise_lsb: f64) -> Self {
+        assert!(vref.is_finite() && vref > 0.0, "vref must be positive");
+        assert!(noise_lsb.is_finite() && noise_lsb >= 0.0, "noise must be non-negative");
+        Adc10 {
+            vref,
+            noise_lsb,
+            // PIC18 ADC: ~13 us acquisition + ~12 Tad conversion; 20 us is a
+            // representative end-to-end figure at the Smart-Its clock.
+            acquisition: SimDuration::from_micros(20),
+        }
+    }
+
+    /// The reference voltage in volts.
+    pub fn vref(&self) -> f64 {
+        self.vref
+    }
+
+    /// The 1-σ conversion noise in LSB.
+    pub fn noise_lsb(&self) -> f64 {
+        self.noise_lsb
+    }
+
+    /// Time for one acquisition + conversion.
+    pub fn conversion_time(&self) -> SimDuration {
+        self.acquisition
+    }
+
+    /// Noiseless quantization of an input voltage to a 10-bit code.
+    ///
+    /// Inputs outside the rails clamp to 0 or [`FULL_SCALE`].
+    pub fn quantize(&self, volts: f64) -> u16 {
+        if !volts.is_finite() || volts <= 0.0 {
+            return 0;
+        }
+        let code = (volts / self.vref * f64::from(FULL_SCALE)).round();
+        if code >= f64::from(FULL_SCALE) {
+            FULL_SCALE
+        } else {
+            code as u16
+        }
+    }
+
+    /// One noisy conversion of an input voltage.
+    ///
+    /// Conversion noise is added in the code domain (gaussian, σ =
+    /// [`noise_lsb`](Adc10::noise_lsb)), matching how reference ripple
+    /// appears on real hardware.
+    pub fn sample<R: Rng + ?Sized>(&self, volts: f64, rng: &mut R) -> u16 {
+        let ideal = f64::from(self.quantize(volts));
+        let noisy = ideal + gaussian(rng) * self.noise_lsb;
+        noisy.round().clamp(0.0, f64::from(FULL_SCALE)) as u16
+    }
+
+    /// Converts a code back to the voltage at the code centre.
+    pub fn code_to_volts(&self, code: u16) -> f64 {
+        f64::from(code.min(FULL_SCALE)) / f64::from(FULL_SCALE) * self.vref
+    }
+
+    /// The width of one code step in volts (~4.9 mV at Vref = 5 V).
+    pub fn lsb_volts(&self) -> f64 {
+        self.vref / f64::from(FULL_SCALE)
+    }
+}
+
+/// Standard-normal variate via the Box–Muller transform.
+///
+/// `rand` without `rand_distr` provides only uniform variates; the polar
+/// Box–Muller form below is branch-light and allocation-free.
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantize_endpoints_and_midpoint() {
+        let adc = Adc10::ideal(5.0);
+        assert_eq!(adc.quantize(0.0), 0);
+        assert_eq!(adc.quantize(-3.0), 0);
+        assert_eq!(adc.quantize(5.0), FULL_SCALE);
+        assert_eq!(adc.quantize(7.2), FULL_SCALE);
+        assert_eq!(adc.quantize(2.5), 512);
+        assert_eq!(adc.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let adc = Adc10::ideal(5.0);
+        let mut last = 0;
+        for i in 0..=500 {
+            let v = i as f64 * 0.01;
+            let code = adc.quantize(v);
+            assert!(code >= last, "adc must be monotone at {v}");
+            last = code;
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_below_one_lsb() {
+        let adc = Adc10::ideal(5.0);
+        for i in 0..100 {
+            let v = i as f64 * 0.05;
+            let back = adc.code_to_volts(adc.quantize(v));
+            assert!((back - v).abs() <= adc.lsb_volts(), "round trip at {v}");
+        }
+    }
+
+    #[test]
+    fn noiseless_sample_equals_quantize() {
+        let adc = Adc10::with_noise(5.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..50 {
+            let v = i as f64 * 0.1;
+            assert_eq!(adc.sample(v, &mut rng), adc.quantize(v));
+        }
+    }
+
+    #[test]
+    fn noise_statistics_match_configuration() {
+        let adc = Adc10::with_noise(5.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let c = f64::from(adc.sample(2.5, &mut rng));
+            sum += c;
+            sumsq += c * c;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 512.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn noisy_samples_stay_in_range() {
+        let adc = Adc10::with_noise(5.0, 50.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let c = adc.sample(0.01, &mut rng);
+            assert!(c <= FULL_SCALE);
+        }
+    }
+
+    #[test]
+    fn conversion_takes_time() {
+        let adc = Adc10::ideal(5.0);
+        assert!(adc.conversion_time().as_micros() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vref must be positive")]
+    fn rejects_nonpositive_vref() {
+        let _ = Adc10::ideal(0.0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let g = gaussian(&mut rng);
+            sum += g;
+            sumsq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,158 @@
+//! The PIC 18F452's 256-byte data EEPROM.
+//!
+//! The part used by the Smart-Its carries a small data EEPROM alongside
+//! its flash — the natural home for per-unit calibration: the GP2D120's
+//! transfer curve varies a few percent part-to-part, and a production
+//! DistScroll would store its own fitted curve rather than the
+//! datasheet's typical one (`distscroll-core::calibration` does exactly
+//! that).
+//!
+//! The model tracks write wear per cell (the real cells endure ~1M
+//! erase/write cycles) and charges the characteristic ~4 ms per byte
+//! write, which the firmware must budget for.
+
+use crate::clock::SimDuration;
+
+/// EEPROM size of the PIC 18F452, bytes.
+pub const EEPROM_BYTES: usize = 256;
+
+/// Datasheet endurance per cell, erase/write cycles.
+pub const ENDURANCE_CYCLES: u32 = 1_000_000;
+
+/// Time per byte write (erase + program).
+pub const WRITE_TIME: SimDuration = SimDuration::from_micros(4_000);
+
+/// The data EEPROM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eeprom {
+    data: [u8; EEPROM_BYTES],
+    wear: [u32; EEPROM_BYTES],
+}
+
+impl Eeprom {
+    /// A factory-fresh part: all cells erased to 0xFF, zero wear.
+    pub fn new() -> Self {
+        Eeprom { data: [0xff; EEPROM_BYTES], wear: [0; EEPROM_BYTES] }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the part.
+    pub fn read(&self, addr: usize) -> u8 {
+        assert!(addr < EEPROM_BYTES, "eeprom address out of range");
+        self.data[addr]
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the part.
+    pub fn read_slice(&self, addr: usize, buf: &mut [u8]) {
+        assert!(addr + buf.len() <= EEPROM_BYTES, "eeprom read out of range");
+        buf.copy_from_slice(&self.data[addr..addr + buf.len()]);
+    }
+
+    /// Writes one byte; returns the time the write takes. Identical
+    /// values still wear the cell (the erase happens regardless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the part.
+    pub fn write(&mut self, addr: usize, byte: u8) -> SimDuration {
+        assert!(addr < EEPROM_BYTES, "eeprom address out of range");
+        self.data[addr] = byte;
+        self.wear[addr] = self.wear[addr].saturating_add(1);
+        WRITE_TIME
+    }
+
+    /// Writes a slice starting at `addr`; returns the total write time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the part.
+    pub fn write_slice(&mut self, addr: usize, bytes: &[u8]) -> SimDuration {
+        assert!(addr + bytes.len() <= EEPROM_BYTES, "eeprom write out of range");
+        let mut total = SimDuration::ZERO;
+        for (i, &b) in bytes.iter().enumerate() {
+            total += self.write(addr + i, b);
+        }
+        total
+    }
+
+    /// Erase/write cycles a cell has endured.
+    pub fn wear(&self, addr: usize) -> u32 {
+        assert!(addr < EEPROM_BYTES, "eeprom address out of range");
+        self.wear[addr]
+    }
+
+    /// `true` once any cell has exceeded the datasheet endurance.
+    pub fn is_worn_out(&self) -> bool {
+        self.wear.iter().any(|&w| w > ENDURANCE_CYCLES)
+    }
+}
+
+impl Default for Eeprom {
+    fn default() -> Self {
+        Eeprom::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_part_reads_erased() {
+        let e = Eeprom::new();
+        assert_eq!(e.read(0), 0xff);
+        assert_eq!(e.read(EEPROM_BYTES - 1), 0xff);
+        assert_eq!(e.wear(0), 0);
+        assert!(!e.is_worn_out());
+    }
+
+    #[test]
+    fn writes_stick_and_take_time() {
+        let mut e = Eeprom::new();
+        let t = e.write(10, 0x42);
+        assert_eq!(e.read(10), 0x42);
+        assert_eq!(t, WRITE_TIME);
+        assert_eq!(e.wear(10), 1);
+        assert_eq!(e.wear(11), 0);
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut e = Eeprom::new();
+        let t = e.write_slice(100, &[1, 2, 3, 4]);
+        assert_eq!(t, WRITE_TIME * 4);
+        let mut buf = [0u8; 4];
+        e.read_slice(100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wear_accumulates_even_for_same_value() {
+        let mut e = Eeprom::new();
+        for _ in 0..5 {
+            e.write(7, 0xaa);
+        }
+        assert_eq!(e.wear(7), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let e = Eeprom::new();
+        let _ = e.read(EEPROM_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_write_panics() {
+        let mut e = Eeprom::new();
+        let _ = e.write_slice(EEPROM_BYTES - 2, &[0, 0, 0]);
+    }
+}

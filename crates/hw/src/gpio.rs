@@ -1,0 +1,228 @@
+//! GPIO pins and push buttons with mechanical contact bounce.
+//!
+//! The DistScroll prototype carries three push buttons: two on the left
+//! side (operated by the fingers) and one near the top right (operated by
+//! the thumb) — the layout the paper calls "a convenient right-handed
+//! usage" (Section 4.5). Selection of menu entries happens on the top
+//! right button (Section 5.1).
+//!
+//! Real switches bounce: for a few milliseconds after an edge the contact
+//! chatters between open and closed. The firmware must debounce in
+//! software (the PIC has no hardware debouncer), so the model reproduces
+//! bounce explicitly — a button that is not debounced *will* produce
+//! spurious selections in the simulation, exactly as on the bench.
+
+use rand::Rng;
+
+use crate::clock::{SimDuration, SimInstant};
+
+/// Logic level of a pin. Buttons are wired active-low with pull-ups, as on
+/// the Smart-Its board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinLevel {
+    /// Logic low (0 V). For a button: pressed.
+    Low,
+    /// Logic high (Vdd). For a button: released.
+    High,
+}
+
+impl PinLevel {
+    /// `true` when the level is [`PinLevel::Low`].
+    pub fn is_low(self) -> bool {
+        self == PinLevel::Low
+    }
+
+    /// `true` when the level is [`PinLevel::High`].
+    pub fn is_high(self) -> bool {
+        self == PinLevel::High
+    }
+}
+
+/// Identifies one of the three buttons on the prototype (paper §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ButtonId {
+    /// Top right, pressed with the thumb; selects menu entries (§5.1).
+    TopRight,
+    /// Upper of the two left-side buttons.
+    LeftUpper,
+    /// Lower of the two left-side buttons.
+    LeftLower,
+}
+
+impl ButtonId {
+    /// All three buttons in a fixed order.
+    pub const ALL: [ButtonId; 3] = [ButtonId::TopRight, ButtonId::LeftUpper, ButtonId::LeftLower];
+}
+
+impl std::fmt::Display for ButtonId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ButtonId::TopRight => "top-right",
+            ButtonId::LeftUpper => "left-upper",
+            ButtonId::LeftLower => "left-lower",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A push button with mechanical bounce on both edges.
+///
+/// The *commanded* state is what the (simulated) finger does; the
+/// *electrical* level additionally chatters during the bounce window after
+/// each edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Button {
+    id: ButtonId,
+    pressed: bool,
+    last_edge: SimInstant,
+    bounce: SimDuration,
+    press_count: u64,
+}
+
+/// Typical bounce window of a small tactile switch.
+pub const DEFAULT_BOUNCE: SimDuration = SimDuration::from_micros(4_000);
+
+impl Button {
+    /// Creates a released button with the default 4 ms bounce window.
+    pub fn new(id: ButtonId) -> Self {
+        Button::with_bounce(id, DEFAULT_BOUNCE)
+    }
+
+    /// Creates a released button with an explicit bounce window.
+    pub fn with_bounce(id: ButtonId, bounce: SimDuration) -> Self {
+        Button { id, pressed: false, last_edge: SimInstant::BOOT, bounce, press_count: 0 }
+    }
+
+    /// Which physical button this is.
+    pub fn id(&self) -> ButtonId {
+        self.id
+    }
+
+    /// The commanded (mechanical) state, ignoring bounce.
+    pub fn is_pressed(&self) -> bool {
+        self.pressed
+    }
+
+    /// How many times the button has been pressed since boot.
+    pub fn press_count(&self) -> u64 {
+        self.press_count
+    }
+
+    /// Presses the button at `now`. Idempotent while already pressed.
+    pub fn press(&mut self, now: SimInstant) {
+        if !self.pressed {
+            self.pressed = true;
+            self.last_edge = now;
+            self.press_count += 1;
+        }
+    }
+
+    /// Releases the button at `now`. Idempotent while already released.
+    pub fn release(&mut self, now: SimInstant) {
+        if self.pressed {
+            self.pressed = false;
+            self.last_edge = now;
+        }
+    }
+
+    /// The electrical level seen by the MCU pin at `now`.
+    ///
+    /// Within the bounce window after an edge the contact chatters: the
+    /// returned level is random. Afterwards it settles to the commanded
+    /// state (active-low).
+    pub fn level<R: Rng + ?Sized>(&self, now: SimInstant, rng: &mut R) -> PinLevel {
+        let since_edge = now.saturating_since(self.last_edge);
+        let settled = if self.pressed { PinLevel::Low } else { PinLevel::High };
+        if since_edge < self.bounce && self.last_edge > SimInstant::BOOT {
+            // Chatter biases towards the settled level as the window closes.
+            let progress = since_edge.as_micros() as f64 / self.bounce.as_micros() as f64;
+            if rng.gen_bool(0.5 * (1.0 - progress)) {
+                return match settled {
+                    PinLevel::Low => PinLevel::High,
+                    PinLevel::High => PinLevel::Low,
+                };
+            }
+        }
+        settled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn at_ms(ms: u64) -> SimInstant {
+        SimInstant::from_micros(ms * 1000)
+    }
+
+    #[test]
+    fn released_button_reads_high() {
+        let b = Button::new(ButtonId::TopRight);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(b.level(at_ms(100), &mut rng), PinLevel::High);
+    }
+
+    #[test]
+    fn pressed_button_settles_low_after_bounce() {
+        let mut b = Button::new(ButtonId::TopRight);
+        let mut rng = StdRng::seed_from_u64(0);
+        b.press(at_ms(10));
+        // Well past the bounce window: always low.
+        for i in 0..100 {
+            assert_eq!(b.level(at_ms(20 + i), &mut rng), PinLevel::Low);
+        }
+    }
+
+    #[test]
+    fn bounce_window_chatters() {
+        let mut b = Button::with_bounce(ButtonId::LeftUpper, SimDuration::from_millis(4));
+        let mut rng = StdRng::seed_from_u64(3);
+        b.press(at_ms(10));
+        let mut highs = 0;
+        let mut lows = 0;
+        for _ in 0..2000 {
+            match b.level(at_ms(10), &mut rng) {
+                PinLevel::High => highs += 1,
+                PinLevel::Low => lows += 1,
+            }
+        }
+        assert!(highs > 200, "expected chatter, saw {highs} highs");
+        assert!(lows > 200, "expected chatter, saw {lows} lows");
+    }
+
+    #[test]
+    fn press_is_idempotent_and_counted() {
+        let mut b = Button::new(ButtonId::LeftLower);
+        b.press(at_ms(1));
+        b.press(at_ms(2));
+        b.release(at_ms(3));
+        b.press(at_ms(4));
+        assert_eq!(b.press_count(), 2);
+        assert!(b.is_pressed());
+    }
+
+    #[test]
+    fn release_without_press_is_noop() {
+        let mut b = Button::new(ButtonId::TopRight);
+        b.release(at_ms(5));
+        assert!(!b.is_pressed());
+        assert_eq!(b.press_count(), 0);
+    }
+
+    #[test]
+    fn button_ids_display_and_enumerate() {
+        assert_eq!(ButtonId::ALL.len(), 3);
+        assert_eq!(ButtonId::TopRight.to_string(), "top-right");
+        assert_eq!(ButtonId::LeftUpper.to_string(), "left-upper");
+        assert_eq!(ButtonId::LeftLower.to_string(), "left-lower");
+    }
+
+    #[test]
+    fn pin_level_predicates() {
+        assert!(PinLevel::Low.is_low());
+        assert!(!PinLevel::Low.is_high());
+        assert!(PinLevel::High.is_high());
+    }
+}

@@ -1,0 +1,402 @@
+//! The radio link from the DistScroll device to the host PC.
+//!
+//! The authors chose a "self contained interaction device that can be
+//! wirelessly linked to a PC" over a tethered prototype, because "a device
+//! connected by wire to a PC would have been used less freely and would
+//! detract the user's attention" (paper, Section 3.2). The link carries
+//! telemetry (sensor values, selection events, debug state) to the host.
+//!
+//! The model has three layers:
+//!
+//! * [`crc16_ccitt`] — the checksum,
+//! * [`encode_frame`] / [`FrameDecoder`] — framing: two sync bytes, a
+//!   length byte, the payload and a 16-bit CRC; the decoder is a
+//!   resynchronizing state machine so a corrupted frame only costs itself,
+//! * [`RadioChannel`] — the air: packet drops, bit errors, latency and
+//!   jitter, all seeded and deterministic.
+
+use rand::Rng;
+
+use crate::clock::{SimDuration, SimInstant};
+use crate::HwError;
+
+/// First sync byte of every frame.
+pub const SYNC1: u8 = 0xaa;
+/// Second sync byte of every frame.
+pub const SYNC2: u8 = 0x55;
+/// Maximum payload length per frame.
+pub const MAX_PAYLOAD: usize = 255;
+
+/// CRC-16-CCITT (polynomial 0x1021, init 0xFFFF), bitwise.
+pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xffff;
+    for &b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Encodes one payload into a wire frame.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] bytes; split longer
+/// telemetry across frames instead.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "payload too long for one frame");
+    let mut frame = Vec::with_capacity(payload.len() + 5);
+    frame.push(SYNC1);
+    frame.push(SYNC2);
+    frame.push(payload.len() as u8);
+    frame.extend_from_slice(payload);
+    let crc = crc16_ccitt(payload);
+    frame.push((crc >> 8) as u8);
+    frame.push((crc & 0xff) as u8);
+    frame
+}
+
+/// Host-side frame decoder: feed it bytes, get frames (or CRC errors) out.
+#[derive(Debug, Clone, Default)]
+pub struct FrameDecoder {
+    state: DecoderState,
+    payload: Vec<u8>,
+    expect_len: usize,
+    crc_hi: u8,
+    frames_ok: u64,
+    frames_bad: u64,
+    bytes_skipped: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum DecoderState {
+    #[default]
+    Sync1,
+    Sync2,
+    Len,
+    Payload,
+    CrcHi,
+    CrcLo,
+}
+
+impl FrameDecoder {
+    /// A decoder waiting for the first sync byte.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Frames decoded with a valid CRC since creation.
+    pub fn frames_ok(&self) -> u64 {
+        self.frames_ok
+    }
+
+    /// Frames rejected (bad CRC) since creation.
+    pub fn frames_bad(&self) -> u64 {
+        self.frames_bad
+    }
+
+    /// Bytes skipped while hunting for sync.
+    pub fn bytes_skipped(&self) -> u64 {
+        self.bytes_skipped
+    }
+
+    /// Pushes one received byte.
+    ///
+    /// Returns `Some(Ok(payload))` when a frame completes with a valid
+    /// CRC, `Some(Err(_))` when a frame completes but fails its CRC, and
+    /// `None` while mid-frame. After any completion the decoder hunts for
+    /// the next sync sequence.
+    pub fn push(&mut self, byte: u8) -> Option<Result<Vec<u8>, HwError>> {
+        match self.state {
+            DecoderState::Sync1 => {
+                if byte == SYNC1 {
+                    self.state = DecoderState::Sync2;
+                } else {
+                    self.bytes_skipped += 1;
+                }
+                None
+            }
+            DecoderState::Sync2 => {
+                if byte == SYNC2 {
+                    self.state = DecoderState::Len;
+                } else {
+                    // Could be the start of a real sync: 0xAA 0xAA 0x55.
+                    self.bytes_skipped += 1;
+                    self.state = if byte == SYNC1 { DecoderState::Sync2 } else { DecoderState::Sync1 };
+                }
+                None
+            }
+            DecoderState::Len => {
+                self.expect_len = usize::from(byte);
+                self.payload.clear();
+                self.state = if self.expect_len == 0 { DecoderState::CrcHi } else { DecoderState::Payload };
+                None
+            }
+            DecoderState::Payload => {
+                self.payload.push(byte);
+                if self.payload.len() == self.expect_len {
+                    self.state = DecoderState::CrcHi;
+                }
+                None
+            }
+            DecoderState::CrcHi => {
+                self.crc_hi = byte;
+                self.state = DecoderState::CrcLo;
+                None
+            }
+            DecoderState::CrcLo => {
+                self.state = DecoderState::Sync1;
+                let expected = u16::from(self.crc_hi) << 8 | u16::from(byte);
+                let actual = crc16_ccitt(&self.payload);
+                if expected == actual {
+                    self.frames_ok += 1;
+                    Some(Ok(std::mem::take(&mut self.payload)))
+                } else {
+                    self.frames_bad += 1;
+                    self.payload.clear();
+                    Some(Err(HwError::LinkCrc { expected, actual }))
+                }
+            }
+        }
+    }
+
+    /// Pushes a whole received burst, collecting completed frames and
+    /// errors in order.
+    pub fn push_all(&mut self, bytes: &[u8]) -> Vec<Result<Vec<u8>, HwError>> {
+        bytes.iter().filter_map(|&b| self.push(b)).collect()
+    }
+}
+
+/// Statistical model of the air between device and host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioChannel {
+    /// Probability that a transmitted frame is lost entirely.
+    pub drop_probability: f64,
+    /// Probability that any single transported bit flips.
+    pub bit_error_rate: f64,
+    /// Fixed propagation plus processing latency.
+    pub base_latency: SimDuration,
+    /// Uniform extra latency in `0..jitter`.
+    pub jitter: SimDuration,
+    /// Air bit rate (19.2 kbit/s, a typical short-range module of the era).
+    pub bit_rate: u64,
+}
+
+impl RadioChannel {
+    /// A clean bench-distance channel: no loss, no bit errors, 2 ms base
+    /// latency.
+    pub fn clean() -> Self {
+        RadioChannel {
+            drop_probability: 0.0,
+            bit_error_rate: 0.0,
+            base_latency: SimDuration::from_millis(2),
+            jitter: SimDuration::ZERO,
+            bit_rate: 19_200,
+        }
+    }
+
+    /// A lossy channel with the given frame-drop probability and bit error
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `0.0..=1.0`.
+    pub fn lossy(drop_probability: f64, bit_error_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_probability), "drop probability out of range");
+        assert!((0.0..=1.0).contains(&bit_error_rate), "bit error rate out of range");
+        RadioChannel { drop_probability, bit_error_rate, ..RadioChannel::clean() }
+    }
+
+    /// Time on air for `len` bytes (10 bits per byte with start/stop).
+    pub fn airtime(&self, len: usize) -> SimDuration {
+        SimDuration::from_micros(len as u64 * 10 * 1_000_000 / self.bit_rate)
+    }
+
+    /// Transmits a wire frame at `now`.
+    ///
+    /// Returns `None` if the frame was dropped, otherwise the arrival time
+    /// and the (possibly bit-corrupted) bytes the host receives.
+    pub fn transmit<R: Rng + ?Sized>(
+        &self,
+        frame: &[u8],
+        now: SimInstant,
+        rng: &mut R,
+    ) -> Option<(SimInstant, Vec<u8>)> {
+        if self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability) {
+            return None;
+        }
+        let mut bytes = frame.to_vec();
+        if self.bit_error_rate > 0.0 {
+            for b in &mut bytes {
+                for bit in 0..8 {
+                    if rng.gen_bool(self.bit_error_rate) {
+                        *b ^= 1 << bit;
+                    }
+                }
+            }
+        }
+        let jitter = if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.gen_range(0..self.jitter.as_micros()))
+        };
+        let arrival = now + self.airtime(frame.len()) + self.base_latency + jitter;
+        Some((arrival, bytes))
+    }
+}
+
+impl Default for RadioChannel {
+    fn default() -> Self {
+        RadioChannel::clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crc_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29b1);
+        assert_eq!(crc16_ccitt(b""), 0xffff);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut dec = FrameDecoder::new();
+        let frame = encode_frame(b"hello distscroll");
+        let got = dec.push_all(&frame);
+        assert_eq!(got, vec![Ok(b"hello distscroll".to_vec())]);
+        assert_eq!(dec.frames_ok(), 1);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut dec = FrameDecoder::new();
+        let got = dec.push_all(&encode_frame(b""));
+        assert_eq!(got, vec![Ok(vec![])]);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc_then_resyncs() {
+        let mut dec = FrameDecoder::new();
+        let mut frame = encode_frame(b"abcdef");
+        frame[4] ^= 0x01; // flip a payload bit
+        let got = dec.push_all(&frame);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0], Err(HwError::LinkCrc { .. })));
+        // The next clean frame still decodes.
+        let got = dec.push_all(&encode_frame(b"next"));
+        assert_eq!(got, vec![Ok(b"next".to_vec())]);
+    }
+
+    #[test]
+    fn decoder_skips_garbage_before_sync() {
+        let mut dec = FrameDecoder::new();
+        let mut stream = vec![0x00, 0x13, 0x37];
+        stream.extend_from_slice(&encode_frame(b"x"));
+        let got = dec.push_all(&stream);
+        assert_eq!(got, vec![Ok(b"x".to_vec())]);
+        assert_eq!(dec.bytes_skipped(), 3);
+    }
+
+    #[test]
+    fn repeated_sync1_does_not_confuse_decoder() {
+        let mut dec = FrameDecoder::new();
+        // 0xAA 0xAA 0x55 ... : the first 0xAA is a spurious byte.
+        let mut stream = vec![SYNC1];
+        stream.extend_from_slice(&encode_frame(b"ok"));
+        let got = dec.push_all(&stream);
+        assert_eq!(got, vec![Ok(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn back_to_back_frames_all_decode() {
+        let mut dec = FrameDecoder::new();
+        let mut stream = Vec::new();
+        for i in 0..10u8 {
+            stream.extend_from_slice(&encode_frame(&[i; 3]));
+        }
+        let got = dec.push_all(&stream);
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too long")]
+    fn oversized_payload_is_rejected() {
+        let _ = encode_frame(&[0u8; 256]);
+    }
+
+    #[test]
+    fn clean_channel_delivers_everything() {
+        let ch = RadioChannel::clean();
+        let mut rng = StdRng::seed_from_u64(0);
+        let frame = encode_frame(b"telemetry");
+        for _ in 0..100 {
+            let (arrival, bytes) = ch.transmit(&frame, SimInstant::BOOT, &mut rng).unwrap();
+            assert_eq!(bytes, frame);
+            assert!(arrival > SimInstant::BOOT);
+        }
+    }
+
+    #[test]
+    fn drop_probability_is_respected() {
+        let ch = RadioChannel::lossy(0.3, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let frame = encode_frame(b"x");
+        let delivered = (0..10_000)
+            .filter(|_| ch.transmit(&frame, SimInstant::BOOT, &mut rng).is_some())
+            .count();
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn bit_errors_are_caught_by_crc() {
+        let ch = RadioChannel::lossy(0.0, 0.02);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dec = FrameDecoder::new();
+        let frame = encode_frame(b"payload with enough bytes to hit errors");
+        let mut delivered_ok = 0;
+        for _ in 0..500 {
+            if let Some((_, bytes)) = ch.transmit(&frame, SimInstant::BOOT, &mut rng) {
+                for p in dec.push_all(&bytes).into_iter().flatten() {
+                    assert_eq!(p, b"payload with enough bytes to hit errors");
+                    delivered_ok += 1;
+                }
+            }
+        }
+        assert!(delivered_ok > 0, "some frames should survive");
+        assert!(dec.frames_bad() > 0, "some frames should fail crc at 2 % ber");
+    }
+
+    #[test]
+    fn airtime_scales_with_length() {
+        let ch = RadioChannel::clean();
+        assert_eq!(ch.airtime(0), SimDuration::ZERO);
+        // 24 bytes at 19200 bps = 240 bits -> 12.5 ms.
+        assert_eq!(ch.airtime(24).as_micros(), 12_500);
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals() {
+        let ch = RadioChannel {
+            jitter: SimDuration::from_millis(10),
+            ..RadioChannel::clean()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let frame = encode_frame(b"j");
+        let mut arrivals = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let (t, _) = ch.transmit(&frame, SimInstant::BOOT, &mut rng).unwrap();
+            arrivals.insert(t.as_micros());
+        }
+        assert!(arrivals.len() > 10, "jitter should spread arrival times");
+    }
+}

@@ -1,0 +1,102 @@
+//! The display-contrast potentiometer.
+//!
+//! "Display brightness can be adjusted with a potentiometer" (paper,
+//! Section 4.1; the contrast pot is visible next to the add-on board in
+//! Figure 3). The pot is a plain voltage divider across the regulated
+//! supply whose wiper feeds an ADC channel; the firmware maps the wiper
+//! voltage onto the display's 0–63 contrast scale.
+
+use rand::Rng;
+
+use crate::adc::gaussian;
+
+/// A rotary potentiometer wired as a voltage divider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Potentiometer {
+    position: f64,
+    supply: f64,
+    wiper_noise_v: f64,
+}
+
+impl Potentiometer {
+    /// A pot at mid-travel on a 5 V supply with a realistic wiper noise of
+    /// a few millivolts.
+    pub fn new(supply: f64) -> Self {
+        assert!(supply.is_finite() && supply > 0.0, "supply must be positive");
+        Potentiometer { position: 0.5, supply, wiper_noise_v: 0.003 }
+    }
+
+    /// Current mechanical position, `0.0..=1.0`.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Turns the pot to `position`, clamping into `0.0..=1.0`.
+    pub fn set_position(&mut self, position: f64) {
+        self.position = if position.is_finite() { position.clamp(0.0, 1.0) } else { 0.5 };
+    }
+
+    /// Noiseless wiper voltage.
+    pub fn wiper_volts(&self) -> f64 {
+        self.position * self.supply
+    }
+
+    /// Noisy wiper voltage as the ADC channel sees it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.wiper_volts() + gaussian(rng) * self.wiper_noise_v).clamp(0.0, self.supply)
+    }
+
+    /// Maps the wiper position onto the display's 0–63 contrast scale.
+    pub fn contrast_level(&self) -> u8 {
+        (self.position * 63.0).round() as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn endpoints_map_to_rails_and_scale() {
+        let mut p = Potentiometer::new(5.0);
+        p.set_position(0.0);
+        assert_eq!(p.wiper_volts(), 0.0);
+        assert_eq!(p.contrast_level(), 0);
+        p.set_position(1.0);
+        assert_eq!(p.wiper_volts(), 5.0);
+        assert_eq!(p.contrast_level(), 63);
+    }
+
+    #[test]
+    fn positions_clamp() {
+        let mut p = Potentiometer::new(5.0);
+        p.set_position(2.0);
+        assert_eq!(p.position(), 1.0);
+        p.set_position(-1.0);
+        assert_eq!(p.position(), 0.0);
+        p.set_position(f64::NAN);
+        assert_eq!(p.position(), 0.5);
+    }
+
+    #[test]
+    fn samples_hover_near_wiper_voltage() {
+        let p = Potentiometer::new(5.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 = (0..1000).map(|_| p.sample(&mut rng)).sum::<f64>() / 1000.0;
+        assert!((mean - 2.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn contrast_is_monotone_in_position() {
+        let mut p = Potentiometer::new(5.0);
+        let mut last = 0;
+        for i in 0..=100 {
+            p.set_position(i as f64 / 100.0);
+            let c = p.contrast_level();
+            assert!(c >= last);
+            last = c;
+        }
+    }
+}

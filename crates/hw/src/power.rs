@@ -1,0 +1,208 @@
+//! The 9 V block battery and supply rail.
+//!
+//! "The device is powered by a 9 Volt block battery" (paper, Section 4.1,
+//! and visible at ④ in Figure 3). A linear regulator drops the battery to
+//! the 5 V rail the PIC, sensor and displays run from. The model tracks:
+//!
+//! * state of charge, integrated from the load current,
+//! * the characteristic alkaline discharge curve (a flat plateau with a
+//!   steep knee at the end),
+//! * internal resistance, so heavy loads sag the terminal voltage,
+//! * brown-out: once the regulator input falls below dropout the 5 V rail
+//!   collapses and the board resets.
+//!
+//! Battery life bounds how long a field study session can run; the runner
+//! in `distscroll-eval` checks sessions against it.
+
+use crate::clock::SimDuration;
+
+/// Nominal capacity of a decent alkaline 9 V block, in milliamp-hours.
+pub const ALKALINE_9V_MAH: f64 = 550.0;
+
+/// Current draw of the whole board, by contributor, in milliamps.
+///
+/// Figures are representative for a PIC18 at 4 MHz plus two small COG
+/// displays and the GP2D120 (whose datasheet lists ~33 mA typical).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadProfile {
+    /// MCU core and support logic.
+    pub mcu_ma: f64,
+    /// The GP2D120 distance sensor (dominant consumer).
+    pub sensor_ma: f64,
+    /// Both displays at typical contrast, per 1000 lit pixels.
+    pub display_ma_per_kpixel: f64,
+    /// Radio link transmitter, while transmitting.
+    pub radio_tx_ma: f64,
+}
+
+impl LoadProfile {
+    /// Representative DistScroll board load.
+    pub fn distscroll() -> Self {
+        LoadProfile { mcu_ma: 6.0, sensor_ma: 33.0, display_ma_per_kpixel: 1.2, radio_tx_ma: 12.0 }
+    }
+
+    /// Total draw given the number of lit display pixels and whether the
+    /// radio is transmitting.
+    pub fn total_ma(&self, lit_pixels: u32, radio_tx: bool) -> f64 {
+        self.mcu_ma
+            + self.sensor_ma
+            + self.display_ma_per_kpixel * f64::from(lit_pixels) / 1000.0
+            + if radio_tx { self.radio_tx_ma } else { 0.0 }
+    }
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        LoadProfile::distscroll()
+    }
+}
+
+/// A 9 V block battery feeding a 5 V linear regulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity_mah: f64,
+    consumed_mah: f64,
+    internal_ohm: f64,
+}
+
+/// Regulator dropout: below this input voltage the 5 V rail collapses.
+pub const REGULATOR_DROPOUT_V: f64 = 6.0;
+
+impl Battery {
+    /// A fresh alkaline 9 V block.
+    pub fn fresh() -> Self {
+        Battery::with_capacity(ALKALINE_9V_MAH)
+    }
+
+    /// A fresh battery with explicit capacity in mAh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mah` is not positive and finite.
+    pub fn with_capacity(capacity_mah: f64) -> Self {
+        assert!(capacity_mah.is_finite() && capacity_mah > 0.0, "capacity must be positive");
+        Battery { capacity_mah, consumed_mah: 0.0, internal_ohm: 1.7 }
+    }
+
+    /// Remaining state of charge, `0.0..=1.0`.
+    pub fn state_of_charge(&self) -> f64 {
+        (1.0 - self.consumed_mah / self.capacity_mah).max(0.0)
+    }
+
+    /// Open-circuit voltage from the alkaline discharge curve.
+    ///
+    /// Shape: 9.5 V fresh, a long plateau sloping to ~7.2 V at 80 % depth
+    /// of discharge, then a steep knee to ~5 V when empty.
+    pub fn open_circuit_volts(&self) -> f64 {
+        let soc = self.state_of_charge();
+        if soc >= 0.2 {
+            // Plateau: linear from 9.5 V at soc=1 to 7.2 V at soc=0.2.
+            7.2 + (soc - 0.2) / 0.8 * (9.5 - 7.2)
+        } else {
+            // Knee: linear from 7.2 V at soc=0.2 down to 5.0 V at soc=0.
+            5.0 + soc / 0.2 * (7.2 - 5.0)
+        }
+    }
+
+    /// Terminal voltage under a given load current.
+    pub fn terminal_volts(&self, load_ma: f64) -> f64 {
+        (self.open_circuit_volts() - self.internal_ohm * load_ma / 1000.0).max(0.0)
+    }
+
+    /// `true` once the regulator input has sagged below dropout: the board
+    /// browns out and resets.
+    pub fn is_browned_out(&self, load_ma: f64) -> bool {
+        self.terminal_volts(load_ma) < REGULATOR_DROPOUT_V
+    }
+
+    /// Integrates a constant load over `dt`, consuming charge.
+    pub fn drain(&mut self, load_ma: f64, dt: SimDuration) {
+        assert!(load_ma.is_finite() && load_ma >= 0.0, "load must be non-negative");
+        self.consumed_mah += load_ma * dt.as_secs_f64() / 3600.0;
+    }
+
+    /// Estimated runtime at a constant load until brown-out, by direct
+    /// simulation in one-minute steps.
+    pub fn runtime_until_brownout(&self, load_ma: f64) -> SimDuration {
+        let mut scratch = self.clone();
+        let step = SimDuration::from_secs(60);
+        let mut elapsed = SimDuration::ZERO;
+        // 1 week cap: guards against pathological zero loads.
+        while !scratch.is_browned_out(load_ma) && elapsed < SimDuration::from_secs(7 * 24 * 3600) {
+            scratch.drain(load_ma, step);
+            elapsed += step;
+        }
+        elapsed
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Battery::fresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_battery_runs_the_board() {
+        let b = Battery::fresh();
+        let load = LoadProfile::distscroll().total_ma(2000, false);
+        assert!(!b.is_browned_out(load));
+        assert!(b.terminal_volts(load) > 9.0);
+    }
+
+    #[test]
+    fn discharge_curve_is_monotone_decreasing() {
+        let mut b = Battery::fresh();
+        let mut last = b.open_circuit_volts();
+        for _ in 0..100 {
+            b.drain(50.0, SimDuration::from_secs(600));
+            let v = b.open_circuit_volts();
+            assert!(v <= last + 1e-12, "ocv must not rise");
+            last = v;
+        }
+        assert!(b.state_of_charge() < 0.01);
+        assert!((b.open_circuit_volts() - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn internal_resistance_sags_under_load() {
+        let b = Battery::fresh();
+        assert!(b.terminal_volts(100.0) < b.terminal_volts(10.0));
+        assert!((b.terminal_volts(0.0) - b.open_circuit_volts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typical_board_runs_for_hours_not_minutes() {
+        let b = Battery::fresh();
+        let load = LoadProfile::distscroll().total_ma(1500, false);
+        let runtime = b.runtime_until_brownout(load);
+        let hours = runtime.as_secs_f64() / 3600.0;
+        assert!(hours > 4.0, "runtime {hours:.1} h too short");
+        assert!(hours < 24.0, "runtime {hours:.1} h implausibly long for a 9 V block");
+    }
+
+    #[test]
+    fn radio_and_pixels_increase_load() {
+        let lp = LoadProfile::distscroll();
+        assert!(lp.total_ma(0, true) > lp.total_ma(0, false));
+        assert!(lp.total_ma(3000, false) > lp.total_ma(0, false));
+    }
+
+    #[test]
+    fn state_of_charge_clamps_at_zero() {
+        let mut b = Battery::with_capacity(1.0);
+        b.drain(1000.0, SimDuration::from_secs(3600 * 10));
+        assert_eq!(b.state_of_charge(), 0.0);
+        assert!(b.open_circuit_volts() >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = Battery::with_capacity(0.0);
+    }
+}

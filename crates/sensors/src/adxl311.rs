@@ -1,0 +1,188 @@
+//! The Analog Devices ADXL311 two-axis accelerometer.
+//!
+//! "Our design also comprises the two-axes acceleration sensor ADXL311JE
+//! from Analog Devices. The sensor is located on the add-on board. In the
+//! current implementation, the sensor is unused. However, the inclusion
+//! of such additional sensors allows us to reproduce results published by
+//! others. We plan to include the acceleration sensor in the final
+//! version of the DistScroll to get information about the orientation of
+//! the device in 3D space" (paper, Section 4.3).
+//!
+//! The reproduction keeps the part on the board for the same two reasons:
+//! the tilt-scrolling *baseline* (Rock'n'Scroll style, see
+//! `distscroll-baselines::tilt`) reads it, and the E7 ablations can swap
+//! orientation context in. The model converts device orientation into
+//! the two ratiometric axis voltages per the ADXL311 datasheet:
+//! `V = Vs/2 + sensitivity × a`, with `a` the static acceleration in g
+//! projected onto the axis.
+
+use rand::Rng;
+
+use crate::noise::gaussian;
+
+/// Supply voltage the part is ratiometric to (the board's 5 V rail).
+pub const SUPPLY_V: f64 = 5.0;
+/// Datasheet sensitivity at 5 V supply, volts per g.
+pub const SENSITIVITY_V_PER_G: f64 = 0.174;
+/// Zero-g output: mid-supply.
+pub const ZERO_G_V: f64 = SUPPLY_V / 2.0;
+/// Measurement range in g.
+pub const RANGE_G: f64 = 2.0;
+
+/// Device orientation relevant to the two sensing axes.
+///
+/// Pitch tips the top of the device away from the user (rotation about
+/// the X axis); roll tips it sideways (rotation about the Y axis). At
+/// zero pitch and roll the device is held flat, both axes read zero g.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Orientation {
+    /// Pitch angle in radians.
+    pub pitch_rad: f64,
+    /// Roll angle in radians.
+    pub roll_rad: f64,
+}
+
+impl Orientation {
+    /// A flat (zero pitch, zero roll) orientation.
+    pub fn flat() -> Self {
+        Orientation::default()
+    }
+
+    /// Construct from degrees, the unit tilt-interaction papers use.
+    pub fn from_degrees(pitch_deg: f64, roll_deg: f64) -> Self {
+        Orientation { pitch_rad: pitch_deg.to_radians(), roll_rad: roll_deg.to_radians() }
+    }
+
+    /// Static acceleration on the X axis in g (gravity projection).
+    pub fn ax_g(&self) -> f64 {
+        self.roll_rad.sin()
+    }
+
+    /// Static acceleration on the Y axis in g (gravity projection).
+    pub fn ay_g(&self) -> f64 {
+        self.pitch_rad.sin()
+    }
+}
+
+/// The accelerometer model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adxl311 {
+    noise_sd_g: f64,
+    offset_x_g: f64,
+    offset_y_g: f64,
+}
+
+impl Adxl311 {
+    /// A typical part: 2 mg rms noise in the useful bandwidth, small
+    /// factory zero-g offsets.
+    pub fn typical() -> Self {
+        Adxl311 { noise_sd_g: 0.002, offset_x_g: 0.01, offset_y_g: -0.008 }
+    }
+
+    /// A perfect part for deterministic tests.
+    pub fn ideal() -> Self {
+        Adxl311 { noise_sd_g: 0.0, offset_x_g: 0.0, offset_y_g: 0.0 }
+    }
+
+    /// X-axis output voltage for an orientation (plus dynamic
+    /// acceleration `extra_g` along the axis, e.g. from a gesture).
+    pub fn x_volts<R: Rng + ?Sized>(&self, o: &Orientation, extra_g: f64, rng: &mut R) -> f64 {
+        self.axis_volts(o.ax_g() + self.offset_x_g, extra_g, rng)
+    }
+
+    /// Y-axis output voltage.
+    pub fn y_volts<R: Rng + ?Sized>(&self, o: &Orientation, extra_g: f64, rng: &mut R) -> f64 {
+        self.axis_volts(o.ay_g() + self.offset_y_g, extra_g, rng)
+    }
+
+    fn axis_volts<R: Rng + ?Sized>(&self, static_g: f64, extra_g: f64, rng: &mut R) -> f64 {
+        let g = (static_g + extra_g + gaussian(rng) * self.noise_sd_g).clamp(-RANGE_G, RANGE_G);
+        (ZERO_G_V + g * SENSITIVITY_V_PER_G).clamp(0.0, SUPPLY_V)
+    }
+
+    /// Recovers an axis acceleration in g from an output voltage — the
+    /// firmware-side conversion.
+    pub fn volts_to_g(volts: f64) -> f64 {
+        (volts - ZERO_G_V) / SENSITIVITY_V_PER_G
+    }
+
+    /// Recovers a tilt angle (radians) from an axis voltage, clamping the
+    /// implied acceleration into ±1 g.
+    pub fn volts_to_angle_rad(volts: f64) -> f64 {
+        Adxl311::volts_to_g(volts).clamp(-1.0, 1.0).asin()
+    }
+}
+
+impl Default for Adxl311 {
+    fn default() -> Self {
+        Adxl311::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_device_reads_zero_g_on_both_axes() {
+        let a = Adxl311::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let o = Orientation::flat();
+        assert!((a.x_volts(&o, 0.0, &mut rng) - ZERO_G_V).abs() < 1e-9);
+        assert!((a.y_volts(&o, 0.0, &mut rng) - ZERO_G_V).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ninety_degree_pitch_reads_one_g() {
+        let a = Adxl311::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let o = Orientation::from_degrees(90.0, 0.0);
+        let v = a.y_volts(&o, 0.0, &mut rng);
+        assert!((v - (ZERO_G_V + SENSITIVITY_V_PER_G)).abs() < 1e-9);
+        assert!((Adxl311::volts_to_g(v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_round_trips_through_voltage() {
+        let a = Adxl311::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        for deg in [-60.0, -30.0, -10.0, 0.0, 10.0, 30.0, 60.0] {
+            let o = Orientation::from_degrees(deg, 0.0);
+            let v = a.y_volts(&o, 0.0, &mut rng);
+            let back = Adxl311::volts_to_angle_rad(v).to_degrees();
+            assert!((back - deg).abs() < 0.01, "round trip {deg}° gave {back:.3}°");
+        }
+    }
+
+    #[test]
+    fn acceleration_clamps_to_range() {
+        let a = Adxl311::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let o = Orientation::flat();
+        let v = a.x_volts(&o, 50.0, &mut rng);
+        assert!((Adxl311::volts_to_g(v) - RANGE_G).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_part_is_slightly_noisy_and_offset() {
+        let a = Adxl311::typical();
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = Orientation::flat();
+        let xs: Vec<f64> = (0..5000).map(|_| Adxl311::volts_to_g(a.x_volts(&o, 0.0, &mut rng))).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.01).abs() < 0.001, "zero-g offset visible: {mean}");
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!(sd > 0.001 && sd < 0.004, "noise sd {sd}");
+    }
+
+    #[test]
+    fn roll_moves_x_not_y() {
+        let a = Adxl311::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let o = Orientation::from_degrees(0.0, 45.0);
+        assert!((a.y_volts(&o, 0.0, &mut rng) - ZERO_G_V).abs() < 1e-9);
+        assert!(a.x_volts(&o, 0.0, &mut rng) > ZERO_G_V + 0.1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Curve fitting: the "idealized curve fitted through the measured
+//! values" of Figures 4 and 5.
+//!
+//! The paper calibrates the sensor by measuring voltages at known
+//! distances and fitting the idealized triangulation law
+//! `V(d) = a/(d + d0) + c` through the points (Figure 4); on logarithmic
+//! axes "the measured values (asterisks) nearly perfectly fit the curve"
+//! (Figure 5). The island mapping then uses the *fitted* curve — not raw
+//! table lookups — to place island centres: "We calculated the expected
+//! sensor values by inserting the distance … in the function in Figure 5"
+//! (Section 4.2).
+//!
+//! Two fits are provided:
+//!
+//! * [`fit_inverse_curve`] — the Figure 4 fit. For a fixed `d0` the model
+//!   is linear in `(1/(d+d0), 1)`, so the solver runs ordinary least
+//!   squares inside a golden-section search over `d0`.
+//! * [`fit_loglog`] — the Figure 5 view: a linear regression of
+//!   `ln V` on `ln d`, whose slope ≈ −1 is the signature of the
+//!   triangulation law.
+
+/// Result of an ordinary least-squares line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Root-mean-square residual.
+    pub rmse: f64,
+}
+
+/// Errors from the calibration fits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer points than the model has parameters.
+    TooFewPoints {
+        /// Points supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Input contained a non-finite or (for log fits) non-positive value.
+    BadValue,
+    /// The x values are all identical; no line is determined.
+    Degenerate,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewPoints { got, need } => {
+                write!(f, "fit needs at least {need} points, got {got}")
+            }
+            FitError::BadValue => write!(f, "fit input contains a non-finite or non-positive value"),
+            FitError::Degenerate => write!(f, "fit input is degenerate: all x values identical"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Ordinary least squares of `ys` on `xs`.
+///
+/// # Errors
+///
+/// [`FitError::TooFewPoints`] below two points, [`FitError::BadValue`]
+/// on non-finite input, [`FitError::Degenerate`] if all `xs` coincide.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return Err(FitError::TooFewPoints { got: n, need: 2 });
+    }
+    if xs[..n].iter().chain(&ys[..n]).any(|v| !v.is_finite()) {
+        return Err(FitError::BadValue);
+    }
+    let nf = n as f64;
+    let mean_x = xs[..n].iter().sum::<f64>() / nf;
+    let mean_y = ys[..n].iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(FitError::Degenerate);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let mut sse = 0.0;
+    for i in 0..n {
+        let e = ys[i] - (slope * xs[i] + intercept);
+        sse += e * e;
+    }
+    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - sse / syy };
+    Ok(LinearFit { slope, intercept, r2, rmse: (sse / nf).sqrt() })
+}
+
+/// The fitted idealized curve `V(d) = a/(d + d0) + c` of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverseCurveFit {
+    /// Numerator (volt·cm).
+    pub a: f64,
+    /// Distance offset (cm).
+    pub d0: f64,
+    /// Voltage offset (volts).
+    pub c: f64,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+    /// Root-mean-square voltage residual.
+    pub rmse: f64,
+}
+
+impl InverseCurveFit {
+    /// The fitted voltage at a distance.
+    pub fn voltage_at(&self, distance_cm: f64) -> f64 {
+        self.a / (distance_cm + self.d0) + self.c
+    }
+
+    /// The inverse model: distance for a voltage on the valid branch.
+    ///
+    /// Returns `None` for voltages at or below the fitted offset `c`,
+    /// where the model has no preimage.
+    pub fn distance_at(&self, volts: f64) -> Option<f64> {
+        if !volts.is_finite() || volts <= self.c {
+            return None;
+        }
+        Some(self.a / (volts - self.c) - self.d0)
+    }
+}
+
+/// Fits `V(d) = a/(d + d0) + c` to measured `(distance_cm, volts)` points
+/// — the computation behind Figure 4's idealized curve.
+///
+/// `d0` is found by golden-section search on the sum of squared errors of
+/// the inner OLS; the inner problem is exactly linear.
+///
+/// # Errors
+///
+/// [`FitError::TooFewPoints`] below four points; [`FitError::BadValue`]
+/// if any distance is non-positive or any value non-finite.
+pub fn fit_inverse_curve(points: &[(f64, f64)]) -> Result<InverseCurveFit, FitError> {
+    if points.len() < 4 {
+        return Err(FitError::TooFewPoints { got: points.len(), need: 4 });
+    }
+    if points.iter().any(|&(d, v)| !d.is_finite() || !v.is_finite() || d <= 0.0) {
+        return Err(FitError::BadValue);
+    }
+
+    let sse_for = |d0: f64| -> (f64, LinearFit) {
+        let xs: Vec<f64> = points.iter().map(|&(d, _)| 1.0 / (d + d0)).collect();
+        let ys: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+        match linear_fit(&xs, &ys) {
+            Ok(fit) => (fit.rmse, fit),
+            Err(_) => (f64::INFINITY, LinearFit { slope: 0.0, intercept: 0.0, r2: 0.0, rmse: f64::INFINITY }),
+        }
+    };
+
+    // Golden-section search for d0 in [0, 3] cm.
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut lo, mut hi) = (0.0_f64, 3.0_f64);
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let (mut f1, _) = sse_for(x1);
+    let (mut f2, _) = sse_for(x2);
+    for _ in 0..60 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = sse_for(x1).0;
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = sse_for(x2).0;
+        }
+    }
+    let d0 = 0.5 * (lo + hi);
+    let (_, inner) = sse_for(d0);
+    Ok(InverseCurveFit { a: inner.slope, d0, c: inner.intercept, r2: inner.r2, rmse: inner.rmse })
+}
+
+/// The Figure 5 view: power-law fit `ln V = slope·ln d + intercept`.
+///
+/// For an ideal triangulation sensor the slope is close to −1.
+///
+/// # Errors
+///
+/// [`FitError::BadValue`] if any coordinate is non-positive (logs would
+/// be undefined); otherwise as [`linear_fit`].
+pub fn fit_loglog(points: &[(f64, f64)]) -> Result<LinearFit, FitError> {
+    if points.iter().any(|&(d, v)| d <= 0.0 || v <= 0.0) {
+        return Err(FitError::BadValue);
+    }
+    let xs: Vec<f64> = points.iter().map(|&(d, _)| d.ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, v)| v.ln()).collect();
+    linear_fit(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gp2d120;
+
+    fn synthetic_points() -> Vec<(f64, f64)> {
+        // Exact points on V = 9.7/(d+0.42) + 0.05.
+        (4..=30)
+            .step_by(2)
+            .map(|d| {
+                let d = d as f64;
+                (d, 9.7 / (d + 0.42) + 0.05)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!(fit.rmse < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate_input() {
+        assert_eq!(linear_fit(&[1.0], &[2.0]), Err(FitError::TooFewPoints { got: 1, need: 2 }));
+        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]), Err(FitError::Degenerate));
+        assert_eq!(linear_fit(&[f64::NAN, 1.0], &[1.0, 2.0]), Err(FitError::BadValue));
+    }
+
+    #[test]
+    fn inverse_curve_fit_recovers_true_parameters() {
+        let fit = fit_inverse_curve(&synthetic_points()).unwrap();
+        assert!((fit.a - 9.7).abs() < 0.05, "a = {}", fit.a);
+        assert!((fit.d0 - 0.42).abs() < 0.05, "d0 = {}", fit.d0);
+        assert!((fit.c - 0.05).abs() < 0.01, "c = {}", fit.c);
+        assert!(fit.r2 > 0.9999);
+    }
+
+    #[test]
+    fn inverse_curve_fit_survives_noise() {
+        // Deterministic pseudo-noise so the test needs no rng dependency.
+        let noisy: Vec<(f64, f64)> = synthetic_points()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (d, v))| (d, v + 0.01 * ((i as f64 * 2.39).sin())))
+            .collect();
+        let fit = fit_inverse_curve(&noisy).unwrap();
+        assert!((fit.a - 9.7).abs() < 0.5);
+        assert!(fit.r2 > 0.995, "r2 = {}", fit.r2);
+        assert!(fit.rmse < 0.02);
+    }
+
+    #[test]
+    fn fitted_curve_inverts_cleanly() {
+        let fit = fit_inverse_curve(&synthetic_points()).unwrap();
+        for d in [4.0, 10.0, 17.0, 25.0, 30.0] {
+            let v = fit.voltage_at(d);
+            let back = fit.distance_at(v).unwrap();
+            assert!((back - d).abs() < 0.05, "round trip at {d} cm gave {back} cm");
+        }
+        assert_eq!(fit.distance_at(0.0), None);
+        assert_eq!(fit.distance_at(f64::NAN), None);
+    }
+
+    #[test]
+    fn loglog_slope_is_near_minus_one() {
+        // Figure 5's observation: on log axes the points lie on a line of
+        // slope ≈ −1 (1/d law). The +c offset bends it slightly.
+        let fit = fit_loglog(&synthetic_points()).unwrap();
+        assert!((-1.15..=-0.85).contains(&fit.slope), "slope = {}", fit.slope);
+        assert!(fit.r2 > 0.99, "r2 = {}", fit.r2);
+    }
+
+    #[test]
+    fn loglog_rejects_nonpositive_coordinates() {
+        assert_eq!(fit_loglog(&[(0.0, 1.0), (1.0, 1.0)]), Err(FitError::BadValue));
+        assert_eq!(fit_loglog(&[(1.0, -1.0), (2.0, 1.0)]), Err(FitError::BadValue));
+    }
+
+    #[test]
+    fn fit_matches_model_curve_everywhere_in_range() {
+        let fit = fit_inverse_curve(&synthetic_points()).unwrap();
+        let mut d = 4.0;
+        while d <= 30.0 {
+            let model = gp2d120::ideal_voltage(d);
+            let fitted = fit.voltage_at(d);
+            assert!((model - fitted).abs() < 0.01, "at {d} cm: model {model} vs fit {fitted}");
+            d += 0.5;
+        }
+    }
+
+    #[test]
+    fn too_few_points_is_reported() {
+        let pts = [(4.0, 2.2), (10.0, 1.0), (20.0, 0.5)];
+        assert_eq!(fit_inverse_curve(&pts), Err(FitError::TooFewPoints { got: 3, need: 4 }));
+    }
+}

@@ -1,0 +1,207 @@
+//! The physical scene in front of the sensor.
+//!
+//! The GP2D120 looks from the bottom of the handheld device towards the
+//! user's torso; what it measures depends on the true hand–body distance,
+//! on what the user wears (the paper verified the curve "in different
+//! light conditions and with different clothing as surfaces in front of
+//! the sensor", Section 4.2) and on ambient light.
+//!
+//! [`Scene`] is the single mutable world-state the simulation runs
+//! against: the user model writes the true distance into it and the
+//! sensor model reads it back through its own imperfect optics.
+
+/// Clothing / surface in front of the sensor, with its IR reflectance.
+///
+/// The paper stresses that for the GP2D120 "the color (the reflectivity)
+/// of the object in front of the sensor does nearly not matter"; the
+/// datasheet shows only a small shift between white paper (90 %
+/// reflectance) and gray paper (18 %). Reflectance here mostly moves the
+/// *noise floor* and the maximum usable range, not the curve itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Surface {
+    /// White cotton shirt (≈ 85 % IR reflectance).
+    WhiteCotton,
+    /// Light gray fleece (≈ 50 %).
+    GrayFleece,
+    /// Dark winter parka (≈ 20 %).
+    DarkParka,
+    /// Black leather jacket (≈ 8 %), the worst realistic case.
+    BlackLeather,
+    /// Laboratory coat, slightly glossy (≈ 90 %).
+    LabCoat,
+    /// High-visibility vest with retro-reflective stripes (≈ 95 %, and the
+    /// "reflective surfaces with clear boundaries" the paper warns about).
+    HiVisVest,
+}
+
+impl Surface {
+    /// Diffuse IR reflectance, `0.0..=1.0`.
+    pub fn reflectance(self) -> f64 {
+        match self {
+            Surface::WhiteCotton => 0.85,
+            Surface::GrayFleece => 0.50,
+            Surface::DarkParka => 0.20,
+            Surface::BlackLeather => 0.08,
+            Surface::LabCoat => 0.90,
+            Surface::HiVisVest => 0.95,
+        }
+    }
+
+    /// Whether the surface has the sharp specular boundaries the paper
+    /// flags as "potentially problematic" (Section 4.2); they produce
+    /// occasional wild readings.
+    pub fn is_specular_banded(self) -> bool {
+        matches!(self, Surface::HiVisVest)
+    }
+
+    /// All modelled surfaces.
+    pub const ALL: [Surface; 6] = [
+        Surface::WhiteCotton,
+        Surface::GrayFleece,
+        Surface::DarkParka,
+        Surface::BlackLeather,
+        Surface::LabCoat,
+        Surface::HiVisVest,
+    ];
+}
+
+impl std::fmt::Display for Surface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Surface::WhiteCotton => "white cotton",
+            Surface::GrayFleece => "gray fleece",
+            Surface::DarkParka => "dark parka",
+            Surface::BlackLeather => "black leather",
+            Surface::LabCoat => "lab coat",
+            Surface::HiVisVest => "hi-vis vest",
+        })
+    }
+}
+
+/// Ambient light level; strong sunlight raises the photodiode noise floor
+/// of triangulation sensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmbientLight {
+    /// Darkened room.
+    Dark,
+    /// Normal indoor lighting (the paper's lab conditions).
+    Indoor,
+    /// Bright office near a window.
+    BrightOffice,
+    /// Direct sunlight (arctic/alpine outdoor use, Section 5.2).
+    Sunlight,
+}
+
+impl AmbientLight {
+    /// Multiplier on the sensor's base noise for this light level.
+    pub fn noise_factor(self) -> f64 {
+        match self {
+            AmbientLight::Dark => 0.8,
+            AmbientLight::Indoor => 1.0,
+            AmbientLight::BrightOffice => 1.4,
+            AmbientLight::Sunlight => 2.5,
+        }
+    }
+
+    /// All modelled light levels.
+    pub const ALL: [AmbientLight; 4] = [
+        AmbientLight::Dark,
+        AmbientLight::Indoor,
+        AmbientLight::BrightOffice,
+        AmbientLight::Sunlight,
+    ];
+}
+
+impl std::fmt::Display for AmbientLight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AmbientLight::Dark => "dark",
+            AmbientLight::Indoor => "indoor",
+            AmbientLight::BrightOffice => "bright office",
+            AmbientLight::Sunlight => "sunlight",
+        })
+    }
+}
+
+/// The world state the sensor observes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scene {
+    /// True distance from the sensor window to the user's torso, in cm.
+    pub distance_cm: f64,
+    /// What the user wears.
+    pub surface: Surface,
+    /// Lighting conditions.
+    pub ambient: AmbientLight,
+}
+
+impl Scene {
+    /// The paper's lab setup: indoor light, a gray fleece, device held at
+    /// a comfortable 17 cm (the middle of the 4–30 cm usable range).
+    pub fn lab() -> Self {
+        Scene { distance_cm: 17.0, surface: Surface::GrayFleece, ambient: AmbientLight::Indoor }
+    }
+
+    /// Sets the true distance, clamping to physical limits (the hand
+    /// cannot be behind the torso nor further than an arm's reach).
+    pub fn set_distance(&mut self, cm: f64) {
+        self.distance_cm = if cm.is_finite() { cm.clamp(0.0, 80.0) } else { self.distance_cm };
+    }
+}
+
+impl Default for Scene {
+    fn default() -> Self {
+        Scene::lab()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflectances_are_probabilities_and_ordered() {
+        for s in Surface::ALL {
+            let r = s.reflectance();
+            assert!((0.0..=1.0).contains(&r), "{s}: {r}");
+        }
+        assert!(Surface::WhiteCotton.reflectance() > Surface::DarkParka.reflectance());
+        assert!(Surface::DarkParka.reflectance() > Surface::BlackLeather.reflectance());
+    }
+
+    #[test]
+    fn only_hi_vis_is_specular_banded() {
+        let banded: Vec<Surface> =
+            Surface::ALL.into_iter().filter(|s| s.is_specular_banded()).collect();
+        assert_eq!(banded, vec![Surface::HiVisVest]);
+    }
+
+    #[test]
+    fn sunlight_is_noisier_than_darkness() {
+        assert!(AmbientLight::Sunlight.noise_factor() > AmbientLight::Indoor.noise_factor());
+        assert!(AmbientLight::Indoor.noise_factor() > AmbientLight::Dark.noise_factor());
+    }
+
+    #[test]
+    fn lab_scene_is_mid_range() {
+        let s = Scene::lab();
+        assert!((4.0..=30.0).contains(&s.distance_cm));
+        assert_eq!(s.ambient, AmbientLight::Indoor);
+    }
+
+    #[test]
+    fn set_distance_clamps_and_survives_nan() {
+        let mut s = Scene::lab();
+        s.set_distance(-5.0);
+        assert_eq!(s.distance_cm, 0.0);
+        s.set_distance(500.0);
+        assert_eq!(s.distance_cm, 80.0);
+        s.set_distance(f64::NAN);
+        assert_eq!(s.distance_cm, 80.0, "nan keeps the previous value");
+    }
+
+    #[test]
+    fn displays_are_lowercase_labels() {
+        assert_eq!(Surface::GrayFleece.to_string(), "gray fleece");
+        assert_eq!(AmbientLight::Sunlight.to_string(), "sunlight");
+    }
+}

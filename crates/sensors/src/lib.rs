@@ -1,0 +1,50 @@
+//! Sensor physics, signal filters and curve calibration for DistScroll.
+//!
+//! The integral part of the DistScroll prototype is "the distance sensor
+//! at the bottom of the DistScroll device … a Sharp distance sensor
+//! GP2D120" (paper, Section 4.2), chosen because "its measurement range
+//! fits perfectly for the predicted normal usage of the DistScroll device
+//! of about 4 to 30 cm". The board also carries an Analog Devices
+//! ADXL311 two-axis accelerometer (Section 4.3), unused in the paper's
+//! experiments but included "to reproduce results published by others".
+//!
+//! This crate contains everything between the physical world and the
+//! ADC codes the firmware consumes:
+//!
+//! * [`gp2d120`] — the infra-red triangulation sensor model, reproducing
+//!   the transfer curve of the paper's Figures 4 and 5 including the
+//!   fold-back below 4 cm and the near-insensitivity to surface colour,
+//! * [`adxl311`] — the accelerometer model (orientation → axis voltages),
+//! * [`environment`] — the scene: true hand–body distance, clothing
+//!   reflectance, ambient light,
+//! * [`noise`] — reusable stochastic processes (gaussian, random-walk
+//!   drift, quantization),
+//! * [`filter`] — the small-RAM filters the firmware runs (median, EMA,
+//!   debounce, hysteresis, slew-rate gate),
+//! * [`calibrate`] — fitting the idealized curve through measured points
+//!   exactly as the authors did for Figures 4 and 5, plus the inverse
+//!   model the island mapping needs.
+//!
+//! # Example: reproduce the shape of Figure 4
+//!
+//! ```
+//! use distscroll_sensors::gp2d120::Gp2d120;
+//!
+//! let sensor = Gp2d120::typical();
+//! // Voltage falls as the device moves away from the body…
+//! let near = sensor.ideal_voltage(6.0);
+//! let far = sensor.ideal_voltage(25.0);
+//! assert!(near > far);
+//! // …and folds back below 4 cm (the undesired region of Section 4.2).
+//! assert!(sensor.ideal_voltage(1.5) < sensor.ideal_voltage(4.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adxl311;
+pub mod calibrate;
+pub mod environment;
+pub mod filter;
+pub mod gp2d120;
+pub mod noise;

@@ -1,0 +1,92 @@
+//! Fitts' law: movement time for aimed movements.
+//!
+//! The paper's Section 7 grounds its speed question in Fitts' law,
+//! citing Hinckley et al.'s "Quantitative analysis of scrolling
+//! techniques" for the observation that "Fitt's Law holds for
+//! scrolling". We use the Shannon formulation throughout:
+//!
+//! ```text
+//! MT = a + b · log2(D / W + 1)
+//! ```
+//!
+//! with `D` the movement amplitude, `W` the target width (for
+//! DistScroll: the island width in cm), and `a`, `b` per-user constants.
+
+/// Per-user Fitts' law coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittsParams {
+    /// Intercept in seconds (non-informational overhead per movement).
+    pub a_s: f64,
+    /// Slope in seconds per bit of index of difficulty.
+    pub b_s_per_bit: f64,
+}
+
+impl FittsParams {
+    /// Values representative of published scrolling studies.
+    pub fn typical() -> Self {
+        FittsParams { a_s: 0.30, b_s_per_bit: 0.18 }
+    }
+
+    /// Movement time for amplitude `d` onto a target of width `w` (same
+    /// units). Zero-amplitude movements still cost the intercept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not positive.
+    pub fn movement_time_s(&self, d: f64, w: f64) -> f64 {
+        assert!(w > 0.0, "target width must be positive");
+        self.a_s + self.b_s_per_bit * index_of_difficulty(d.abs(), w)
+    }
+}
+
+impl Default for FittsParams {
+    fn default() -> Self {
+        FittsParams::typical()
+    }
+}
+
+/// Shannon index of difficulty in bits: `log2(D/W + 1)`.
+pub fn index_of_difficulty(d: f64, w: f64) -> f64 {
+    (d.abs() / w + 1.0).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_known_values() {
+        assert_eq!(index_of_difficulty(0.0, 1.0), 0.0);
+        assert_eq!(index_of_difficulty(1.0, 1.0), 1.0);
+        assert_eq!(index_of_difficulty(3.0, 1.0), 2.0);
+        assert_eq!(index_of_difficulty(-3.0, 1.0), 2.0, "amplitude sign is irrelevant");
+    }
+
+    #[test]
+    fn movement_time_grows_with_distance_and_shrinks_with_width() {
+        let p = FittsParams::typical();
+        assert!(p.movement_time_s(20.0, 1.0) > p.movement_time_s(5.0, 1.0));
+        assert!(p.movement_time_s(10.0, 0.5) > p.movement_time_s(10.0, 2.0));
+    }
+
+    #[test]
+    fn zero_distance_costs_the_intercept() {
+        let p = FittsParams { a_s: 0.25, b_s_per_bit: 0.2 };
+        assert_eq!(p.movement_time_s(0.0, 1.0), 0.25);
+    }
+
+    #[test]
+    fn doubling_relative_distance_adds_roughly_one_bit() {
+        let p = FittsParams { a_s: 0.0, b_s_per_bit: 1.0 };
+        // At large D/W, doubling D adds ~1 bit.
+        let t1 = p.movement_time_s(64.0, 1.0);
+        let t2 = p.movement_time_s(128.0, 1.0);
+        assert!((t2 - t1 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_is_rejected() {
+        let _ = FittsParams::typical().movement_time_s(1.0, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The Keystroke-Level Model: analytic cross-check for the simulation.
+//!
+//! Card, Moran & Newell's KLM predicts expert task times by summing
+//! standard operator costs. It is the cheapest sanity instrument HCI
+//! has: if the closed-loop simulation and the KLM disagree wildly about
+//! the same task, one of them is wrong. The baselines test-suite uses
+//! [`predict`] exactly that way.
+//!
+//! Operators (standard values):
+//!
+//! | op | meaning | seconds |
+//! |---|---|---|
+//! | K | keystroke / button press | 0.20 |
+//! | P | point / aimed movement (Fitts-class) | 1.10 |
+//! | H | home a hand onto a device | 0.40 |
+//! | M | mental preparation | 1.35 |
+//! | R(t) | system response wait | t |
+
+/// Standard operator durations, seconds.
+pub mod op {
+    /// Keystroke or button press.
+    pub const K: f64 = 0.20;
+    /// Pointing / one aimed movement.
+    pub const P: f64 = 1.10;
+    /// Homing a hand onto a device or control.
+    pub const H: f64 = 0.40;
+    /// Mental preparation.
+    pub const M: f64 = 1.35;
+}
+
+/// A KLM operator sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Keystroke.
+    K,
+    /// Pointing movement.
+    P,
+    /// Homing.
+    H,
+    /// Mental preparation.
+    M,
+    /// System response wait, in milliseconds.
+    R(u32),
+}
+
+impl Op {
+    /// The operator's duration in seconds.
+    pub fn seconds(self) -> f64 {
+        match self {
+            Op::K => op::K,
+            Op::P => op::P,
+            Op::H => op::H,
+            Op::M => op::M,
+            Op::R(ms) => f64::from(ms) / 1000.0,
+        }
+    }
+}
+
+/// Sums an operator sequence.
+pub fn predict(ops: &[Op]) -> f64 {
+    ops.iter().map(|o| o.seconds()).sum()
+}
+
+/// KLM prediction for one DistScroll menu selection on first encounter:
+/// mentally prepare, one aimed arm movement onto the island (the P
+/// operator is exactly a Fitts-class pointing act), wait out the
+/// device's display latency, press the thumb button.
+pub fn distscroll_selection() -> f64 {
+    predict(&[Op::M, Op::P, Op::R(80), Op::K])
+}
+
+/// The practiced (within-block) variant: the target is already decided,
+/// so the M operator drops — standard KLM practice for cued repetitive
+/// trials.
+pub fn distscroll_selection_practiced() -> f64 {
+    predict(&[Op::P, Op::R(80), Op::K])
+}
+
+/// KLM prediction for selecting an entry `distance` steps away with
+/// up/down keys on first encounter: prepare, one keystroke per step,
+/// then select.
+pub fn buttons_selection(distance: usize) -> f64 {
+    op::M + buttons_selection_practiced(distance)
+}
+
+/// The practiced variant: keystrokes only.
+pub fn buttons_selection_practiced(distance: usize) -> f64 {
+    let mut ops: Vec<Op> = std::iter::repeat_n(Op::K, distance).collect();
+    ops.push(Op::K); // select
+    predict(&ops)
+}
+
+/// KLM prediction for a two-handed TUISTER selection on first encounter:
+/// home the second hand, prepare, twist (pointing-class), confirm with
+/// the other hand.
+pub fn tuister_selection() -> f64 {
+    predict(&[Op::H, Op::M, Op::P, Op::K])
+}
+
+/// The practiced variant: the homing of the second hand remains (it is
+/// physically required every trial), the M drops.
+pub fn tuister_selection_practiced() -> f64 {
+    predict(&[Op::H, Op::P, Op::K])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_sum() {
+        assert!((predict(&[Op::M, Op::K]) - 1.55).abs() < 1e-12);
+        assert!((Op::R(500).seconds() - 0.5).abs() < 1e-12);
+        assert_eq!(predict(&[]), 0.0);
+    }
+
+    #[test]
+    fn distscroll_prediction_is_a_few_seconds() {
+        let t = distscroll_selection();
+        assert!((2.0..4.0).contains(&t), "KLM says {t:.2} s");
+    }
+
+    #[test]
+    fn buttons_scale_linearly_with_distance() {
+        let d1 = buttons_selection(1);
+        let d9 = buttons_selection(9);
+        assert!((d9 - d1 - 8.0 * op::K).abs() < 1e-12);
+    }
+
+    #[test]
+    fn practiced_variants_drop_exactly_the_mental_operator() {
+        assert!((distscroll_selection() - distscroll_selection_practiced() - op::M).abs() < 1e-12);
+        assert!((buttons_selection(3) - buttons_selection_practiced(3) - op::M).abs() < 1e-12);
+        assert!((tuister_selection() - tuister_selection_practiced() - op::M).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_handed_tuister_pays_the_homing_cost() {
+        assert!(tuister_selection() > distscroll_selection() - Op::R(80).seconds() - 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! The power law of practice.
+//!
+//! The paper's study observation — "Shortly after knowing the relation
+//! between menu entry selection and distance, all users were able to
+//! nearly errorless use the device" (Section 6) — is a learning-curve
+//! statement: performance improves rapidly over the first trials and
+//! flattens. The standard model is the power law of practice
+//! (Newell & Rosenbloom 1981):
+//!
+//! ```text
+//! T(n) = T_inf + (T_1 − T_inf) · n^(−α)
+//! ```
+//!
+//! We apply the same multiplicative curve to movement time, to the
+//! probability of a premature (unverified) confirmation, and to the
+//! accuracy of the user's internal model of the distance→entry mapping.
+
+/// A power-law learning curve over trial numbers (1-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PracticeCurve {
+    /// Multiplier on the first trial (≥ 1).
+    pub initial_factor: f64,
+    /// Asymptotic multiplier (normally 1.0).
+    pub asymptote: f64,
+    /// Learning rate exponent α (0.2–0.6 for most skills).
+    pub alpha: f64,
+}
+
+impl PracticeCurve {
+    /// A typical novice: first trials cost ~2.2× the practiced time,
+    /// α = 0.4.
+    pub fn typical() -> Self {
+        PracticeCurve { initial_factor: 2.2, asymptote: 1.0, alpha: 0.4 }
+    }
+
+    /// No learning effect (already-practiced experts).
+    pub fn flat() -> Self {
+        PracticeCurve { initial_factor: 1.0, asymptote: 1.0, alpha: 0.4 }
+    }
+
+    /// The multiplier for trial `n` (1-based; 0 is treated as 1).
+    pub fn factor(&self, n: u32) -> f64 {
+        let n = f64::from(n.max(1));
+        self.asymptote + (self.initial_factor - self.asymptote) * n.powf(-self.alpha)
+    }
+}
+
+impl Default for PracticeCurve {
+    fn default() -> Self {
+        PracticeCurve::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_trial_costs_the_initial_factor() {
+        let c = PracticeCurve::typical();
+        assert!((c.factor(1) - 2.2).abs() < 1e-12);
+        assert_eq!(c.factor(0), c.factor(1), "trial 0 treated as 1");
+    }
+
+    #[test]
+    fn factors_decay_monotonically_to_the_asymptote() {
+        let c = PracticeCurve::typical();
+        let mut last = f64::INFINITY;
+        for n in 1..200 {
+            let f = c.factor(n);
+            assert!(f <= last, "practice never makes you worse");
+            assert!(f >= c.asymptote);
+            last = f;
+        }
+        assert!(c.factor(1000) < 1.1, "practiced performance approaches 1.0");
+    }
+
+    #[test]
+    fn most_improvement_happens_early() {
+        // The §6 observation: "shortly after…" — the first few trials
+        // carry most of the gain.
+        let c = PracticeCurve::typical();
+        let early_gain = c.factor(1) - c.factor(10);
+        let late_gain = c.factor(10) - c.factor(100);
+        assert!(early_gain > 2.0 * late_gain);
+    }
+
+    #[test]
+    fn flat_curve_is_identity() {
+        let c = PracticeCurve::flat();
+        for n in [1, 5, 50] {
+            assert_eq!(c.factor(n), 1.0);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic human users for the DistScroll evaluation.
+//!
+//! The paper's behavioural claims — "the manner of operation was promptly
+//! discovered", "all users were able to nearly errorless use the device"
+//! after learning (Section 6), and the Section 7 question whether
+//! distance scrolling "is faster, equal or slower than other scrolling
+//! techniques" given that "Fitt's Law holds for scrolling" — are
+//! statements about closed-loop human–device dynamics. Human subjects
+//! are a hardware gate for this reproduction, so we substitute the
+//! standard HCI motor-control stack:
+//!
+//! * [`fitts`] — Fitts' law movement times, the backbone of every aimed
+//!   movement,
+//! * [`klm`] — the Keystroke-Level Model, the analytic cross-check the
+//!   test-suite holds the simulation against,
+//! * [`motor`] — minimum-jerk reaches, signal-dependent endpoint noise
+//!   and 8–12 Hz physiological tremor: the hand,
+//! * [`perception`] — reaction times and discrete visual sampling of the
+//!   display: the eye,
+//! * [`strategy`] — the closed-loop aim-verify-correct-confirm controller
+//!   that drives a positional input device: the plan,
+//! * [`learning`] — the power law of practice, which turns novices'
+//!   exploratory behaviour into the study's "nearly errorless" experts,
+//! * [`population`] — per-user parameter sampling so cohorts have
+//!   realistic between-subject variance.
+//!
+//! The models generate the *shape* of human behaviour (who is faster,
+//! how errors decay, where Fitts' law bends), not any specific person.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fitts;
+pub mod klm;
+pub mod learning;
+pub mod motor;
+pub mod perception;
+pub mod population;
+pub mod strategy;

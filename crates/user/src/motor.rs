@@ -1,0 +1,255 @@
+//! The hand: minimum-jerk reaches, endpoint noise and tremor.
+//!
+//! Aimed arm movements follow a stereotyped bell-shaped velocity profile
+//! well described by the minimum-jerk trajectory (Flash & Hogan 1985);
+//! their endpoints scatter proportionally to movement amplitude
+//! (signal-dependent noise, Schmidt's law); and a standing arm carries
+//! 8–12 Hz physiological tremor of a fraction of a millimetre to a
+//! couple of millimetres. All three matter for DistScroll: the sweep
+//! across islands is the trajectory, the landing island is set by the
+//! endpoint noise, and tremor is what the island dead zones must absorb.
+
+use rand::Rng;
+
+/// Standard-normal variate (Box–Muller; `rand_distr` is outside the
+/// dependency set).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// One minimum-jerk reach from `from` to `to` over `duration_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reach {
+    from: f64,
+    to: f64,
+    start_s: f64,
+    duration_s: f64,
+}
+
+impl Reach {
+    /// Plans a reach starting at time `start_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive.
+    pub fn new(from: f64, to: f64, start_s: f64, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "reach duration must be positive");
+        Reach { from, to, start_s, duration_s }
+    }
+
+    /// Position at time `t` (clamps to the endpoints outside the reach).
+    pub fn position(&self, t: f64) -> f64 {
+        let tau = ((t - self.start_s) / self.duration_s).clamp(0.0, 1.0);
+        // Minimum-jerk polynomial: 10τ³ − 15τ⁴ + 6τ⁵.
+        let s = tau * tau * tau * (10.0 - 15.0 * tau + 6.0 * tau * tau);
+        self.from + (self.to - self.from) * s
+    }
+
+    /// Whether the reach has completed by time `t`.
+    pub fn is_done(&self, t: f64) -> bool {
+        t >= self.start_s + self.duration_s
+    }
+
+    /// The planned endpoint.
+    pub fn target(&self) -> f64 {
+        self.to
+    }
+}
+
+/// Physiological tremor: an 8–12 Hz quasi-sinusoid with drifting phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tremor {
+    amplitude: f64,
+    hz: f64,
+    phase: f64,
+}
+
+impl Tremor {
+    /// Tremor with peak `amplitude` (same unit as the hand position, cm
+    /// here) at `hz`.
+    pub fn new(amplitude: f64, hz: f64) -> Self {
+        Tremor { amplitude, hz, phase: 0.0 }
+    }
+
+    /// The tremor displacement at time `t`, advancing the internal phase
+    /// jitter.
+    pub fn sample<R: Rng + ?Sized>(&mut self, t: f64, rng: &mut R) -> f64 {
+        // Slow phase drift makes the tremor quasi-periodic, as measured
+        // tremor spectra are.
+        self.phase += gaussian(rng) * 0.05;
+        self.amplitude * (2.0 * std::f64::consts::PI * self.hz * t + self.phase).sin()
+    }
+
+    /// The configured amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+/// The hand holding the device: position, an optional in-flight reach,
+/// and tremor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hand {
+    position: f64,
+    reach: Option<Reach>,
+    tremor: Tremor,
+    endpoint_noise_frac: f64,
+    reaches_started: u64,
+}
+
+impl Hand {
+    /// A hand at `position` with the given tremor and signal-dependent
+    /// endpoint noise (endpoint σ = `endpoint_noise_frac` × amplitude).
+    pub fn new(position: f64, tremor: Tremor, endpoint_noise_frac: f64) -> Self {
+        assert!((0.0..0.5).contains(&endpoint_noise_frac), "endpoint noise fraction out of range");
+        Hand { position, reach: None, tremor, endpoint_noise_frac, reaches_started: 0 }
+    }
+
+    /// Starts a reach towards `target` lasting `duration_s`, perturbing
+    /// the landing point with signal-dependent noise.
+    pub fn start_reach<R: Rng + ?Sized>(
+        &mut self,
+        target: f64,
+        start_s: f64,
+        duration_s: f64,
+        rng: &mut R,
+    ) {
+        let amplitude = (target - self.position).abs();
+        let noisy_target = target + gaussian(rng) * self.endpoint_noise_frac * amplitude;
+        self.reach = Some(Reach::new(self.position, noisy_target, start_s, duration_s));
+        self.reaches_started += 1;
+    }
+
+    /// Whether a reach is currently executing at time `t`.
+    pub fn is_moving(&self, t: f64) -> bool {
+        self.reach.is_some_and(|r| !r.is_done(t))
+    }
+
+    /// Advances to time `t` and returns the hand position including
+    /// tremor.
+    pub fn update<R: Rng + ?Sized>(&mut self, t: f64, rng: &mut R) -> f64 {
+        if let Some(r) = self.reach {
+            self.position = r.position(t);
+            if r.is_done(t) {
+                self.reach = None;
+            }
+        }
+        self.position + self.tremor.sample(t, rng)
+    }
+
+    /// The smoothed position (without tremor).
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Total reaches started (a probe for counting corrective
+    /// submovements in experiments).
+    pub fn reaches_started(&self) -> u64 {
+        self.reaches_started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reach_hits_endpoints_exactly() {
+        let r = Reach::new(10.0, 20.0, 1.0, 0.5);
+        assert_eq!(r.position(0.0), 10.0, "clamped before start");
+        assert_eq!(r.position(1.0), 10.0);
+        assert_eq!(r.position(1.5), 20.0);
+        assert_eq!(r.position(9.0), 20.0, "clamped after end");
+        assert!((r.position(1.25) - 15.0).abs() < 1e-9, "midpoint by symmetry");
+    }
+
+    #[test]
+    fn reach_is_monotone_for_forward_movement() {
+        let r = Reach::new(0.0, 10.0, 0.0, 1.0);
+        let mut last = -1.0;
+        for i in 0..=100 {
+            let p = r.position(i as f64 / 100.0);
+            assert!(p >= last, "minimum jerk is monotone");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn reach_velocity_is_bell_shaped() {
+        let r = Reach::new(0.0, 10.0, 0.0, 1.0);
+        let v = |t: f64| (r.position(t + 0.001) - r.position(t)) / 0.001;
+        let v_mid = v(0.5);
+        let v_early = v(0.1);
+        let v_late = v(0.9);
+        assert!(v_mid > v_early && v_mid > v_late, "peak velocity at midpoint");
+        // Peak of minimum jerk is 1.875 × mean velocity.
+        assert!((v_mid / 10.0 - 1.875).abs() < 0.01);
+    }
+
+    #[test]
+    fn tremor_is_small_and_oscillatory() {
+        let mut tr = Tremor::new(0.08, 9.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<f64> = (0..1000).map(|i| tr.sample(i as f64 * 0.005, &mut rng)).collect();
+        assert!(xs.iter().all(|x| x.abs() <= 0.08 + 1e-9));
+        let sign_changes = xs.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
+        assert!(sign_changes > 50, "tremor oscillates: {sign_changes} sign changes");
+    }
+
+    #[test]
+    fn hand_reaches_and_settles() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hand = Hand::new(17.0, Tremor::new(0.0, 9.0), 0.0);
+        hand.start_reach(8.0, 0.0, 0.4, &mut rng);
+        assert!(hand.is_moving(0.2));
+        let p = hand.update(0.4, &mut rng);
+        assert!((p - 8.0).abs() < 1e-9);
+        assert!(!hand.is_moving(0.4));
+        assert_eq!(hand.reaches_started(), 1);
+    }
+
+    #[test]
+    fn endpoint_noise_scales_with_amplitude() {
+        let spread = |amplitude: f64| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut endpoints = Vec::new();
+            for _ in 0..400 {
+                let mut hand = Hand::new(0.0, Tremor::new(0.0, 9.0), 0.1);
+                hand.start_reach(amplitude, 0.0, 0.3, &mut rng);
+                endpoints.push(hand.update(1.0, &mut rng));
+            }
+            let mean = endpoints.iter().sum::<f64>() / endpoints.len() as f64;
+            (endpoints.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / endpoints.len() as f64)
+                .sqrt()
+        };
+        let near = spread(2.0);
+        let far = spread(20.0);
+        assert!(far > 5.0 * near, "endpoint sd must scale with amplitude: {near} vs {far}");
+    }
+
+    #[test]
+    fn hand_without_reach_holds_position() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hand = Hand::new(12.0, Tremor::new(0.05, 10.0), 0.05);
+        for i in 0..100 {
+            let p = hand.update(i as f64 * 0.01, &mut rng);
+            assert!((p - 12.0).abs() < 0.06, "only tremor moves a resting hand");
+        }
+        assert_eq!(hand.position(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_reach_is_rejected() {
+        let _ = Reach::new(0.0, 1.0, 0.0, 0.0);
+    }
+}

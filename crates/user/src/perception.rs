@@ -1,0 +1,137 @@
+//! The eye: reaction times and discrete visual sampling.
+//!
+//! A user does not see the display continuously: gaze samples it a few
+//! times per second, each look costs perceptual latency, and initiating
+//! any response costs a reaction time. These delays are what turn the
+//! firmware's crisp island transitions into the overshoot-and-correct
+//! patterns real scrolling studies measure.
+
+use rand::Rng;
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Perceptual timing parameters of one user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perception {
+    /// Mean simple reaction time, seconds (choice reactions run longer).
+    pub reaction_mean_s: f64,
+    /// Standard deviation of the reaction time, seconds.
+    pub reaction_sd_s: f64,
+    /// Interval between visual samples of the display, seconds.
+    pub visual_sampling_s: f64,
+}
+
+impl Perception {
+    /// Typical adult values: 250 ± 50 ms reactions, ~5 display samples
+    /// per second.
+    pub fn typical() -> Self {
+        Perception { reaction_mean_s: 0.25, reaction_sd_s: 0.05, visual_sampling_s: 0.20 }
+    }
+
+    /// Draws one reaction time (lognormal-shaped: gaussian on the log,
+    /// floored at 120 ms — faster responses are physiologically
+    /// impossible).
+    pub fn reaction_time_s<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mu = self.reaction_mean_s.ln();
+        let sigma = (self.reaction_sd_s / self.reaction_mean_s).min(0.8);
+        (mu + sigma * gaussian(rng)).exp().max(0.12)
+    }
+}
+
+impl Default for Perception {
+    fn default() -> Self {
+        Perception::typical()
+    }
+}
+
+/// Discrete visual sampling of a changing value: the user only notices
+/// the display's state at sampling instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisualSampler {
+    period_s: f64,
+    next_sample_s: f64,
+    seen: Option<usize>,
+}
+
+impl VisualSampler {
+    /// A sampler looking every `period_s` seconds, first look immediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not positive.
+    pub fn new(period_s: f64) -> Self {
+        assert!(period_s > 0.0, "sampling period must be positive");
+        VisualSampler { period_s, next_sample_s: 0.0, seen: None }
+    }
+
+    /// Feeds the display's true state at time `t`; returns what the user
+    /// currently *believes* is shown (stale between samples).
+    pub fn observe(&mut self, t: f64, actual: usize) -> Option<usize> {
+        if t >= self.next_sample_s {
+            self.seen = Some(actual);
+            self.next_sample_s = t + self.period_s;
+        }
+        self.seen
+    }
+
+    /// The last sampled value.
+    pub fn seen(&self) -> Option<usize> {
+        self.seen
+    }
+
+    /// Forces a re-look at the next observe (e.g. after a deliberate
+    /// glance).
+    pub fn invalidate(&mut self) {
+        self.next_sample_s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reaction_times_are_plausible() {
+        let p = Perception::typical();
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<f64> = (0..5000).map(|_| p.reaction_time_s(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((0.2..0.35).contains(&mean), "mean reaction {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.12), "physiological floor");
+        assert!(xs.iter().any(|&x| x > 0.3), "tail exists");
+    }
+
+    #[test]
+    fn sampler_is_stale_between_looks() {
+        let mut s = VisualSampler::new(0.2);
+        assert_eq!(s.observe(0.0, 3), Some(3));
+        assert_eq!(s.observe(0.1, 7), Some(3), "stale: looked too recently");
+        assert_eq!(s.observe(0.21, 7), Some(7), "fresh look");
+        assert_eq!(s.seen(), Some(7));
+    }
+
+    #[test]
+    fn invalidate_forces_a_fresh_look() {
+        let mut s = VisualSampler::new(10.0);
+        s.observe(0.0, 1);
+        s.invalidate();
+        assert_eq!(s.observe(0.5, 2), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_rejected() {
+        let _ = VisualSampler::new(0.0);
+    }
+}

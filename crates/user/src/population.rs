@@ -1,0 +1,184 @@
+//! Per-user parameters and cohort sampling.
+//!
+//! The paper's informal cohort — "several people, students, colleagues
+//! and people without direct technical background" (Section 6) — spans
+//! a range of motor and perceptual ability. [`UserParams`] bundles every
+//! model parameter; [`sample_cohort`] draws a population with realistic
+//! between-subject variance so experiment statistics have honest spread.
+
+use rand::Rng;
+
+use crate::fitts::FittsParams;
+use crate::learning::PracticeCurve;
+use crate::perception::Perception;
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Everything that makes one synthetic user behave like themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserParams {
+    /// Fitts' law coefficients for aimed arm movements.
+    pub fitts: FittsParams,
+    /// Reaction and visual-sampling timing.
+    pub perception: Perception,
+    /// Physiological tremor amplitude, cm.
+    pub tremor_amp_cm: f64,
+    /// Tremor frequency, Hz.
+    pub tremor_hz: f64,
+    /// Endpoint σ as a fraction of movement amplitude.
+    pub endpoint_noise_frac: f64,
+    /// Probability of confirming a selection without a verifying look.
+    pub impulsivity: f64,
+    /// Settle time on the target before confirming, seconds.
+    pub dwell_s: f64,
+    /// Time per discrete key press (button baselines), seconds.
+    pub keystroke_s: f64,
+    /// σ of the user's internal model of where entries sit, as a fraction
+    /// of the device range; shrinks with practice.
+    pub mapping_model_sd_frac: f64,
+    /// The practice curve applied across trials.
+    pub practice: PracticeCurve,
+}
+
+impl UserParams {
+    /// A typical participant, pre-learning.
+    pub fn typical() -> Self {
+        UserParams {
+            fitts: FittsParams::typical(),
+            perception: Perception::typical(),
+            tremor_amp_cm: 0.08,
+            tremor_hz: 9.0,
+            endpoint_noise_frac: 0.08,
+            impulsivity: 0.08,
+            dwell_s: 0.25,
+            keystroke_s: 0.22,
+            mapping_model_sd_frac: 0.05,
+            practice: PracticeCurve::typical(),
+        }
+    }
+
+    /// A practiced expert: flat learning curve, tighter aim, faster
+    /// confirmation — the "advanced users" of Section 4.2.
+    pub fn expert() -> Self {
+        UserParams {
+            fitts: FittsParams { a_s: 0.22, b_s_per_bit: 0.12 },
+            endpoint_noise_frac: 0.05,
+            impulsivity: 0.02,
+            dwell_s: 0.15,
+            mapping_model_sd_frac: 0.02,
+            practice: PracticeCurve::flat(),
+            ..UserParams::typical()
+        }
+    }
+
+    /// The learning-curve multiplier for trial `n`, applied to times and
+    /// to the mapping-model error.
+    pub fn practice_factor(&self, trial: u32) -> f64 {
+        self.practice.factor(trial)
+    }
+}
+
+impl Default for UserParams {
+    fn default() -> Self {
+        UserParams::typical()
+    }
+}
+
+/// Draws one user around the typical parameters with between-subject
+/// variance matching published motor-control spreads (~15–25 % cv).
+pub fn sample_user<R: Rng + ?Sized>(rng: &mut R) -> UserParams {
+    let t = UserParams::typical();
+    let jitter = |rng: &mut R, mean: f64, cv: f64, lo: f64, hi: f64| {
+        (mean * (1.0 + cv * gaussian(rng))).clamp(lo, hi)
+    };
+    UserParams {
+        fitts: FittsParams {
+            a_s: jitter(rng, t.fitts.a_s, 0.20, 0.15, 0.6),
+            b_s_per_bit: jitter(rng, t.fitts.b_s_per_bit, 0.25, 0.08, 0.4),
+        },
+        perception: Perception {
+            reaction_mean_s: jitter(rng, t.perception.reaction_mean_s, 0.15, 0.17, 0.4),
+            reaction_sd_s: jitter(rng, t.perception.reaction_sd_s, 0.2, 0.02, 0.12),
+            visual_sampling_s: jitter(rng, t.perception.visual_sampling_s, 0.15, 0.12, 0.35),
+        },
+        tremor_amp_cm: jitter(rng, t.tremor_amp_cm, 0.3, 0.02, 0.25),
+        tremor_hz: jitter(rng, t.tremor_hz, 0.15, 7.0, 12.0),
+        endpoint_noise_frac: jitter(rng, t.endpoint_noise_frac, 0.25, 0.03, 0.18),
+        impulsivity: jitter(rng, t.impulsivity, 0.5, 0.0, 0.3),
+        dwell_s: jitter(rng, t.dwell_s, 0.2, 0.12, 0.5),
+        keystroke_s: jitter(rng, t.keystroke_s, 0.15, 0.15, 0.35),
+        mapping_model_sd_frac: jitter(rng, t.mapping_model_sd_frac, 0.3, 0.02, 0.12),
+        practice: PracticeCurve {
+            initial_factor: jitter(rng, 2.2, 0.2, 1.4, 3.5),
+            asymptote: 1.0,
+            alpha: jitter(rng, 0.4, 0.2, 0.2, 0.6),
+        },
+    }
+}
+
+/// Draws a cohort of `n` users.
+pub fn sample_cohort<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<UserParams> {
+    (0..n).map(|_| sample_user(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expert_beats_novice_on_every_speed_axis() {
+        let e = UserParams::expert();
+        let t = UserParams::typical();
+        assert!(e.fitts.a_s < t.fitts.a_s);
+        assert!(e.fitts.b_s_per_bit < t.fitts.b_s_per_bit);
+        assert!(e.impulsivity < t.impulsivity);
+        assert!(e.mapping_model_sd_frac < t.mapping_model_sd_frac);
+        assert_eq!(e.practice_factor(1), 1.0, "experts start practiced");
+        assert!(t.practice_factor(1) > 2.0);
+    }
+
+    #[test]
+    fn sampled_users_stay_in_physiological_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let u = sample_user(&mut rng);
+            assert!((0.15..=0.6).contains(&u.fitts.a_s));
+            assert!((0.08..=0.4).contains(&u.fitts.b_s_per_bit));
+            assert!((0.17..=0.4).contains(&u.perception.reaction_mean_s));
+            assert!((0.0..=0.3).contains(&u.impulsivity));
+            assert!((0.02..=0.25).contains(&u.tremor_amp_cm));
+        }
+    }
+
+    #[test]
+    fn cohort_has_between_subject_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cohort = sample_cohort(24, &mut rng);
+        assert_eq!(cohort.len(), 24);
+        let slopes: Vec<f64> = cohort.iter().map(|u| u.fitts.b_s_per_bit).collect();
+        let mean = slopes.iter().sum::<f64>() / slopes.len() as f64;
+        let sd = (slopes.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / slopes.len() as f64)
+            .sqrt();
+        assert!(sd > 0.01, "users must differ: sd {sd}");
+    }
+
+    #[test]
+    fn cohorts_are_reproducible_by_seed() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            sample_cohort(5, &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the motor and perception models.
+
+use distscroll_user::fitts::{index_of_difficulty, FittsParams};
+use distscroll_user::learning::PracticeCurve;
+use distscroll_user::motor::Reach;
+use distscroll_user::perception::VisualSampler;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn reach_stays_inside_its_endpoints(
+        from in -100.0f64..100.0,
+        to in -100.0f64..100.0,
+        duration in 0.05f64..5.0,
+        t in -1.0f64..10.0,
+    ) {
+        let r = Reach::new(from, to, 0.0, duration);
+        let p = r.position(t);
+        let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "reach left its segment: {p}");
+    }
+
+    #[test]
+    fn reach_is_monotone_in_time(
+        from in -50.0f64..50.0,
+        to in -50.0f64..50.0,
+        duration in 0.05f64..3.0,
+    ) {
+        let r = Reach::new(from, to, 0.0, duration);
+        let dir = (to - from).signum();
+        let mut last = from;
+        for i in 0..=100 {
+            let p = r.position(duration * f64::from(i) / 100.0);
+            prop_assert!((p - last) * dir >= -1e-9, "minimum jerk reversed direction");
+            last = p;
+        }
+        prop_assert!((last - to).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fitts_time_is_monotone_in_distance_and_antitone_in_width(
+        d1 in 0.0f64..100.0,
+        d2 in 0.0f64..100.0,
+        w in 0.1f64..10.0,
+    ) {
+        let p = FittsParams::typical();
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(p.movement_time_s(far, w) >= p.movement_time_s(near, w) - 1e-12);
+        prop_assert!(p.movement_time_s(far, w / 2.0) >= p.movement_time_s(far, w) - 1e-12);
+        prop_assert!(index_of_difficulty(far, w) >= 0.0);
+    }
+
+    #[test]
+    fn practice_factors_decay_towards_the_asymptote(
+        initial in 1.0f64..4.0,
+        alpha in 0.1f64..0.8,
+        n1 in 1u32..500,
+        n2 in 1u32..500,
+    ) {
+        let c = PracticeCurve { initial_factor: initial, asymptote: 1.0, alpha };
+        let (a, b) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(c.factor(a) >= c.factor(b) - 1e-12, "practice made performance worse");
+        prop_assert!(c.factor(b) >= 1.0 - 1e-12);
+        prop_assert!(c.factor(1) <= initial + 1e-12);
+    }
+
+    #[test]
+    fn visual_sampler_is_never_fresher_than_its_period(
+        period in 0.01f64..1.0,
+        values in proptest::collection::vec(0usize..100, 2..50),
+    ) {
+        let mut s = VisualSampler::new(period);
+        let mut last_update_t: Option<f64> = None;
+        let mut last_seen: Option<usize> = None;
+        for (i, &v) in values.iter().enumerate() {
+            let t = i as f64 * period / 3.0; // sample 3x faster than the eye
+            let seen = s.observe(t, v);
+            if seen != last_seen {
+                if let (Some(prev_t), Some(_)) = (last_update_t, last_seen) {
+                    prop_assert!(
+                        t - prev_t >= period - 1e-9,
+                        "the eye updated faster than its sampling period"
+                    );
+                }
+                last_update_t = Some(t);
+                last_seen = seen;
+            }
+        }
+    }
+}

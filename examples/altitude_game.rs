@@ -1,0 +1,126 @@
+//! The Section 5.2 game idea: "any sort of character (e.g. aircraft)
+//! staying on a fixed position somewhere on the left side of the display.
+//! The altitude of the character is controlled by moving the DistScroll.
+//! This is done to avoid obstacles or to collect items. … Firing bullets
+//! … can also be simulated using one or more buttons."
+//!
+//! ```text
+//! cargo run --example altitude_game
+//! ```
+//!
+//! The game reads the firmware's *continuous* distance estimate (not the
+//! island mapping — games want analog control) and renders ASCII frames.
+//! A scripted pilot flies the course; obstacles scroll in from the right.
+
+use distscroll::core::device::DistScrollDevice;
+use distscroll::core::menu::Menu;
+use distscroll::core::profile::DeviceProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 9;
+const COLS: usize = 36;
+
+struct Game {
+    plane_row: usize,
+    obstacles: Vec<(usize, usize)>, // (col, row)
+    score: i64,
+    crashes: u32,
+}
+
+impl Game {
+    fn frame(&self) -> String {
+        let mut grid = vec![vec![' '; COLS]; ROWS];
+        for &(c, r) in &self.obstacles {
+            if c < COLS && r < ROWS {
+                grid[r][c] = '#';
+            }
+        }
+        grid[self.plane_row][2] = '>';
+        let mut out = String::new();
+        out.push_str(&format!("+{}+\n", "-".repeat(COLS)));
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!("+{}+", "-".repeat(COLS)));
+        out
+    }
+
+    fn step(&mut self, rng: &mut StdRng, tick: usize) {
+        for o in &mut self.obstacles {
+            o.0 = o.0.wrapping_sub(1);
+        }
+        self.obstacles.retain(|&(c, _)| c < COLS);
+        if tick.is_multiple_of(7) {
+            self.obstacles.push((COLS - 1, rng.gen_range(0..ROWS)));
+        }
+        // Collision at the plane's column?
+        if self.obstacles.iter().any(|&(c, r)| c == 2 && r == self.plane_row) {
+            self.crashes += 1;
+            self.score -= 10;
+        } else {
+            self.score += 1;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DeviceProfile::paper();
+    // The menu is irrelevant here; the game taps the analog estimate.
+    let mut dev = DistScrollDevice::new(profile.clone(), Menu::flat(2), 99);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut game = Game { plane_row: ROWS / 2, obstacles: Vec::new(), score: 0, crashes: 0 };
+
+    println!("altitude game — Section 5.2's third application area");
+    println!("(distance from the body = altitude; scripted pilot flies 12 s)\n");
+
+    let span = profile.span_cm();
+    let mut shown = 0;
+    for tick in 0..120 {
+        // Scripted pilot: dodge the nearest obstacle in the plane's lane.
+        let threat = game
+            .obstacles
+            .iter()
+            .filter(|&&(c, _)| c > 2 && c < 14)
+            .min_by_key(|&&(c, _)| c)
+            .copied();
+        let desired_row = match threat {
+            Some((_, r)) if r == game.plane_row => {
+                if r == 0 {
+                    r + 2
+                } else if r + 1 >= ROWS || r > ROWS / 2 {
+                    r - 2
+                } else {
+                    r + 2
+                }
+            }
+            _ => game.plane_row,
+        };
+        // Altitude -> hand distance: row 0 (top) = arm extended.
+        let u = desired_row as f64 / (ROWS - 1) as f64;
+        dev.set_distance(profile.near_cm + (1.0 - u) * span);
+        dev.run_for_ms(100)?;
+
+        // The game reads the firmware's analog distance estimate.
+        if let Some(d) = dev.firmware().distance_estimate() {
+            let u = ((d - profile.near_cm) / span).clamp(0.0, 1.0);
+            game.plane_row = ((1.0 - u) * (ROWS - 1) as f64).round() as usize;
+        }
+        game.step(&mut rng, tick);
+
+        if tick % 30 == 29 && shown < 3 {
+            shown += 1;
+            println!("t = {:>2} s   score {}   crashes {}", (tick + 1) / 10, game.score, game.crashes);
+            println!("{}\n", game.frame());
+        }
+    }
+
+    println!("final score: {}   crashes: {}", game.score, game.crashes);
+    println!(
+        "the ~{:.0} ms sensor refresh sets the control latency a game must design around",
+        distscroll::sensors::gp2d120::SAMPLE_PERIOD_S * 1000.0
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Factory calibration: a fresh DistScroll unit (with real part-to-part
+//! sensor variation) goes through the jig, gets its own curve fitted and
+//! burned into the PIC's data EEPROM, and comes out with unbiased
+//! distance estimates.
+//!
+//! ```text
+//! cargo run --example factory_calibration
+//! ```
+
+use distscroll::core::device::DistScrollDevice;
+use distscroll::core::menu::Menu;
+use distscroll::core::profile::DeviceProfile;
+
+fn probe_bias(dev: &mut DistScrollDevice) -> Result<Vec<(f64, f64)>, Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for d in [6.0, 10.0, 14.0, 18.0, 22.0, 26.0] {
+        dev.set_distance(d);
+        dev.run_for_ms(500)?;
+        if let Some(est) = dev.firmware().distance_estimate() {
+            rows.push((d, est));
+        }
+    }
+    Ok(rows)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("factory calibration — per-unit GP2D120 curves in EEPROM\n");
+
+    // Serial number 2317 off the line: its sensor has its own gain and
+    // offset, a few percent away from the datasheet-typical part.
+    let mut unit =
+        DistScrollDevice::new_with_unit_variation(DeviceProfile::paper(), Menu::flat(8), 2317);
+
+    println!("before calibration (firmware assumes the datasheet-typical curve):");
+    println!("{:>10} {:>12} {:>8}", "true [cm]", "estimate", "error");
+    let before = probe_bias(&mut unit)?;
+    for (d, est) in &before {
+        println!("{d:>10.1} {est:>12.2} {:>+8.2}", est - d);
+    }
+    let mean_before =
+        before.iter().map(|(d, e)| (e - d).abs()).sum::<f64>() / before.len() as f64;
+
+    println!("\nrunning the jig: reference surface at 7 known positions…");
+    unit.calibrate_on_jig(&[5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0])?;
+    let curve = *unit.firmware().curve();
+    println!(
+        "fitted this unit's curve: V = {:.2}/(d + {:.2}) + {:.3}  -> burned to EEPROM",
+        curve.a, curve.d0, curve.c
+    );
+
+    println!("\nafter calibration:");
+    println!("{:>10} {:>12} {:>8}", "true [cm]", "estimate", "error");
+    let after = probe_bias(&mut unit)?;
+    for (d, est) in &after {
+        println!("{d:>10.1} {est:>12.2} {:>+8.2}", est - d);
+    }
+    let mean_after = after.iter().map(|(d, e)| (e - d).abs()).sum::<f64>() / after.len() as f64;
+
+    println!(
+        "\nmean |error|: {mean_before:.2} cm before -> {mean_after:.2} cm after calibration"
+    );
+    println!(
+        "eeprom record wear so far: {} write cycles (endurance {})",
+        unit.board().eeprom.wear(0),
+        distscroll::hw::eeprom::ENDURANCE_CYCLES
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! The experimenter's PC: log a live session over the wireless link and
+//! reconstruct what the participant did.
+//!
+//! ```text
+//! cargo run --example host_logger
+//! ```
+//!
+//! The authors' prototype was "wirelessly linked to a PC" (Section 3.2);
+//! this is that PC. A synthetic participant performs a few selections;
+//! the host decodes the radio stream, segments it into selections and
+//! replays the hand trajectory.
+
+use distscroll::core::device::DistScrollDevice;
+use distscroll::core::mapping::paper_curve;
+use distscroll::core::phone_menu::phone_menu;
+use distscroll::core::profile::DeviceProfile;
+use distscroll::host::replay::Trajectory;
+use distscroll::host::session::SessionLog;
+use distscroll::host::telemetry::StreamDecoder;
+use distscroll::user::population::UserParams;
+use distscroll::user::strategy::{DeviceGeometry, PositionAim, UserCommand};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DeviceProfile::paper();
+    let mut dev = DistScrollDevice::new(profile.clone(), phone_menu(), 44);
+    let mut rng = StdRng::seed_from_u64(44);
+    let user = UserParams::expert();
+    let mut decoder = StreamDecoder::new();
+    let mut log = SessionLog::new();
+
+    println!("host logger — the PC side of the paper's wireless link\n");
+
+    // The participant selects three top-level entries in a row.
+    let geometry = DeviceGeometry {
+        near_cm: profile.near_cm,
+        far_cm: profile.far_cm,
+        n_entries: dev.level_len(),
+        toward_is_down: true,
+    };
+    for &target in &[1usize, 5, 3] {
+        let mut aim =
+            PositionAim::new(user, geometry, target, dev.distance(), 50, &mut rng);
+        let t0 = dev.now();
+        loop {
+            let t = (dev.now() - t0).as_secs_f64();
+            if t > 15.0 {
+                break;
+            }
+            let (pos, cmd) = aim.step(t, dev.highlighted(), &mut rng);
+            dev.set_distance(pos);
+            match cmd {
+                UserCommand::PressSelect => dev.press_select(),
+                UserCommand::ReleaseSelect => dev.release_select(),
+                UserCommand::None => {}
+            }
+            dev.tick()?;
+            for frame in dev.drain_telemetry() {
+                log.ingest_all(decoder.push_bytes(&frame.bytes));
+            }
+            if aim.is_done() {
+                break;
+            }
+        }
+        // Entered a submenu? Back out for the next trial.
+        while dev.level() > 0 {
+            dev.click_back()?;
+        }
+        for frame in dev.drain_telemetry() {
+            log.ingest_all(decoder.push_bytes(&frame.bytes));
+        }
+    }
+
+    println!(
+        "link: {} records decoded, {} crc failures, {} malformed\n",
+        decoder.records_ok(),
+        decoder.crc_failures(),
+        decoder.records_bad()
+    );
+
+    println!("reconstructed selections:");
+    for (i, s) in log.selections().iter().enumerate() {
+        println!(
+            "  #{:<2} {:>5.2} s  path through {:>2} entries, {} reversals, landed on {:?}",
+            i + 1,
+            s.duration_s,
+            s.path.len(),
+            s.reversals,
+            s.selected
+        );
+    }
+
+    let traj = Trajectory::from_log(&log, &paper_curve(), 0.010);
+    println!(
+        "\nhand trajectory: {:.1} cm total travel, {:.1} cm/s mean speed, {:.0}% dwelling",
+        traj.travel_cm(),
+        traj.mean_speed(),
+        traj.dwell_fraction(0.15) * 100.0
+    );
+    println!("\n{}", traj.strip_chart(70, 12));
+
+    println!("csv export: {} rows (first two shown)", log.to_csv().lines().count() - 1);
+    for line in log.to_csv().lines().take(3) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! A quick run of the Section 7 comparison: DistScroll against buttons,
+//! wheel, tilt and the YoYo, on one practiced user.
+//!
+//! ```text
+//! cargo run --release --example technique_shootout
+//! ```
+//!
+//! For the full cohort version with Fitts regressions, run the harness:
+//! `cargo run -p distscroll-eval --release -- shootout`.
+
+use distscroll::baselines::{all_techniques, TrialSetup};
+use distscroll::user::population::UserParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let user = UserParams::expert();
+    let menu = 12;
+    let tasks: Vec<TrialSetup> = vec![
+        TrialSetup::new(menu, 0, 3, 50),
+        TrialSetup::new(menu, 3, 11, 51),
+        TrialSetup::new(menu, 11, 10, 52),
+        TrialSetup::new(menu, 10, 2, 53),
+        TrialSetup::new(menu, 2, 7, 54),
+        TrialSetup::new(menu, 7, 0, 55),
+    ];
+
+    println!("technique shootout — one practiced user, {menu}-entry menu, {} tasks\n", tasks.len());
+    println!("{:<12} {:>9} {:>8} {:>12}", "technique", "total[s]", "correct", "corrections");
+    println!("{}", "-".repeat(44));
+
+    for tech in all_techniques().iter_mut() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0.0;
+        let mut correct = 0;
+        let mut corrections = 0;
+        for setup in &tasks {
+            let r = tech.run_trial(&user, setup, &mut rng);
+            total += r.time_s;
+            correct += u32::from(r.correct);
+            corrections += r.corrections;
+        }
+        println!(
+            "{:<12} {:>9.2} {:>5}/{:<2} {:>12}",
+            tech.name(),
+            total,
+            correct,
+            tasks.len(),
+            corrections
+        );
+    }
+
+    println!("\n(the distscroll row runs the full simulated device: IR sensor, ADC,");
+    println!(" firmware island mapping, displays — the others are behavioural models)");
+}

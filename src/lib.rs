@@ -1,0 +1,25 @@
+//! Facade crate for the DistScroll reproduction.
+//!
+//! Re-exports every subcrate of the workspace under one roof so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`hw`] — the simulated Smart-Its hardware platform,
+//! * [`sensors`] — sensor physics (GP2D120, ADXL311), filters, calibration,
+//! * [`core`] — the DistScroll technique: island mapping, menus, firmware,
+//! * [`user`] — the synthetic human motor model,
+//! * [`baselines`] — comparison scrolling techniques,
+//! * [`eval`] — the experiment harness reproducing the paper's figures,
+//! * [`host`] — the PC side of the wireless link: telemetry decoding,
+//!   session logs and trajectory replay.
+//!
+//! See the README for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use distscroll_baselines as baselines;
+pub use distscroll_core as core;
+pub use distscroll_eval as eval;
+pub use distscroll_host as host;
+pub use distscroll_hw as hw;
+pub use distscroll_sensors as sensors;
+pub use distscroll_user as user;

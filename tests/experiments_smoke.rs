@@ -1,0 +1,38 @@
+//! Integration smoke of the full experiment suite: every reproduced
+//! figure and open question must hold the paper's shape at quick effort.
+//!
+//! This is the repository's headline regression test: if a change to the
+//! sensor physics, the firmware, the user model or the baselines breaks
+//! any published claim, this fails.
+
+use distscroll::eval::experiments::{run_all, Effort};
+
+#[test]
+fn every_experiment_holds_the_papers_shape_quick() {
+    let reports = run_all(Effort::Quick, 20050607);
+    assert_eq!(reports.len(), 14, "F4 F5 T-island S6 E1-E9 L1");
+    let failures: Vec<&str> =
+        reports.iter().filter(|r| !r.shape_holds).map(|r| r.id).collect();
+    assert!(
+        failures.is_empty(),
+        "experiments no longer reproduce the paper: {failures:?}\n\n{}",
+        reports
+            .iter()
+            .filter(|r| !r.shape_holds)
+            .map(|r| r.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn reports_render_complete_text() {
+    let reports = run_all(Effort::Quick, 1);
+    for r in &reports {
+        let text = r.render();
+        assert!(text.contains(r.id));
+        assert!(text.contains("paper:"), "{}: missing the paper claim", r.id);
+        assert!(!r.sections.is_empty(), "{}: no tables or plots", r.id);
+        assert!(!r.findings.is_empty(), "{}: no findings", r.id);
+    }
+}
