@@ -40,17 +40,28 @@ pub mod yoyo;
 
 pub use technique::{ScrollTechnique, TrialResult, TrialSetup};
 
+/// A thread-safe technique constructor: plain function pointers are
+/// `Copy + Send + Sync`, so parallel cohort workers can each build
+/// their own instance instead of sharing one `&mut` across users.
+pub type TechniqueCtor = fn() -> Box<dyn ScrollTechnique>;
+
+/// Constructors for every technique, DistScroll first — the standard
+/// lineup the experiments sweep.
+pub fn all_technique_ctors() -> Vec<TechniqueCtor> {
+    vec![
+        || Box::new(distscroll::DistScrollTechnique::paper()),
+        || Box::new(buttons::ButtonsTechnique::new()),
+        || Box::new(wheel::WheelTechnique::new()),
+        || Box::new(tilt::TiltTechnique::new()),
+        || Box::new(yoyo::YoyoTechnique::new()),
+        || Box::new(tuister::TuisterTechnique::new()),
+    ]
+}
+
 /// Constructs every technique, DistScroll first — the standard lineup
 /// the experiments sweep.
 pub fn all_techniques() -> Vec<Box<dyn ScrollTechnique>> {
-    vec![
-        Box::new(distscroll::DistScrollTechnique::paper()),
-        Box::new(buttons::ButtonsTechnique::new()),
-        Box::new(wheel::WheelTechnique::new()),
-        Box::new(tilt::TiltTechnique::new()),
-        Box::new(yoyo::YoyoTechnique::new()),
-        Box::new(tuister::TuisterTechnique::new()),
-    ]
+    all_technique_ctors().into_iter().map(|ctor| ctor()).collect()
 }
 
 #[cfg(test)]

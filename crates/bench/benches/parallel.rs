@@ -1,0 +1,66 @@
+//! Serial vs parallel harness benches.
+//!
+//! Two fan-out levels are timed against their forced-serial twins:
+//!
+//! * `run_cohort` — one technique, one cohort, users over threads,
+//! * `run_all` — the whole 14-experiment suite at quick effort.
+//!
+//! The parallel variants must produce byte-identical records (the
+//! determinism tests assert it; the cohort bench re-asserts cheaply),
+//! so the only thing allowed to differ is the wall clock. On a
+//! single-core machine both variants are expected to tie; record a
+//! baseline with `--save-baseline` before reading anything into deltas.
+//! Run with `cargo bench -p distscroll-bench --bench parallel`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distscroll_baselines::distscroll::DistScrollTechnique;
+use distscroll_baselines::ScrollTechnique;
+use distscroll_bench::BENCH_SEED;
+use distscroll_eval::experiments::{run_all, set_jobs, Effort};
+use distscroll_eval::runner::run_cohort;
+use distscroll_user::population::{sample_cohort, UserParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cohort(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let cohort: Vec<UserParams> = sample_cohort(8, &mut rng);
+    let factory = || Box::new(DistScrollTechnique::paper()) as Box<dyn ScrollTechnique>;
+    let expected = run_cohort(&factory, &cohort, 10, 8, BENCH_SEED, 1);
+
+    c.bench_function("run_cohort_serial_jobs1", |b| {
+        b.iter(|| run_cohort(&factory, &cohort, 10, 8, BENCH_SEED, 1))
+    });
+    c.bench_function("run_cohort_parallel_auto", |b| {
+        b.iter(|| {
+            let records = run_cohort(&factory, &cohort, 10, 8, BENCH_SEED, 0);
+            assert_eq!(records, expected, "parallel cohort diverged from serial");
+            records
+        })
+    });
+}
+
+fn bench_run_all(c: &mut Criterion) {
+    set_jobs(1);
+    c.bench_function("run_all_quick_serial_jobs1", |b| {
+        b.iter(|| run_all(Effort::Quick, BENCH_SEED))
+    });
+    set_jobs(0);
+    c.bench_function("run_all_quick_parallel_auto", |b| {
+        b.iter(|| run_all(Effort::Quick, BENCH_SEED))
+    });
+}
+
+criterion_group! {
+    name = cohort;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cohort
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default().sample_size(3);
+    targets = bench_run_all
+}
+
+criterion_main!(cohort, suite);

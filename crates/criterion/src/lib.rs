@@ -1,0 +1,236 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the benchmarking surface its benches use: [`Criterion`] with
+//! `bench_function`/`sample_size`, [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — per-sample wall-clock times
+//! with mean / min / max over `sample_size` samples, printed as one
+//! line per benchmark:
+//!
+//! ```text
+//! bench_name  time: [mean 12.345 ms]  min 11.9 ms  max 13.1 ms  (20 samples)
+//! ```
+//!
+//! A `--test` (or `--list`) argument — what `cargo test --benches`
+//! passes — switches to smoke mode: each benchmark body runs exactly
+//! once so the run validates without burning bench time. A
+//! `--save-baseline NAME` argument is accepted and appends results as
+//! tab-separated lines to `criterion-NAME.tsv` in the working
+//! directory, giving a diffable perf trajectory without the upstream
+//! HTML machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a run was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (default under `cargo bench`).
+    Measure,
+    /// One iteration per benchmark (under `cargo test --benches`).
+    Smoke,
+    /// Only print benchmark names (under `--list`).
+    List,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup_iters: u64,
+    mode: Mode,
+    baseline: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--list") {
+            Mode::List
+        } else if args.iter().any(|a| a == "--test") {
+            Mode::Smoke
+        } else {
+            Mode::Measure
+        };
+        let baseline = args
+            .iter()
+            .position(|a| a == "--save-baseline")
+            .and_then(|i| args.get(i + 1).cloned());
+        Criterion { sample_size: 20, warmup_iters: 2, mode, baseline }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for source compatibility; the vendored driver reads its
+    /// arguments in [`Criterion::default`] already.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        match self.mode {
+            Mode::List => {
+                println!("{id}: benchmark");
+                return self;
+            }
+            Mode::Smoke => {
+                let mut b = Bencher { samples: Vec::new(), budget: 1, warmup: 0 };
+                f(&mut b);
+                println!("{id}: smoke ok");
+                return self;
+            }
+            Mode::Measure => {}
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size as u64,
+            warmup: self.warmup_iters,
+        };
+        f(&mut b);
+        let times = &b.samples;
+        assert!(!times.is_empty(), "benchmark {id} never called Bencher::iter");
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id}  time: [mean {}]  min {}  max {}  ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            times.len()
+        );
+        if let Some(name) = &self.baseline {
+            let path = format!("criterion-{name}.tsv");
+            let line = format!(
+                "{id}\t{:.9}\t{:.9}\t{:.9}\t{}\n",
+                mean.as_secs_f64(),
+                min.as_secs_f64(),
+                max.as_secs_f64(),
+                times.len()
+            );
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| file.write_all(line.as_bytes()));
+            if let Err(e) = result {
+                eprintln!("warning: could not append baseline {path}: {e}");
+            }
+        }
+        self
+    }
+}
+
+/// Runs the measured closure and records per-sample times.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: u64,
+    warmup: u64,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample, after a short warmup.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group of benchmarks, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn measures_and_reports_samples() {
+        let mut c = Criterion { sample_size: 3, warmup_iters: 1, mode: Mode::Measure, baseline: None };
+        demo_bench(&mut c);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { sample_size: 50, warmup_iters: 1, mode: Mode::Smoke, baseline: None };
+        let mut calls = 0u64;
+        c.bench_function("count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "smoke mode must run the body exactly once");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

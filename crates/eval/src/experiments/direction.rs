@@ -18,10 +18,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::report::Table;
-use crate::runner::{run_block, summarize};
+use crate::runner::{run_block, run_users, summarize};
 use crate::task::TaskPlan;
 
-use super::{Effort, ExperimentReport};
+use super::{jobs, Effort, ExperimentReport};
 
 /// Runs E3.
 pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
@@ -53,14 +53,14 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let mut cond_means = Vec::new();
     for (label, device_dir, belief) in conditions {
         let profile = DeviceProfile { direction: device_dir, ..DeviceProfile::paper() };
-        let mut tech =
-            DistScrollTechnique::with_profile(profile).with_user_direction_belief(belief);
-        let mut records = Vec::new();
-        for (uid, user) in cohort.iter().enumerate() {
+        let records = run_users(&cohort, jobs(), |uid, user| {
+            let mut tech = DistScrollTechnique::with_profile(profile.clone())
+                .with_user_direction_belief(belief);
             let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 7));
-            records.extend(run_block(&mut tech, user, uid, &plan, seed ^ (uid as u64 * 17) ^ label.len() as u64));
-        }
-        let stats = summarize(&records);
+            run_block(&mut tech, user, uid, &plan, seed ^ (uid as u64 * 17) ^ label.len() as u64)
+        });
+        let stats = summarize(&records)
+            .unwrap_or_else(|e| panic!("direction condition {label:?} degenerate: {e}"));
         table.row(&[
             label.into(),
             format!("{:.2} ± {:.2}", stats.time.mean, stats.time.ci95),

@@ -86,24 +86,82 @@ impl std::fmt::Display for ExperimentReport {
     }
 }
 
-/// Runs every experiment in the canonical order.
+/// The worker-thread budget for the harness, settable from the CLI.
+///
+/// `0` means "auto" (the machine's available parallelism); `1` forces
+/// the serial path everywhere. Experiments read it through [`jobs`] at
+/// their fan-out points. Results are byte-for-byte identical at any
+/// value — parallelism only reorders *execution*, never records — so a
+/// process-wide knob is safe.
+static JOBS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Sets the worker-thread budget (`0` = auto, `1` = serial).
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The effective worker-thread budget.
+pub fn jobs() -> usize {
+    distscroll_par::resolve_jobs(JOBS.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+/// Canonical experiment order: the CLI ids, as `run_all` reports them.
+pub const ALL_IDS: [&str; 14] = [
+    "fig4", "fig5", "islands", "study", "shootout", "range", "direction", "longmenus",
+    "fastscroll", "robustness", "ablation", "buttons", "pda", "link",
+];
+
+/// Runs one experiment by CLI id; `None` for an unknown id.
+pub fn run_id(id: &str, effort: Effort, seed: u64) -> Option<ExperimentReport> {
+    Some(match id {
+        "fig4" => fig4::run(effort, seed),
+        "fig5" => fig5::run(effort, seed),
+        "islands" => islands::run(effort, seed),
+        "study" => study::run(effort, seed),
+        "shootout" => shootout::run(effort, seed),
+        "range" => range_sweep::run(effort, seed),
+        "direction" => direction::run(effort, seed),
+        "longmenus" => long_menus::run(effort, seed),
+        "fastscroll" => fastscroll::run(effort, seed),
+        "robustness" => robustness::run(effort, seed),
+        "ablation" => ablation::run(effort, seed),
+        "buttons" => button_layout::run(effort, seed),
+        "pda" => pda::run(effort, seed),
+        "link" => link::run(effort, seed),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment and reports in the canonical order.
+///
+/// The 14 experiments fan out over [`jobs`] worker threads; each is
+/// internally deterministic (all stochasticity flows from `seed`), and
+/// the join reassembles reports in canonical order, so the output is
+/// identical to running them one after another.
 pub fn run_all(effort: Effort, seed: u64) -> Vec<ExperimentReport> {
-    vec![
-        fig4::run(effort, seed),
-        fig5::run(effort, seed),
-        islands::run(effort, seed),
-        study::run(effort, seed),
-        shootout::run(effort, seed),
-        range_sweep::run(effort, seed),
-        direction::run(effort, seed),
-        long_menus::run(effort, seed),
-        fastscroll::run(effort, seed),
-        robustness::run(effort, seed),
-        ablation::run(effort, seed),
-        button_layout::run(effort, seed),
-        pda::run(effort, seed),
-        link::run(effort, seed),
-    ]
+    run_all_timed(effort, seed).into_iter().map(|(report, _)| report).collect()
+}
+
+/// Like [`run_all`], but also reports each experiment's wall-clock
+/// seconds (as measured inside the fan-out, so concurrent experiments
+/// share the machine).
+pub fn run_all_timed(effort: Effort, seed: u64) -> Vec<(ExperimentReport, f64)> {
+    run_ids_timed(&ALL_IDS, effort, seed)
+}
+
+/// Runs the given experiments in parallel, returning `(report, secs)`
+/// in input order.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_ids_timed(ids: &[&str], effort: Effort, seed: u64) -> Vec<(ExperimentReport, f64)> {
+    distscroll_par::par_map(jobs(), ids, |_, id| {
+        let t0 = std::time::Instant::now();
+        let report = run_id(id, effort, seed)
+            .unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
+        (report, t0.elapsed().as_secs_f64())
+    })
 }
 
 #[cfg(test)]

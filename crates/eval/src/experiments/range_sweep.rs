@@ -23,10 +23,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::report::Table;
-use crate::runner::run_block;
+use crate::runner::{run_block, run_users};
 use crate::task::TaskPlan;
 
-use super::{Effort, ExperimentReport};
+use super::{jobs, Effort, ExperimentReport};
 
 /// Outcome for one range condition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,9 +64,13 @@ pub fn reachable_fraction(profile: &DeviceProfile, n: usize, seed: u64) -> f64 {
             break;
         }
         // Majority vote over a dwell window: a usable entry must show
-        // *stably*, not flicker in by noise once.
+        // *stably*, not flicker in by noise once. The window has to be
+        // long enough that the vote reflects the entry's true hold rate
+        // rather than one burst of filtered sensor noise — marginal far
+        // entries hold ~95% of the time but can dip below any threshold
+        // over a dozen samples.
         let mut hits = 0;
-        let samples = 14;
+        let samples = 50;
         let mut broke = false;
         for _ in 0..samples {
             if dev.run_for_ms(100).is_err() {
@@ -112,18 +116,17 @@ pub fn sweep(effort: Effort, seed: u64) -> Vec<RangeOutcome> {
             // The probe uses 12 entries — the device's full island budget —
             // where misplacement past the sensor range is unambiguous.
             let reachable = reachable_fraction(&profile, 12, seed ^ far.to_bits());
-            let mut tech = DistScrollTechnique::with_profile(profile);
-            let mut records = Vec::new();
-            for (uid, user) in cohort.iter().enumerate() {
+            let records = run_users(&cohort, jobs(), |uid, user| {
+                let mut tech = DistScrollTechnique::with_profile(profile.clone());
                 let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 11));
-                records.extend(run_block(
+                run_block(
                     &mut tech,
                     user,
                     uid,
                     &plan,
                     seed ^ (uid as u64 * 131) ^ far.to_bits(),
-                ));
-            }
+                )
+            });
             let n = records.len() as f64;
             let correct: Vec<f64> = records
                 .iter()

@@ -21,12 +21,12 @@ use distscroll_user::population::sample_cohort;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::runner::{run_block, TrialRecord};
+use crate::runner::{run_block, run_users, TrialRecord};
 use crate::stats::{Proportion, Summary};
 use crate::task::TaskPlan;
 use crate::report::Table;
 
-use super::{Effort, ExperimentReport};
+use super::{jobs, Effort, ExperimentReport};
 
 /// Trials per learning block.
 const BLOCK: usize = 8;
@@ -34,18 +34,20 @@ const BLOCK: usize = 8;
 /// Runs S6.
 pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let n_users = effort.pick(6, 24);
-    let n_trials = effort.pick(16, 40);
+    // Quick mode still needs three learning blocks: with only two, the
+    // block-1 vs last-block contrast is a coin flip of cohort luck
+    // rather than a practice effect.
+    let n_trials = effort.pick(24, 40);
     let menu_size = 7; // the fictive phone menu's top level has 7 entries
 
     let mut rng = StdRng::seed_from_u64(seed);
     let cohort = sample_cohort(n_users, &mut rng);
 
-    let mut all: Vec<TrialRecord> = Vec::new();
-    for (user_id, user) in cohort.iter().enumerate() {
+    let all: Vec<TrialRecord> = run_users(&cohort, jobs(), |user_id, user| {
         let mut tech = DistScrollTechnique::paper();
         let plan = TaskPlan::block(menu_size, n_trials, 1, seed ^ ((user_id as u64) << 9));
-        all.extend(run_block(&mut tech, user, user_id, &plan, seed.wrapping_add(user_id as u64)));
-    }
+        run_block(&mut tech, user, user_id, &plan, seed.wrapping_add(user_id as u64))
+    });
 
     // Discovery: the very first trial of each user.
     let first_trials: Vec<&TrialRecord> =

@@ -1,50 +1,83 @@
 //! Command-line harness: regenerate any figure or experiment.
 //!
 //! ```text
-//! distscroll-eval [--quick] [--seed N] [--out DIR] <id>|all
+//! distscroll-eval [--quick] [--seed N] [--jobs N] [--out DIR] [--bench-out FILE] <id>|all
 //! ```
 //!
 //! where `<id>` is one of `fig4 fig5 islands study shootout range
-//! direction longmenus fastscroll robustness ablation link`. Reports
-//! print to stdout; with `--out` each is also written to
+//! direction longmenus fastscroll robustness ablation buttons pda
+//! link`. Reports print to stdout; with `--out` each is also written to
 //! `DIR/<id>.txt`.
+//!
+//! `--jobs N` caps the worker threads (`1` forces the serial path, `0`
+//! or absent means auto). Reports are byte-for-byte identical at any
+//! jobs count. `--bench-out FILE` additionally times every selected
+//! experiment twice — once serial, once at the requested parallelism —
+//! and writes the per-experiment wall-clock comparison as JSON.
 
 use std::io::Write as _;
 
-use distscroll_eval::experiments::{self, Effort, ExperimentReport};
+use distscroll_eval::experiments::{self, Effort};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: distscroll-eval [--quick] [--seed N] [--out DIR] \
+        "usage: distscroll-eval [--quick] [--seed N] [--jobs N] [--out DIR] [--bench-out FILE] \
          <fig4|fig5|islands|study|shootout|range|direction|longmenus|fastscroll|robustness|ablation|buttons|pda|link|all>"
     );
     std::process::exit(2);
 }
 
-fn run_one(id: &str, effort: Effort, seed: u64) -> Option<ExperimentReport> {
-    Some(match id {
-        "fig4" => experiments::fig4::run(effort, seed),
-        "fig5" => experiments::fig5::run(effort, seed),
-        "islands" => experiments::islands::run(effort, seed),
-        "study" => experiments::study::run(effort, seed),
-        "shootout" => experiments::shootout::run(effort, seed),
-        "range" => experiments::range_sweep::run(effort, seed),
-        "direction" => experiments::direction::run(effort, seed),
-        "longmenus" => experiments::long_menus::run(effort, seed),
-        "fastscroll" => experiments::fastscroll::run(effort, seed),
-        "robustness" => experiments::robustness::run(effort, seed),
-        "ablation" => experiments::ablation::run(effort, seed),
-        "buttons" => experiments::button_layout::run(effort, seed),
-        "pda" => experiments::pda::run(effort, seed),
-        "link" => experiments::link::run(effort, seed),
-        _ => return None,
-    })
+/// One experiment's serial-vs-parallel wall-clock comparison.
+struct BenchRow {
+    id: String,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+/// Renders the perf report as JSON by hand — the harness has no JSON
+/// dependency, and experiment ids contain no characters that need
+/// escaping.
+///
+/// The headline `speedup` compares each pass's *overall* wall clock:
+/// per-experiment parallel timings overlap on shared cores, so their
+/// sum double-counts contended time and says nothing about throughput.
+fn bench_json(
+    rows: &[BenchRow],
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    jobs: usize,
+    effort: Effort,
+    seed: u64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"effort\": \"{effort:?}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}}}{comma}\n",
+            r.id, r.serial_s, r.parallel_s,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
+    out.push_str(&format!("  \"parallel_wall_s\": {parallel_wall_s:.4},\n"));
+    out.push_str(&format!(
+        "  \"speedup\": {:.3}\n",
+        serial_wall_s / parallel_wall_s.max(1e-9)
+    ));
+    out.push_str("}\n");
+    out
 }
 
 fn main() {
     let mut effort = Effort::Full;
     let mut seed = 20050607u64; // the paper's year and venue date
+    let mut jobs = 0usize; // 0 = auto
     let mut out_dir: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -54,8 +87,14 @@ fn main() {
             "--seed" => {
                 seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--jobs" => {
+                jobs = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--out" => {
                 out_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--bench-out" => {
+                bench_out = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
@@ -65,31 +104,94 @@ fn main() {
         usage();
     }
 
-    let reports: Vec<ExperimentReport> = if targets.iter().any(|t| t == "all") {
-        experiments::run_all(effort, seed)
+    let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        experiments::ALL_IDS.to_vec()
     } else {
-        targets
-            .iter()
-            .map(|t| run_one(t, effort, seed).unwrap_or_else(|| usage()))
-            .collect()
+        let ids: Vec<&str> = targets.iter().map(String::as_str).collect();
+        if ids.iter().any(|id| !experiments::ALL_IDS.contains(id)) {
+            usage();
+        }
+        ids
     };
 
-    println!("DistScroll reproduction — experiment harness (seed {seed}, {effort:?})\n");
+    experiments::set_jobs(jobs);
+    let timed = experiments::run_ids_timed(&ids, effort, seed);
+
+    println!(
+        "DistScroll reproduction — experiment harness (seed {seed}, {effort:?}, jobs {})\n",
+        if jobs == 0 { "auto".to_string() } else { jobs.to_string() }
+    );
     let mut holds = 0;
-    for r in &reports {
+    for (r, secs) in &timed {
         println!("{r}");
+        println!("wall clock: {secs:.2} s\n");
         if r.shape_holds {
             holds += 1;
         }
         if let Some(dir) = &out_dir {
-            std::fs::create_dir_all(dir).expect("create output directory");
             let path = format!("{dir}/{}.txt", r.id.to_lowercase());
-            let mut f = std::fs::File::create(&path).expect("create report file");
-            f.write_all(r.render().as_bytes()).expect("write report file");
+            let written = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::File::create(&path))
+                .and_then(|mut f| f.write_all(r.render().as_bytes()));
+            if let Err(e) = written {
+                eprintln!("error: cannot write report {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
-    println!("== summary: {holds}/{} experiments hold the paper's shape ==", reports.len());
-    if holds < reports.len() {
+
+    if let Some(bench_path) = &bench_out {
+        // Bench pass: re-run the same selection serial and parallel and
+        // verify the reports match while we're at it — the determinism
+        // guarantee, checked on every perf run for free.
+        eprintln!("bench: timing serial pass (--jobs 1)...");
+        experiments::set_jobs(1);
+        let t_serial = std::time::Instant::now();
+        let serial = experiments::run_ids_timed(&ids, effort, seed);
+        let serial_wall_s = t_serial.elapsed().as_secs_f64();
+        eprintln!("bench: timing parallel pass (--jobs {jobs})...");
+        experiments::set_jobs(jobs);
+        let t_parallel = std::time::Instant::now();
+        let parallel = experiments::run_ids_timed(&ids, effort, seed);
+        let parallel_wall_s = t_parallel.elapsed().as_secs_f64();
+        for ((sr, _), (pr, _)) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                sr.render(),
+                pr.render(),
+                "experiment {} rendered differently serial vs parallel",
+                sr.id
+            );
+        }
+        let rows: Vec<BenchRow> = ids
+            .iter()
+            .zip(serial.iter().zip(&parallel))
+            .map(|(id, ((_, s), (_, p)))| BenchRow {
+                id: (*id).to_string(),
+                serial_s: *s,
+                parallel_s: *p,
+            })
+            .collect();
+        let json = bench_json(
+            &rows,
+            serial_wall_s,
+            parallel_wall_s,
+            distscroll_par::resolve_jobs(jobs),
+            effort,
+            seed,
+        );
+        if let Err(e) = std::fs::write(bench_path, &json) {
+            eprintln!("error: cannot write bench report {bench_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench: wrote {bench_path} (serial {serial_wall_s:.2} s, parallel \
+             {parallel_wall_s:.2} s, speedup {:.2}x)",
+            serial_wall_s / parallel_wall_s.max(1e-9)
+        );
+    }
+
+    println!("== summary: {holds}/{} experiments hold the paper's shape ==", timed.len());
+    if holds < timed.len() {
         std::process::exit(1);
     }
 }

@@ -1,9 +1,13 @@
 //! Cohort × technique × condition trial loops.
 //!
 //! [`run_block`] runs one user through one block on one technique;
-//! [`run_cohort`] runs a whole cohort and collects per-trial records the
-//! experiments aggregate. Everything is seeded: the same call produces
-//! the same records.
+//! [`run_users`] fans a cohort out across worker threads — each worker
+//! builds its *own* technique instance, so no `&mut` state crosses
+//! users — and [`run_cohort`] is the standard plan-per-user instance of
+//! it. Everything is seeded per `(user, block)`, so the records are
+//! **identical at any `jobs` count**: workers tag results by user and
+//! the join reassembles them in `(user_id, trial)` order, byte-for-byte
+//! equal to the serial path.
 
 use distscroll_baselines::{ScrollTechnique, TrialResult, TrialSetup};
 use distscroll_user::population::UserParams;
@@ -24,6 +28,15 @@ pub struct TrialRecord {
     pub result: TrialResult,
 }
 
+/// Builds a fresh technique instance for one parallel worker.
+///
+/// The old runner threaded a single `&mut dyn ScrollTechnique` through
+/// every user, which serializes the cohort. All techniques are
+/// stateless across trials (their per-trial state lives in the devices
+/// they build per trial), so giving each user a fresh instance produces
+/// the same records — and lets users run concurrently.
+pub type TechniqueFactory<'a> = dyn Fn() -> Box<dyn ScrollTechnique> + Sync + 'a;
+
 /// Runs one user through a task plan.
 pub fn run_block(
     technique: &mut dyn ScrollTechnique,
@@ -43,23 +56,49 @@ pub fn run_block(
         .collect()
 }
 
-/// Runs every user of a cohort through (their own copy of) a task plan.
+/// Fans a cohort out over up to `jobs` worker threads and returns every
+/// user's records concatenated in `(user_id, trial)` order.
+///
+/// `per_user` must derive all stochasticity from `(user_id, user)` —
+/// the discipline every experiment already follows via per-user seeds —
+/// which makes the output independent of `jobs`.
+pub fn run_users<F>(cohort: &[UserParams], jobs: usize, per_user: F) -> Vec<TrialRecord>
+where
+    F: Fn(usize, &UserParams) -> Vec<TrialRecord> + Sync,
+{
+    let per_user_records = distscroll_par::par_map(jobs, cohort, per_user);
+    let mut records = Vec::with_capacity(per_user_records.iter().map(Vec::len).sum());
+    for user_records in per_user_records {
+        records.extend(user_records);
+    }
+    records
+}
+
+/// Runs every user of a cohort through (their own copy of) a task plan,
+/// in parallel over up to `jobs` threads (`jobs = 1` forces the serial
+/// path; the records are identical either way).
 ///
 /// Each user gets a distinct trial seed derived from `seed` and a
 /// distinct task seed, as a counterbalanced study would.
 pub fn run_cohort(
-    technique: &mut dyn ScrollTechnique,
+    factory: &TechniqueFactory,
     cohort: &[UserParams],
     n_entries: usize,
     trials_per_user: usize,
     seed: u64,
+    jobs: usize,
 ) -> Vec<TrialRecord> {
-    let mut records = Vec::with_capacity(cohort.len() * trials_per_user);
-    for (user_id, user) in cohort.iter().enumerate() {
+    run_users(cohort, jobs, |user_id, user| {
+        let mut technique = factory();
         let plan = TaskPlan::block(n_entries, trials_per_user, 1, seed ^ (user_id as u64) << 17);
-        records.extend(run_block(technique, user, user_id, &plan, seed.wrapping_add(user_id as u64 * 7919)));
-    }
-    records
+        run_block(
+            technique.as_mut(),
+            user,
+            user_id,
+            &plan,
+            seed.wrapping_add(user_id as u64 * 7919),
+        )
+    })
 }
 
 /// Aggregate view of a set of trial records.
@@ -75,30 +114,59 @@ pub struct BlockStats {
     pub timeouts: usize,
 }
 
-/// Summarizes trial records.
+/// Why a record set cannot be summarized.
 ///
-/// # Panics
-///
-/// Panics if `records` is empty, or no trial finished correctly (there
-/// would be no times to summarize — a condition that failed this badly
-/// should be reported by the caller instead).
-pub fn summarize(records: &[TrialRecord]) -> BlockStats {
-    assert!(!records.is_empty(), "no records to summarize");
+/// A condition that fails this badly (every trial wrong or timed out)
+/// used to abort the whole run with a panic; inside a parallel worker
+/// that would tear down every sibling experiment, so it is now a value
+/// the caller renders as a degenerate row instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummarizeError {
+    /// No records at all.
+    Empty,
+    /// Records exist but no trial finished correctly, so there are no
+    /// selection times to summarize. Carries the record count.
+    NoCorrectTrials {
+        /// Total trials in the degenerate record set.
+        records: usize,
+    },
+}
+
+impl std::fmt::Display for SummarizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummarizeError::Empty => f.write_str("no records to summarize"),
+            SummarizeError::NoCorrectTrials { records } => {
+                write!(f, "no correct trials among {records} records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummarizeError {}
+
+/// Summarizes trial records; `Err` on empty or all-failure sets.
+pub fn summarize(records: &[TrialRecord]) -> Result<BlockStats, SummarizeError> {
+    if records.is_empty() {
+        return Err(SummarizeError::Empty);
+    }
     let times: Vec<f64> = records
         .iter()
         .filter(|r| r.result.correct)
         .map(|r| r.result.time_s)
         .collect();
-    assert!(!times.is_empty(), "no correct trials to take times from");
+    if times.is_empty() {
+        return Err(SummarizeError::NoCorrectTrials { records: records.len() });
+    }
     let errors = records.iter().filter(|r| !r.result.correct).count();
     let timeouts = records.iter().filter(|r| r.result.selected_idx.is_none()).count();
     let corrections: Vec<f64> = records.iter().map(|r| f64::from(r.result.corrections)).collect();
-    BlockStats {
+    Ok(BlockStats {
         time: Summary::of(&times),
         errors: Proportion::of(errors, records.len()),
         corrections: Summary::of(&corrections),
         timeouts,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -123,10 +191,34 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let cohort = sample_cohort(4, &mut rng);
         let run = |cohort: &[UserParams]| {
-            let mut tech = ButtonsTechnique::new();
-            run_cohort(&mut tech, cohort, 10, 5, 77)
+            run_cohort(&|| Box::new(ButtonsTechnique::new()), cohort, 10, 5, 77, 1)
         };
         assert_eq!(run(&cohort), run(&cohort));
+    }
+
+    #[test]
+    fn parallel_cohort_matches_serial_cohort() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cohort = sample_cohort(6, &mut rng);
+        let factory: &TechniqueFactory = &|| Box::new(ButtonsTechnique::new());
+        let serial = run_cohort(factory, &cohort, 10, 4, 123, 1);
+        for jobs in [2, 4, 8] {
+            let parallel = run_cohort(factory, &cohort, 10, 4, 123, jobs);
+            assert_eq!(serial, parallel, "jobs={jobs} must reproduce the serial records");
+        }
+    }
+
+    #[test]
+    fn cohort_records_arrive_in_user_then_trial_order() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cohort = sample_cohort(5, &mut rng);
+        let records =
+            run_cohort(&|| Box::new(ButtonsTechnique::new()), &cohort, 8, 3, 50, 8);
+        let order: Vec<(usize, u32)> =
+            records.iter().map(|r| (r.user_id, r.setup.trial_number)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "records must stay in (user_id, trial) order");
     }
 
     #[test]
@@ -145,7 +237,7 @@ mod tests {
             },
             TrialRecord { user_id: 0, setup, result: TrialResult::timeout(30.0, 5) },
         ];
-        let stats = summarize(&records);
+        let stats = summarize(&records).expect("one correct trial is summarizable");
         assert_eq!(stats.time.n, 1);
         assert_eq!(stats.errors.k, 2);
         assert_eq!(stats.timeouts, 1);
@@ -153,10 +245,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no correct trials")]
-    fn summarize_rejects_all_failures() {
+    fn summarize_reports_degenerate_sets_instead_of_panicking() {
         let setup = TrialSetup::new(8, 0, 4, 1);
         let records = vec![TrialRecord { user_id: 0, setup, result: TrialResult::timeout(30.0, 0) }];
-        let _ = summarize(&records);
+        assert_eq!(summarize(&records), Err(SummarizeError::NoCorrectTrials { records: 1 }));
+        assert_eq!(summarize(&[]), Err(SummarizeError::Empty));
+        let msg = SummarizeError::NoCorrectTrials { records: 1 }.to_string();
+        assert!(msg.contains("no correct trials"), "{msg}");
     }
 }

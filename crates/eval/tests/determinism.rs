@@ -1,0 +1,57 @@
+//! The parallel harness's load-bearing guarantee: the worker-thread
+//! budget must never change a single record or rendered report.
+//!
+//! `run_cohort` fans users out over threads and `run_all` fans whole
+//! experiments out; both tag results by input index and reassemble in
+//! order, and every unit of work derives its stochasticity from
+//! per-(user, block) seeds. If someone ever threads an RNG or a shared
+//! technique instance through the fan-out, these tests catch it.
+
+use distscroll_baselines::buttons::ButtonsTechnique;
+use distscroll_baselines::distscroll::DistScrollTechnique;
+use distscroll_baselines::ScrollTechnique;
+use distscroll_eval::experiments::{run_all, set_jobs, Effort};
+use distscroll_eval::runner::{run_cohort, TechniqueFactory};
+use distscroll_user::population::sample_cohort;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn cohort_records_identical_at_any_jobs_count() {
+    let mut rng = StdRng::seed_from_u64(20050607);
+    let cohort = sample_cohort(8, &mut rng);
+    let factories: [&TechniqueFactory; 2] = [
+        &|| Box::new(DistScrollTechnique::paper()) as Box<dyn ScrollTechnique>,
+        &|| Box::new(ButtonsTechnique::new()) as Box<dyn ScrollTechnique>,
+    ];
+    for factory in factories {
+        let serial = run_cohort(factory, &cohort, 10, 6, 77, 1);
+        for jobs in [2, 8] {
+            let parallel = run_cohort(factory, &cohort, 10, 6, 77, jobs);
+            assert_eq!(
+                serial, parallel,
+                "jobs={jobs} must reproduce the serial records exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_all_reports_identical_serial_vs_parallel() {
+    set_jobs(1);
+    let serial = run_all(Effort::Quick, 20050607);
+    set_jobs(8);
+    let parallel = run_all(Effort::Quick, 20050607);
+    set_jobs(0);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.id, p.id, "canonical order must survive the fan-out");
+        assert_eq!(
+            s.render(),
+            p.render(),
+            "experiment {} rendered differently serial vs parallel",
+            s.id
+        );
+    }
+}

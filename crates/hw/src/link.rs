@@ -359,7 +359,12 @@ mod tests {
 
     #[test]
     fn bit_errors_are_caught_by_crc() {
-        let ch = RadioChannel::lossy(0.0, 0.02);
+        // 0.2 % BER over this ~370-bit frame corrupts roughly half the
+        // transmissions: both "some survive" and "some fail crc" then
+        // hold with overwhelming probability instead of riding on the
+        // luck of one specific rng stream (2 % put per-frame survival
+        // near 1/1500, a coin flip across 500 sends).
+        let ch = RadioChannel::lossy(0.0, 0.002);
         let mut rng = StdRng::seed_from_u64(5);
         let mut dec = FrameDecoder::new();
         let frame = encode_frame(b"payload with enough bytes to hit errors");
@@ -373,7 +378,7 @@ mod tests {
             }
         }
         assert!(delivered_ok > 0, "some frames should survive");
-        assert!(dec.frames_bad() > 0, "some frames should fail crc at 2 % ber");
+        assert!(dec.frames_bad() > 0, "some frames should fail crc at 0.2 % ber");
     }
 
     #[test]

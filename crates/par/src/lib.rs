@@ -1,0 +1,162 @@
+//! Deterministic scoped fan-out over `std::thread`.
+//!
+//! The evaluation pipeline is embarrassingly parallel — every trial is
+//! independently seeded — but results must stay *byte-for-byte
+//! identical* to the serial path. This crate provides the one primitive
+//! that makes that easy to guarantee: an **ordered** parallel map. Work
+//! items are claimed dynamically (an atomic cursor, so long items don't
+//! serialize behind short ones), each worker tags results with their
+//! input index, and the join reassembles outputs in input order. The
+//! caller's closure therefore only needs to be a pure function of
+//! `(index, item)` for `par_map(jobs, ..)` ≡ `par_map(1, ..)`.
+//!
+//! `jobs <= 1`, a single item, or a single available core all take the
+//! plain serial loop — no threads, no overhead, and the natural
+//! `--jobs 1` escape hatch the CLI exposes.
+//!
+//! No work-stealing deques, no rayon: `std::thread::scope` is enough
+//! for fan-outs whose items each cost milliseconds to seconds, which is
+//! exactly what cohort trial loops and whole experiments cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn max_jobs() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Parses a `--jobs` style argument: a positive thread count, or `0`
+/// meaning "auto" (resolved through [`max_jobs`]).
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        max_jobs()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning
+/// outputs **in input order** regardless of completion order.
+///
+/// `f` receives `(index, &item)`. Item claiming is dynamic, so uneven
+/// item costs still load-balance. A panic in any worker propagates to
+/// the caller with its original payload.
+pub fn par_map<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let worker_outputs: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, value) in worker_outputs.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} computed twice");
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("item {i} never computed")))
+        .collect()
+}
+
+/// Runs independent thunks on up to `jobs` threads, returning their
+/// results in declaration order. The fan-out used across experiments.
+pub fn par_invoke<U, F>(jobs: usize, tasks: &[F]) -> Vec<U>
+where
+    U: Send,
+    F: Fn() -> U + Sync,
+{
+    par_map(jobs, tasks, |_, task| task())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_job_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial = par_map(1, &items, |i, &x| i * 1000 + x);
+        for jobs in [2, 3, 8, 64] {
+            let parallel = par_map(jobs, &items, |i, &x| i * 1000 + x);
+            assert_eq!(serial, parallel, "jobs={jobs} must match the serial path");
+        }
+    }
+
+    #[test]
+    fn uneven_item_costs_still_reassemble_in_order() {
+        let items: Vec<u64> = (0..40).rev().collect();
+        let out = par_map(4, &items, |_, &ms| {
+            std::thread::sleep(std::time::Duration::from_micros(ms * 50));
+            ms
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn par_invoke_returns_in_declaration_order() {
+        let tasks: Vec<Box<dyn Fn() -> usize + Sync>> =
+            vec![Box::new(|| 10), Box::new(|| 20), Box::new(|| 30)];
+        assert_eq!(par_invoke(3, &tasks), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, &[1, 2, 3, 4, 5], |_, &x| {
+                if x == 3 {
+                    panic!("boom on {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn resolve_jobs_maps_zero_to_auto() {
+        assert_eq!(resolve_jobs(0), max_jobs());
+        assert_eq!(resolve_jobs(5), 5);
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of proptest its test suites use: the [`proptest!`]
+//! macro (with optional `#![proptest_config(..)]` header), strategies
+//! for numeric ranges, [`any`], tuples and [`collection::vec`], and the
+//! `prop_assert*` macro family.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! generated inputs left to the assertion message. Case generation is
+//! deterministic per test (seeded from the test's name), so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    // Floats sample the half-open range; the closed end
+                    // differs by one ULP-scale event and no test in this
+                    // repo distinguishes it.
+                    let (lo, hi) = (*self.start(), *self.end());
+                    rng.gen_range(lo..hi.max(lo + <$t>::EPSILON * lo.abs().max(1.0)))
+                }
+            }
+        )*
+    };
+}
+float_range_strategy!(f32, f64);
+
+/// String patterns: a `&str` strategy is a regex, as in the real
+/// proptest. Only the subset the repo's tests use is implemented —
+/// literal characters, `[...]` classes with ranges, and `{n}` /
+/// `{lo,hi}` repetitions — and anything else panics loudly rather than
+/// generating the wrong distribution.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            // One atom: a class or a literal.
+            let alphabet: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated character class in pattern {self:?}")
+                        });
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("checked");
+                                let hi = chars.next().expect("peeked");
+                                set.extend((lo..=hi).filter(|c| *c != lo));
+                                // `lo` itself was already pushed below.
+                            }
+                            '\\' => {
+                                let esc = chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in pattern {self:?}")
+                                });
+                                set.push(esc);
+                                prev = Some(esc);
+                            }
+                            c => {
+                                set.push(c);
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => vec![chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in pattern {self:?}")
+                })],
+                '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    panic!("unsupported regex feature {c:?} in pattern {self:?}")
+                }
+                c => vec![c],
+            };
+            // Optional repetition.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
+                        b.trim().parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
+                    ),
+                    None => {
+                        let n: usize =
+                            spec.trim().parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!alphabet.is_empty(), "empty character class in pattern {self:?}");
+            let reps = rng.gen_range(lo..=hi);
+            for _ in 0..reps {
+                out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Full-domain values for [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        })*
+    };
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite, wide-dynamic-range values; tests here never need NaN.
+        let mantissa: f64 = rng.gen_range(-1.0..1.0);
+        let exponent: i32 = rng.gen_range(-64..64);
+        mantissa * (exponent as f64).exp2()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length distribution for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors whose elements come from `element` and
+    /// whose length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Seeds the per-test generator from the test's name (FNV-1a), so each
+/// proptest is deterministic and independent of sibling tests.
+pub fn seed_rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Why one generated case did not pass: a hard failure or an input the
+/// test asked to skip via [`prop_assume!`]. Test bodies run inside a
+/// closure returning `Result<(), TestCaseError>`, which is what lets
+/// them `return Ok(())` to accept a case early, exactly as with the
+/// real proptest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The body failed an assertion.
+    Fail(String),
+    /// The generated input does not satisfy the test's preconditions;
+    /// the case is redrawn rather than counted.
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+/// Compatibility shim for `proptest::test_runner::TestCaseError` paths.
+pub mod test_runner {
+    pub use crate::TestCaseError;
+}
+
+/// Skips the current case when its precondition fails, without counting
+/// it as a pass or a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)`
+/// becomes a normal test that runs its body over `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::seed_rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __passed: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __passed < __config.cases {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    // The closure gives the body proptest's contract: it
+                    // may `return Ok(())` to accept a case early and
+                    // `prop_assume!` rejects redraw instead of failing.
+                    let __outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(__why)) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= __config.max_global_rejects,
+                                "too many rejected inputs ({__rejects}), last: {__why}"
+                            );
+                        }
+                        ::core::result::Result::Err(__e) => panic!("{__e}"),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -5.0f64..5.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-5.0..5.0).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_length_bounds(
+            xs in collection::vec(any::<u8>(), 2..7),
+            pairs in collection::vec((0usize..4, any::<u16>()), 0..=3),
+        ) {
+            prop_assert!((2..7).contains(&xs.len()));
+            prop_assert!(pairs.len() <= 3);
+            for (a, _b) in pairs {
+                prop_assert!(a < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_are_respected(pair in (1u32..3, 1u32..3)) {
+            prop_assert_ne!(pair.0, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let s = collection::vec(any::<u64>(), 3..6);
+        let mut a = crate::seed_rng_for("x");
+        let mut b = crate::seed_rng_for("x");
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+
+    #[test]
+    fn string_patterns_generate_within_the_class() {
+        let mut rng = crate::seed_rng_for("strings");
+        let mut seen_lens = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,16}", &mut rng);
+            assert!(s.len() <= 16, "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            seen_lens.insert(s.len());
+        }
+        assert!(seen_lens.len() > 5, "lengths should vary: {seen_lens:?}");
+        let lit = Strategy::generate(&"ab[0-9]{2}z", &mut rng);
+        assert_eq!(lit.len(), 5);
+        assert!(lit.starts_with("ab") && lit.ends_with('z'), "{lit:?}");
+        assert!(lit[2..4].chars().all(|c| c.is_ascii_digit()), "{lit:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn assume_rejects_and_early_ok_returns(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+            if x < 50 {
+                return Ok(());
+            }
+            prop_assert!(x >= 50);
+        }
+
+        #[test]
+        fn inclusive_float_ranges_stay_in_bounds(y in -2.0f64..=2.0) {
+            prop_assert!((-2.0..=2.0).contains(&y));
+        }
+    }
+}

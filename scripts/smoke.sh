@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Smoke the full experiment suite through the parallel harness.
+#
+# Runs every experiment at quick effort with two worker threads and
+# fails on (a) a nonzero exit — the CLI exits 1 when any experiment
+# stops holding the paper's shape — or (b) a shape regression in the
+# printed summary, checked independently of the exit code so a future
+# CLI bug cannot silently pass the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+cargo run --release -p distscroll-eval -- --quick --jobs 2 all | tee "$out"
+
+grep -q "== summary: 14/14 experiments hold the paper's shape ==" "$out" || {
+    echo "smoke: shape summary missing or regressed" >&2
+    exit 1
+}
+if grep -q "DOES NOT HOLD" "$out"; then
+    echo "smoke: at least one experiment no longer holds the paper's shape" >&2
+    exit 1
+fi
+echo "smoke: 14/14 experiments hold at --quick --jobs 2"
