@@ -42,7 +42,12 @@ impl ScrollTechnique for ButtonsTechnique {
         "buttons"
     }
 
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+    fn run_trial(
+        &mut self,
+        user: &UserParams,
+        setup: &TrialSetup,
+        rng: &mut StdRng,
+    ) -> TrialResult {
         let practice = user.practice_factor(setup.trial_number);
         let dt = 0.01;
         let mut t = 0.0;
@@ -55,10 +60,20 @@ impl ScrollTechnique for ButtonsTechnique {
         #[derive(PartialEq)]
         enum Phase {
             React,
-            Holding { since: f64, pressed: u32, release_at: Option<f64> },
-            Tapping { next_press: f64 },
-            Verify { since: Option<f64> },
-            Done { at: f64 },
+            Holding {
+                since: f64,
+                pressed: u32,
+                release_at: Option<f64>,
+            },
+            Tapping {
+                next_press: f64,
+            },
+            Verify {
+                since: Option<f64>,
+            },
+            Done {
+                at: f64,
+            },
         }
 
         let mut phase = Phase::React;
@@ -68,19 +83,29 @@ impl ScrollTechnique for ButtonsTechnique {
         let mut last_dir = 0i64;
 
         while t < TRIAL_TIMEOUT_S {
-            let seen = sampler.observe(t, cursor.max(0) as usize).unwrap_or(setup.start_idx) as i64;
+            let seen = sampler
+                .observe(t, cursor.max(0) as usize)
+                .unwrap_or(setup.start_idx) as i64;
             match phase {
                 Phase::React => {
                     if t >= react_until {
                         let dist = (target - cursor).unsigned_abs() as usize;
                         phase = if dist >= HOLD_THRESHOLD {
-                            Phase::Holding { since: t, pressed: 0, release_at: None }
+                            Phase::Holding {
+                                since: t,
+                                pressed: 0,
+                                release_at: None,
+                            }
                         } else {
                             Phase::Tapping { next_press: t }
                         };
                     }
                 }
-                Phase::Holding { since, ref mut pressed, ref mut release_at } => {
+                Phase::Holding {
+                    since,
+                    ref mut pressed,
+                    ref mut release_at,
+                } => {
                     let dir = (target - cursor).signum();
                     if dir != 0 && dir != last_dir && last_dir != 0 {
                         direction_changes += 1;
@@ -92,13 +117,21 @@ impl ScrollTechnique for ButtonsTechnique {
                     // at the repeat rate.
                     let held = t - since;
                     let due = if held < REPEAT_DELAY_S {
-                        if *pressed == 0 { Some(0) } else { None }
+                        if *pressed == 0 {
+                            Some(0)
+                        } else {
+                            None
+                        }
                     } else {
                         let n_due = 1 + ((held - REPEAT_DELAY_S) * REPEAT_RATE_HZ) as u32;
                         (n_due > *pressed).then_some(n_due)
                     };
                     if let Some(n_due) = due {
-                        let dir = if *pressed == 0 { (target - cursor).signum() } else { last_dir };
+                        let dir = if *pressed == 0 {
+                            (target - cursor).signum()
+                        } else {
+                            last_dir
+                        };
                         cursor = (cursor + dir * i64::from(n_due - *pressed)).clamp(0, n - 1);
                         *pressed = n_due;
                     }
@@ -107,13 +140,14 @@ impl ScrollTechnique for ButtonsTechnique {
                     match release_at {
                         None => {
                             if (target - seen).unsigned_abs() <= 2 {
-                                *release_at =
-                                    Some(t + user.perception.reaction_time_s(rng) * 0.6);
+                                *release_at = Some(t + user.perception.reaction_time_s(rng) * 0.6);
                             }
                         }
                         Some(at) => {
                             if t >= *at {
-                                phase = Phase::Tapping { next_press: t + keystroke };
+                                phase = Phase::Tapping {
+                                    next_press: t + keystroke,
+                                };
                             }
                         }
                     }
@@ -175,7 +209,9 @@ impl ScrollTechnique for ButtonsTechnique {
 /// Analytic expectation for sanity checks: taps at one keystroke each
 /// plus reaction and selection overheads.
 pub fn expected_tap_time_s(user: &UserParams, distance: usize) -> f64 {
-    user.perception.reaction_mean_s + distance as f64 * user.keystroke_s + user.dwell_s
+    user.perception.reaction_mean_s
+        + distance as f64 * user.keystroke_s
+        + user.dwell_s
         + user.keystroke_s
 }
 
@@ -225,7 +261,10 @@ mod tests {
         let correct = (0..40)
             .filter(|&s| run(TrialSetup::new(32, 2, 20, 50), s).correct)
             .count();
-        assert!(correct >= 35, "buttons are a precise technique: {correct}/40");
+        assert!(
+            correct >= 35,
+            "buttons are a precise technique: {correct}/40"
+        );
     }
 
     #[test]

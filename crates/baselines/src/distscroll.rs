@@ -41,7 +41,11 @@ impl DistScrollTechnique {
 
     /// A custom profile (range sweeps, direction flips, ablations).
     pub fn with_profile(profile: DeviceProfile) -> Self {
-        DistScrollTechnique { profile, user_direction_belief: None, environment: None }
+        DistScrollTechnique {
+            profile,
+            user_direction_belief: None,
+            environment: None,
+        }
     }
 
     /// Runs trials under specific clothing and light conditions instead
@@ -75,10 +79,18 @@ impl ScrollTechnique for DistScrollTechnique {
         "distscroll"
     }
 
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+    fn run_trial(
+        &mut self,
+        user: &UserParams,
+        setup: &TrialSetup,
+        rng: &mut StdRng,
+    ) -> TrialResult {
         let device_seed: u64 = rng.gen();
-        let mut dev =
-            DistScrollDevice::new(self.profile.clone(), Menu::flat(setup.n_entries), device_seed);
+        let mut dev = DistScrollDevice::new(
+            self.profile.clone(),
+            Menu::flat(setup.n_entries),
+            device_seed,
+        );
         if let Some((surface, ambient)) = self.environment {
             dev.set_surface(surface);
             dev.set_ambient(ambient);
@@ -102,8 +114,14 @@ impl ScrollTechnique for DistScrollTechnique {
         }
         dev.drain_events();
 
-        let mut aim =
-            PositionAim::new(*user, geometry, setup.target_idx, start_cm, setup.trial_number, rng);
+        let mut aim = PositionAim::new(
+            *user,
+            geometry,
+            setup.target_idx,
+            start_cm,
+            setup.trial_number,
+            rng,
+        );
 
         let t0 = dev.now();
         let tick_s = self.profile.tick_ms as f64 / 1000.0;
@@ -170,14 +188,21 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 16, "experts nearly errorless end to end: {correct}/20");
+        assert!(
+            correct >= 16,
+            "experts nearly errorless end to end: {correct}/20"
+        );
     }
 
     #[test]
     fn trial_times_are_human_scale() {
         for seed in 0..5 {
             let r = run(UserParams::expert(), TrialSetup::new(8, 0, 5, 50), seed);
-            assert!(r.time_s > 0.3, "faster than human possibility: {}", r.time_s);
+            assert!(
+                r.time_s > 0.3,
+                "faster than human possibility: {}",
+                r.time_s
+            );
             assert!(r.time_s < 15.0, "implausibly slow: {}", r.time_s);
         }
     }
@@ -192,7 +217,10 @@ mod tests {
         };
         let near = avg(2);
         let far = avg(11);
-        assert!(far > near, "fitts through the whole stack: {near:.2}s vs {far:.2}s");
+        assert!(
+            far > near,
+            "fitts through the whole stack: {near:.2}s vs {far:.2}s"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub fn all_technique_ctors() -> Vec<TechniqueCtor> {
 /// Constructs every technique, DistScroll first — the standard lineup
 /// the experiments sweep.
 pub fn all_techniques() -> Vec<Box<dyn ScrollTechnique>> {
-    all_technique_ctors().into_iter().map(|ctor| ctor()).collect()
+    all_technique_ctors()
+        .into_iter()
+        .map(|ctor| ctor())
+        .collect()
 }
 
 #[cfg(test)]

@@ -31,7 +31,12 @@ impl TrialSetup {
     pub fn new(n_entries: usize, start_idx: usize, target_idx: usize, trial_number: u32) -> Self {
         assert!(start_idx < n_entries, "start index outside the menu");
         assert!(target_idx < n_entries, "target index outside the menu");
-        TrialSetup { n_entries, start_idx, target_idx, trial_number }
+        TrialSetup {
+            n_entries,
+            start_idx,
+            target_idx,
+            trial_number,
+        }
     }
 
     /// The task's scroll distance in entries.
@@ -56,7 +61,12 @@ pub struct TrialResult {
 impl TrialResult {
     /// A timed-out trial.
     pub fn timeout(time_s: f64, corrections: u32) -> Self {
-        TrialResult { time_s, selected_idx: None, correct: false, corrections }
+        TrialResult {
+            time_s,
+            selected_idx: None,
+            correct: false,
+            corrections,
+        }
     }
 }
 
@@ -76,7 +86,8 @@ pub trait ScrollTechnique {
 
     /// Runs one closed-loop trial for `user` on `setup`, drawing all
     /// stochasticity from `rng`.
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult;
+    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng)
+        -> TrialResult;
 }
 
 /// Standard-normal variate shared by the baseline models.

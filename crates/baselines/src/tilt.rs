@@ -37,7 +37,10 @@ pub struct TiltTechnique {
 impl TiltTechnique {
     /// Tilt control read through a typical ADXL311.
     pub fn new() -> Self {
-        TiltTechnique { accel: Adxl311::typical(), last_wrist_integral: 0.0 }
+        TiltTechnique {
+            accel: Adxl311::typical(),
+            last_wrist_integral: 0.0,
+        }
     }
 
     /// Integrated |wrist deflection|·dt of the last trial, degree-seconds
@@ -58,7 +61,12 @@ impl ScrollTechnique for TiltTechnique {
         "tilt"
     }
 
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+    fn run_trial(
+        &mut self,
+        user: &UserParams,
+        setup: &TrialSetup,
+        rng: &mut StdRng,
+    ) -> TrialResult {
         let practice = user.practice_factor(setup.trial_number);
         let dt = 0.01;
         let mut t = 0.0;
@@ -150,14 +158,17 @@ mod tests {
 
     #[test]
     fn rate_control_reaches_targets() {
-        let correct = (0..30).filter(|&s| run(TrialSetup::new(32, 0, 20, 50), s).correct).count();
+        let correct = (0..30)
+            .filter(|&s| run(TrialSetup::new(32, 0, 20, 50), s).correct)
+            .count();
         assert!(correct >= 24, "tilt should usually work: {correct}/30");
     }
 
     #[test]
     fn overshoot_causes_reversals_on_long_jumps() {
-        let total: u32 =
-            (0..20).map(|s| run(TrialSetup::new(64, 0, 50, 50), s).corrections).sum();
+        let total: u32 = (0..20)
+            .map(|s| run(TrialSetup::new(64, 0, 50, 50), s).corrections)
+            .sum();
         assert!(total > 0, "rate control with lag must sometimes reverse");
     }
 
@@ -165,14 +176,24 @@ mod tests {
     fn fatigue_proxy_accumulates() {
         let mut tech = TiltTechnique::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = tech.run_trial(&UserParams::expert(), &TrialSetup::new(32, 0, 28, 50), &mut rng);
-        assert!(tech.last_wrist_effort() > 1.0, "long scrolls cost wrist effort");
+        let _ = tech.run_trial(
+            &UserParams::expert(),
+            &TrialSetup::new(32, 0, 28, 50),
+            &mut rng,
+        );
+        assert!(
+            tech.last_wrist_effort() > 1.0,
+            "long scrolls cost wrist effort"
+        );
     }
 
     #[test]
     fn times_scale_with_distance() {
         let avg = |target: usize| {
-            (0..10).map(|s| run(TrialSetup::new(64, 0, target, 50), s).time_s).sum::<f64>() / 10.0
+            (0..10)
+                .map(|s| run(TrialSetup::new(64, 0, target, 50), s).time_s)
+                .sum::<f64>()
+                / 10.0
         };
         assert!(avg(50) > avg(5));
     }

@@ -51,7 +51,12 @@ impl ScrollTechnique for TuisterTechnique {
         2
     }
 
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+    fn run_trial(
+        &mut self,
+        user: &UserParams,
+        setup: &TrialSetup,
+        rng: &mut StdRng,
+    ) -> TrialResult {
         let practice = user.practice_factor(setup.trial_number);
         // Two-handed acquisition: both hands must be on the device before
         // anything happens.
@@ -63,7 +68,9 @@ impl ScrollTechnique for TuisterTechnique {
         let mut corrections = 0u32;
 
         while t < TRIAL_TIMEOUT_S {
-            let seen = sampler.observe(t, cursor.max(0) as usize).unwrap_or(setup.start_idx) as i64;
+            let seen = sampler
+                .observe(t, cursor.max(0) as usize)
+                .unwrap_or(setup.start_idx) as i64;
             let remaining = target - seen;
             if remaining == 0 && cursor == target {
                 break;
@@ -123,19 +130,27 @@ mod tests {
 
     #[test]
     fn trials_complete_correctly() {
-        let correct = (0..30).filter(|&s| run(TrialSetup::new(16, 2, 13, 50), s).correct).count();
+        let correct = (0..30)
+            .filter(|&s| run(TrialSetup::new(16, 2, 13, 50), s).correct)
+            .count();
         assert!(correct >= 27, "detented rotation is accurate: {correct}/30");
     }
 
     #[test]
     fn twisting_batches_entries() {
         let avg = |target: usize| {
-            (0..10).map(|s| run(TrialSetup::new(32, 0, target, 50), s).time_s).sum::<f64>() / 10.0
+            (0..10)
+                .map(|s| run(TrialSetup::new(32, 0, target, 50), s).time_s)
+                .sum::<f64>()
+                / 10.0
         };
         let t4 = avg(4);
         let t16 = avg(16);
         assert!(t16 > t4, "more twists cost more");
-        assert!(t16 < 4.0 * t4, "twists batch ~4 entries: {t4:.2}s vs {t16:.2}s");
+        assert!(
+            t16 < 4.0 * t4,
+            "twists batch ~4 entries: {t4:.2}s vs {t16:.2}s"
+        );
     }
 
     #[test]

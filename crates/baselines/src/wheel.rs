@@ -40,7 +40,12 @@ impl ScrollTechnique for WheelTechnique {
         "wheel"
     }
 
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+    fn run_trial(
+        &mut self,
+        user: &UserParams,
+        setup: &TrialSetup,
+        rng: &mut StdRng,
+    ) -> TrialResult {
         let practice = user.practice_factor(setup.trial_number);
         let mut t = user.perception.reaction_time_s(rng) * practice;
         let mut cursor = setup.start_idx as i64;
@@ -53,7 +58,9 @@ impl ScrollTechnique for WheelTechnique {
         // Flick loop: each iteration is one flick decided on the *seen*
         // cursor position.
         while t < TRIAL_TIMEOUT_S {
-            let seen = sampler.observe(t, cursor.max(0) as usize).unwrap_or(setup.start_idx) as i64;
+            let seen = sampler
+                .observe(t, cursor.max(0) as usize)
+                .unwrap_or(setup.start_idx) as i64;
             let remaining = target - seen;
             if remaining == 0 && cursor == target {
                 break;
@@ -114,19 +121,30 @@ mod tests {
 
     #[test]
     fn trials_complete_correctly() {
-        let correct = (0..40).filter(|&s| run(TrialSetup::new(32, 0, 25, 50), s).correct).count();
-        assert!(correct >= 34, "wheel with verification is accurate: {correct}/40");
+        let correct = (0..40)
+            .filter(|&s| run(TrialSetup::new(32, 0, 25, 50), s).correct)
+            .count();
+        assert!(
+            correct >= 34,
+            "wheel with verification is accurate: {correct}/40"
+        );
     }
 
     #[test]
     fn time_scales_sublinearly_with_distance() {
         let avg = |target: usize| {
-            (0..15).map(|s| run(TrialSetup::new(64, 0, target, 50), s).time_s).sum::<f64>() / 15.0
+            (0..15)
+                .map(|s| run(TrialSetup::new(64, 0, target, 50), s).time_s)
+                .sum::<f64>()
+                / 15.0
         };
         let t8 = avg(8);
         let t32 = avg(32);
         assert!(t32 > t8, "more detents cost more");
-        assert!(t32 < 4.0 * t8, "flicking batches detents: {t8:.2}s vs {t32:.2}s");
+        assert!(
+            t32 < 4.0 * t8,
+            "flicking batches detents: {t8:.2}s vs {t32:.2}s"
+        );
     }
 
     #[test]
@@ -138,6 +156,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(run(TrialSetup::new(16, 0, 9, 1), 5), run(TrialSetup::new(16, 0, 9, 1), 5));
+        assert_eq!(
+            run(TrialSetup::new(16, 0, 9, 1), 5),
+            run(TrialSetup::new(16, 0, 9, 1), 5)
+        );
     }
 }

@@ -58,7 +58,12 @@ impl ScrollTechnique for YoyoTechnique {
         "yoyo"
     }
 
-    fn run_trial(&mut self, user: &UserParams, setup: &TrialSetup, rng: &mut StdRng) -> TrialResult {
+    fn run_trial(
+        &mut self,
+        user: &UserParams,
+        setup: &TrialSetup,
+        rng: &mut StdRng,
+    ) -> TrialResult {
         // The spring load scales the user's movement times slightly.
         let mut slowed = *user;
         slowed.fitts.a_s *= SPRING_SLOWDOWN;
@@ -71,8 +76,14 @@ impl ScrollTechnique for YoyoTechnique {
             toward_is_down: false, // pulling out = down the list
         };
         let start_cm = geometry.entry_position_cm(setup.start_idx);
-        let mut aim =
-            PositionAim::new(slowed, geometry, setup.target_idx, start_cm, setup.trial_number, rng);
+        let mut aim = PositionAim::new(
+            slowed,
+            geometry,
+            setup.target_idx,
+            start_cm,
+            setup.trial_number,
+            rng,
+        );
 
         let dt = 0.01;
         let mut t = 0.0;
@@ -88,7 +99,8 @@ impl ScrollTechnique for YoyoTechnique {
             // Backlash: the wheel lags reversals by up to BACKLASH_CM.
             let delta = pos - last_pull;
             if delta.abs() > 1e-9 {
-                backlash_offset = (backlash_offset - delta).clamp(-BACKLASH_CM / 2.0, BACKLASH_CM / 2.0);
+                backlash_offset =
+                    (backlash_offset - delta).clamp(-BACKLASH_CM / 2.0, BACKLASH_CM / 2.0);
             }
             last_pull = pull;
             pull = pos.clamp(PULL_MIN_CM - 1.0, PULL_MAX_CM + 1.0);
@@ -137,20 +149,27 @@ mod tests {
     fn display_maps_the_pull_range_evenly() {
         assert_eq!(YoyoTechnique::display(PULL_MIN_CM, 0.0, 10), 0);
         assert_eq!(YoyoTechnique::display(PULL_MAX_CM, 0.0, 10), 9);
-        assert_eq!(YoyoTechnique::display((PULL_MIN_CM + PULL_MAX_CM) / 2.0, 0.0, 10), 5);
+        assert_eq!(
+            YoyoTechnique::display((PULL_MIN_CM + PULL_MAX_CM) / 2.0, 0.0, 10),
+            5
+        );
     }
 
     #[test]
     fn trials_mostly_succeed() {
-        let correct = (0..30).filter(|&s| run(TrialSetup::new(12, 1, 9, 50), s).correct).count();
+        let correct = (0..30)
+            .filter(|&s| run(TrialSetup::new(12, 1, 9, 50), s).correct)
+            .count();
         assert!(correct >= 24, "yoyo positional control works: {correct}/30");
     }
-
 
     #[test]
     fn times_scale_with_distance() {
         let avg = |target: usize| {
-            (0..12).map(|s| run(TrialSetup::new(16, 0, target, 50), s).time_s).sum::<f64>() / 12.0
+            (0..12)
+                .map(|s| run(TrialSetup::new(16, 0, target, 50), s).time_s)
+                .sum::<f64>()
+                / 12.0
         };
         assert!(avg(14) > avg(2), "fitts holds for the yoyo too");
     }

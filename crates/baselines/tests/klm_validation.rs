@@ -84,6 +84,9 @@ fn klm_and_simulation_agree_on_the_ordering_of_techniques() {
     let setup = TrialSetup::new(8, 2, 4, 50);
     let sim_buttons = simulated_mean(&mut buttons, setup, 20);
     let sim_tuister = simulated_mean(&mut tuister, setup, 20);
-    assert!(sim_buttons < sim_tuister, "{sim_buttons:.2} vs {sim_tuister:.2}");
+    assert!(
+        sim_buttons < sim_tuister,
+        "{sim_buttons:.2} vs {sim_tuister:.2}"
+    );
     assert!(klm::buttons_selection_practiced(2) < klm::tuister_selection_practiced());
 }

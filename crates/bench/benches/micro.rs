@@ -69,12 +69,19 @@ fn bench_device_tick(c: &mut Criterion) {
     // infinite cell.
     dev.set_battery(distscroll_hw::power::Battery::with_capacity(1e12));
     dev.set_distance(15.0);
-    c.bench_function("device_full_tick", |b| b.iter(|| dev.tick().expect("healthy device")));
+    c.bench_function("device_full_tick", |b| {
+        b.iter(|| dev.tick().expect("healthy device"))
+    });
 }
 
 fn bench_curve_fit(c: &mut Criterion) {
     let points: Vec<(f64, f64)> = (4..=30)
-        .map(|d| (f64::from(d), distscroll_sensors::gp2d120::ideal_voltage(f64::from(d))))
+        .map(|d| {
+            (
+                f64::from(d),
+                distscroll_sensors::gp2d120::ideal_voltage(f64::from(d)),
+            )
+        })
         .collect();
     c.bench_function("inverse_curve_fit", |b| {
         b.iter(|| distscroll_sensors::calibrate::fit_inverse_curve(black_box(&points)))

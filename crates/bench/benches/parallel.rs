@@ -2,14 +2,19 @@
 //!
 //! Two fan-out levels are timed against their forced-serial twins:
 //!
-//! * `run_cohort` — one technique, one cohort, users over threads,
-//! * `run_all` — the whole 14-experiment suite at quick effort.
+//! * `run_cohort` — one technique, one cohort, users chunked over the
+//!   shared worker pool,
+//! * `run_all` — the whole 14-experiment suite at quick effort, where
+//!   the per-experiment `run_cohort` fan-outs nest inside the
+//!   experiment fan-out and borrow from one global token budget.
 //!
 //! The parallel variants must produce byte-identical records (the
 //! determinism tests assert it; the cohort bench re-asserts cheaply),
-//! so the only thing allowed to differ is the wall clock. On a
-//! single-core machine both variants are expected to tie; record a
-//! baseline with `--save-baseline` before reading anything into deltas.
+//! so the only thing allowed to differ is the wall clock. The pool
+//! clamps granted tokens to the core count, so on a single-core
+//! machine both variants run the same serial path and are expected to
+//! tie; record a baseline with `--save-baseline` before reading
+//! anything into deltas.
 //! Run with `cargo bench -p distscroll-bench --bench parallel`.
 
 use criterion::{criterion_group, criterion_main, Criterion};

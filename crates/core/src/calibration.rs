@@ -45,7 +45,9 @@ pub fn encode(curve: &InverseCurveFit) -> Result<[u8; CAL_LEN], CoreError> {
     let to_fixed = |v: f64| -> Result<i32, CoreError> {
         let scaled = v * SCALE;
         if !scaled.is_finite() || scaled.abs() > f64::from(i32::MAX) {
-            return Err(CoreError::BadMapping { reason: "calibration parameter out of fixed-point range" });
+            return Err(CoreError::BadMapping {
+                reason: "calibration parameter out of fixed-point range",
+            });
         }
         Ok(scaled.round() as i32)
     };
@@ -112,10 +114,13 @@ pub fn load(eeprom: &Eeprom) -> Option<InverseCurveFit> {
 /// [`CoreError::BadMapping`] if the points cannot be fitted (fewer than
 /// four, or degenerate).
 pub fn run_jig_calibration(points: &[(f64, f64)]) -> Result<InverseCurveFit, CoreError> {
-    let volt_points: Vec<(f64, f64)> =
-        points.iter().map(|&(d, code)| (d, code / 1023.0 * 5.0)).collect();
-    fit_inverse_curve(&volt_points)
-        .map_err(|_| CoreError::BadMapping { reason: "jig calibration points do not fit the sensor law" })
+    let volt_points: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(d, code)| (d, code / 1023.0 * 5.0))
+        .collect();
+    fit_inverse_curve(&volt_points).map_err(|_| CoreError::BadMapping {
+        reason: "jig calibration points do not fit the sensor law",
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +179,13 @@ mod tests {
 
     #[test]
     fn encode_rejects_absurd_parameters() {
-        let bad = InverseCurveFit { a: f64::INFINITY, d0: 0.4, c: 0.05, r2: 1.0, rmse: 0.0 };
+        let bad = InverseCurveFit {
+            a: f64::INFINITY,
+            d0: 0.4,
+            c: 0.05,
+            r2: 1.0,
+            rmse: 0.0,
+        };
         assert!(encode(&bad).is_err());
     }
 }

@@ -154,7 +154,10 @@ impl DistScrollDevice {
         let mut board = Board::new();
         board.wire(
             AdcChannel::Distance,
-            Box::new(SensorChannel { sensor: Gp2d120::typical(), scene: Rc::clone(&scene) }),
+            Box::new(SensorChannel {
+                sensor: Gp2d120::typical(),
+                scene: Rc::clone(&scene),
+            }),
         );
         board.wire(
             AdcChannel::AccelY,
@@ -174,7 +177,13 @@ impl DistScrollDevice {
         );
         let fw = Firmware::new(profile, menu)?;
         board.mcu.memory.reserve("firmware state", fw.ram_bytes());
-        Ok(DistScrollDevice { board, fw, scene, pose, rng: StdRng::seed_from_u64(seed) })
+        Ok(DistScrollDevice {
+            board,
+            fw,
+            scene,
+            pose,
+            rng: StdRng::seed_from_u64(seed),
+        })
     }
 
     /// Puts the device down flat on a surface (or picks it back up).
@@ -509,7 +518,10 @@ mod tests {
 
     #[test]
     fn try_new_rejects_bad_profiles() {
-        let bad = DeviceProfile { tick_ms: 0, ..DeviceProfile::paper() };
+        let bad = DeviceProfile {
+            tick_ms: 0,
+            ..DeviceProfile::paper()
+        };
         assert!(DistScrollDevice::try_new(bad, Menu::flat(4), 0).is_err());
     }
 

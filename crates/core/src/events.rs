@@ -117,7 +117,13 @@ mod tests {
     #[test]
     fn log_preserves_order_and_drains() {
         let mut log = EventLog::new();
-        log.push(t(1), Event::Highlight { index: 0, label: "A".into() });
+        log.push(
+            t(1),
+            Event::Highlight {
+                index: 0,
+                label: "A".into(),
+            },
+        );
         log.push(t(2), Event::WentBack);
         assert_eq!(log.len(), 2);
         assert_eq!(log.last().unwrap().event, Event::WentBack);
@@ -130,9 +136,14 @@ mod tests {
     #[test]
     fn wire_tags_are_distinct() {
         let events = [
-            Event::Highlight { index: 0, label: String::new() },
+            Event::Highlight {
+                index: 0,
+                label: String::new(),
+            },
             Event::Activated { path: vec![] },
-            Event::EnteredSubmenu { label: String::new() },
+            Event::EnteredSubmenu {
+                label: String::new(),
+            },
             Event::WentBack,
             Event::PageBack,
             Event::PageForward,

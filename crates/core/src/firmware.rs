@@ -41,7 +41,6 @@ use crate::CoreError;
 /// mapping — measured from a PIC18 C build of comparable code).
 const TICK_CYCLES: u64 = 420;
 
-
 /// The firmware image: all state the program keeps in the PIC's RAM.
 #[derive(Debug)]
 pub struct Firmware {
@@ -207,7 +206,11 @@ impl Firmware {
         // over 100 kHz I2C, bit-banged: ~cycles = microseconds).
         ts.register("display redraw", period_us * 25, 2 * (200 + 5 * 1_700));
         // Telemetry frame: encode + hand to the radio.
-        ts.register("telemetry", period_us * self.profile.telemetry_every_ticks, 8 * 13);
+        ts.register(
+            "telemetry",
+            period_us * self.profile.telemetry_every_ticks,
+            8 * 13,
+        );
         if self.profile.orientation_standby {
             ts.register("orientation watch", period_us, 80);
         }
@@ -328,8 +331,7 @@ impl Firmware {
         }
         let range = hi - lo;
         // Zero-g sits at mid-supply: code 512 at Vref 5 V.
-        let zero_g = 1023.0 * distscroll_sensors::adxl311::ZERO_G_V
-            / 5.0;
+        let zero_g = 1023.0 * distscroll_sensors::adxl311::ZERO_G_V / 5.0;
         let flat = (smoothed - zero_g).abs() < FLAT_OFFSET_CODES;
 
         if self.standby {
@@ -337,8 +339,14 @@ impl Firmware {
                 self.standby = false;
                 self.rest_since_tick = None;
                 board.set_sensor_power(true);
-                board.write_display(DisplayRole::Upper, &[distscroll_hw::display::cmd::SET_POWER, 1])?;
-                board.write_display(DisplayRole::Lower, &[distscroll_hw::display::cmd::SET_POWER, 1])?;
+                board.write_display(
+                    DisplayRole::Upper,
+                    &[distscroll_hw::display::cmd::SET_POWER, 1],
+                )?;
+                board.write_display(
+                    DisplayRole::Lower,
+                    &[distscroll_hw::display::cmd::SET_POWER, 1],
+                )?;
                 self.last_upper.clear(); // force redraw on wake
                 self.last_lower.clear();
             }
@@ -347,8 +355,14 @@ impl Firmware {
             if (self.ticks - since) * self.profile.tick_ms >= DWELL_MS {
                 self.standby = true;
                 board.set_sensor_power(false);
-                board.write_display(DisplayRole::Upper, &[distscroll_hw::display::cmd::SET_POWER, 0])?;
-                board.write_display(DisplayRole::Lower, &[distscroll_hw::display::cmd::SET_POWER, 0])?;
+                board.write_display(
+                    DisplayRole::Upper,
+                    &[distscroll_hw::display::cmd::SET_POWER, 0],
+                )?;
+                board.write_display(
+                    DisplayRole::Lower,
+                    &[distscroll_hw::display::cmd::SET_POWER, 0],
+                )?;
             }
         } else {
             self.rest_since_tick = None;
@@ -375,7 +389,11 @@ impl Firmware {
     ///
     /// [`CoreError::Hw`] on hardware faults (brown-out ends the session);
     /// menu/mapping errors cannot occur after a successful boot.
-    pub fn tick<R: Rng + ?Sized>(&mut self, board: &mut Board, rng: &mut R) -> Result<(), CoreError> {
+    pub fn tick<R: Rng + ?Sized>(
+        &mut self,
+        board: &mut Board,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
         let now = board.now();
         board.mcu.watchdog.feed(now);
         board.mcu.charge(TICK_CYCLES);
@@ -404,9 +422,10 @@ impl Firmware {
         x = self.ema.push(x);
         let code = x.round().clamp(0.0, 1023.0) as u16;
         self.last_code = code;
-        self.last_distance = self.curve.distance_at(f64::from(code) / 1023.0 * 5.0).filter(|d| {
-            (self.profile.near_cm - 1.0..=self.profile.far_cm + 3.0).contains(d)
-        });
+        self.last_distance = self
+            .curve
+            .distance_at(f64::from(code) / 1023.0 * 5.0)
+            .filter(|d| (self.profile.near_cm - 1.0..=self.profile.far_cm + 3.0).contains(d));
 
         // 2. Map the code onto the current level.
         let raw_hit = self.map.lookup(code);
@@ -439,7 +458,10 @@ impl Firmware {
                 self.nav.highlight(idx)?;
                 self.log.push(
                     now,
-                    Event::Highlight { index: idx, label: self.nav.highlighted_entry().label().into() },
+                    Event::Highlight {
+                        index: idx,
+                        label: self.nav.highlighted_entry().label().into(),
+                    },
                 );
             }
         }
@@ -449,7 +471,9 @@ impl Firmware {
         // decides (short = select, held past the threshold = back).
         match self.profile.button_layout {
             crate::profile::ButtonLayout::OneLarge { long_press_ms } => {
-                let raw = board.read_button(self.profile.select_button(), rng).is_low();
+                let raw = board
+                    .read_button(self.profile.select_button(), rng)
+                    .is_low();
                 let was_down = self.select_db.state();
                 let is_down = self.select_db.push(raw);
                 if is_down && !was_down {
@@ -477,7 +501,9 @@ impl Firmware {
                 }
             }
             _ => {
-                let select_raw = board.read_button(self.profile.select_button(), rng).is_low();
+                let select_raw = board
+                    .read_button(self.profile.select_button(), rng)
+                    .is_low();
                 let back_raw = board.read_button(self.profile.back_button(), rng).is_low();
                 if self.select_db.push_edge(select_raw) {
                     self.fire_select(now)?;
@@ -494,8 +520,14 @@ impl Firmware {
         // power them down once and let the host render from telemetry.
         if self.profile.display_fit == crate::profile::DisplayFit::HostRendered {
             if self.ticks == 1 {
-                board.write_display(DisplayRole::Upper, &[distscroll_hw::display::cmd::SET_POWER, 0])?;
-                board.write_display(DisplayRole::Lower, &[distscroll_hw::display::cmd::SET_POWER, 0])?;
+                board.write_display(
+                    DisplayRole::Upper,
+                    &[distscroll_hw::display::cmd::SET_POWER, 0],
+                )?;
+                board.write_display(
+                    DisplayRole::Lower,
+                    &[distscroll_hw::display::cmd::SET_POWER, 0],
+                )?;
             }
             return self.emit_telemetry(board, rng, code, events_at_tick_start);
         }
@@ -541,7 +573,10 @@ impl Firmware {
         events_at_tick_start: usize,
     ) -> Result<(), CoreError> {
         let stamp = (self.ticks & 0xffff) as u16;
-        if self.ticks.is_multiple_of(self.profile.telemetry_every_ticks) {
+        if self
+            .ticks
+            .is_multiple_of(self.profile.telemetry_every_ticks)
+        {
             let island = self.map_state.current().map_or(0xff, |i| i as u8);
             let payload = [
                 b'T',
@@ -568,8 +603,7 @@ impl Firmware {
                 })
                 .collect();
             for (tag, aux) in new_events {
-                let payload =
-                    [b'E', (stamp >> 8) as u8, (stamp & 0xff) as u8, tag, aux];
+                let payload = [b'E', (stamp >> 8) as u8, (stamp & 0xff) as u8, tag, aux];
                 board.send_telemetry(&payload, rng);
             }
         }
@@ -580,7 +614,7 @@ impl Firmware {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::phone_menu::phone_menu;
     use distscroll_hw::board::VoltageSource;
     use distscroll_hw::clock::SimInstant;
@@ -616,10 +650,18 @@ mod tests {
         let mut board = Board::new();
         board.wire(
             AdcChannel::Distance,
-            Box::new(SensorChannel { sensor: Gp2d120::typical(), scene: Rc::clone(&scene) }),
+            Box::new(SensorChannel {
+                sensor: Gp2d120::typical(),
+                scene: Rc::clone(&scene),
+            }),
         );
         let fw = Firmware::new(profile, menu).unwrap();
-        Rig { board, fw, scene, rng: StdRng::seed_from_u64(1234) }
+        Rig {
+            board,
+            fw,
+            scene,
+            rng: StdRng::seed_from_u64(1234),
+        }
     }
 
     fn rig() -> Rig {
@@ -685,13 +727,24 @@ mod tests {
     fn direction_mapping_reverses_the_list() {
         let mut down = rig();
         let mut up = rig_with(
-            DeviceProfile { direction: DirectionMapping::TowardIsUp, ..DeviceProfile::paper() },
+            DeviceProfile {
+                direction: DirectionMapping::TowardIsUp,
+                ..DeviceProfile::paper()
+            },
             Menu::flat(8),
         );
         down.hold_at(6.0, 400); // near the body
         up.hold_at(6.0, 400);
-        assert_eq!(down.fw.navigator().highlighted(), 7, "toward-is-down: near = bottom");
-        assert_eq!(up.fw.navigator().highlighted(), 0, "toward-is-up: near = top");
+        assert_eq!(
+            down.fw.navigator().highlighted(),
+            7,
+            "toward-is-down: near = bottom"
+        );
+        assert_eq!(
+            up.fw.navigator().highlighted(),
+            0,
+            "toward-is-up: near = top"
+        );
     }
 
     #[test]
@@ -705,7 +758,11 @@ mod tests {
         let i4 = map.islands()[map.len() - 1 - 4];
         let gap_cm = i4.center_cm + i4.width_cm / 2.0 + 0.2;
         r.hold_at(gap_cm, 400);
-        assert_eq!(r.fw.navigator().highlighted(), 4, "gap keeps the previous entry");
+        assert_eq!(
+            r.fw.navigator().highlighted(),
+            4,
+            "gap keeps the previous entry"
+        );
     }
 
     #[test]
@@ -735,7 +792,12 @@ mod tests {
         r.click_back();
         assert_eq!(r.fw.navigator().level(), 0);
         assert_eq!(r.fw.navigator().len(), top_len);
-        let tags: Vec<u8> = r.fw.log().events().iter().map(|e| e.event.wire_tag()).collect();
+        let tags: Vec<u8> =
+            r.fw.log()
+                .events()
+                .iter()
+                .map(|e| e.event.wire_tag())
+                .collect();
         assert!(tags.contains(&b'S'));
         assert!(tags.contains(&b'B'));
     }
@@ -756,16 +818,15 @@ mod tests {
         let mut r = rig_with(DeviceProfile::paper(), Menu::flat(5));
         r.hold_at(island_center_for_menu_index(&r.fw, 1), 400);
         r.click_select();
-        let activated = r
-            .fw
-            .log()
-            .events()
-            .iter()
-            .find_map(|e| match &e.event {
-                Event::Activated { path } => Some(path.clone()),
-                _ => None,
-            })
-            .expect("a leaf was activated");
+        let activated =
+            r.fw.log()
+                .events()
+                .iter()
+                .find_map(|e| match &e.event {
+                    Event::Activated { path } => Some(path.clone()),
+                    _ => None,
+                })
+                .expect("a leaf was activated");
         assert_eq!(activated, vec!["Item 01".to_string()]);
     }
 
@@ -774,7 +835,10 @@ mod tests {
         let mut r = rig();
         r.hold_at(island_center_for_menu_index(&r.fw, 3), 500);
         let art = r.board.display(DisplayRole::Upper).as_ascii_art();
-        assert!(art.contains(">Item 03"), "display shows the highlight:\n{art}");
+        assert!(
+            art.contains(">Item 03"),
+            "display shows the highlight:\n{art}"
+        );
     }
 
     #[test]
@@ -782,7 +846,10 @@ mod tests {
         let mut r = rig();
         r.hold_at(17.0, 600);
         let lines = r.board.display(DisplayRole::Lower).lines();
-        assert!(lines[0].starts_with("adc"), "status line present: {lines:?}");
+        assert!(
+            lines[0].starts_with("adc"),
+            "status line present: {lines:?}"
+        );
         assert!(lines[3].contains('%'));
     }
 
@@ -809,16 +876,15 @@ mod tests {
         // log only records *changes*.
         r.hold_at(island_center_for_menu_index(&r.fw, 5), 400);
         r.hold_at(island_center_for_menu_index(&r.fw, 1), 600);
-        let highlights: Vec<usize> = r
-            .fw
-            .log()
-            .events()
-            .iter()
-            .filter_map(|e| match e.event {
-                Event::Highlight { index, .. } => Some(index),
-                _ => None,
-            })
-            .collect();
+        let highlights: Vec<usize> =
+            r.fw.log()
+                .events()
+                .iter()
+                .filter_map(|e| match e.event {
+                    Event::Highlight { index, .. } => Some(index),
+                    _ => None,
+                })
+                .collect();
         assert!(highlights.contains(&5), "events: {highlights:?}");
         assert!(highlights.contains(&1), "events: {highlights:?}");
     }
@@ -834,14 +900,13 @@ mod tests {
         r.hold_at(17.0, 300);
         let before = r.fw.log().events().len();
         r.hold_at(3.4, 1500);
-        let flips = r
-            .fw
-            .log()
-            .events()
-            .iter()
-            .skip(before)
-            .filter(|e| matches!(e.event, Event::PageForward))
-            .count();
+        let flips =
+            r.fw.log()
+                .events()
+                .iter()
+                .skip(before)
+                .filter(|e| matches!(e.event, Event::PageForward))
+                .count();
         assert!(flips >= 1, "dwelling past the edge must flip pages");
     }
 
@@ -850,7 +915,10 @@ mod tests {
         let mut r = rig();
         r.run_ms(2000);
         let util = r.board.mcu.utilization(r.board.now());
-        assert!(util < 0.5, "firmware must fit the pic: utilization {util:.2}");
+        assert!(
+            util < 0.5,
+            "firmware must fit the pic: utilization {util:.2}"
+        );
     }
 
     #[test]
@@ -863,7 +931,10 @@ mod tests {
         assert!(ts.is_schedulable());
         // Standby adds a task but stays schedulable.
         let fw = Firmware::new(
-            DeviceProfile { orientation_standby: true, ..DeviceProfile::paper() },
+            DeviceProfile {
+                orientation_standby: true,
+                ..DeviceProfile::paper()
+            },
             phone_menu(),
         )
         .unwrap();
@@ -886,7 +957,12 @@ mod tests {
         r.hold_at(17.0, 400);
         assert_eq!(r.fw.navigator().highlighted(), 0);
         r.click_select();
-        assert!(r.fw.log().events().iter().any(|e| matches!(e.event, Event::Activated { .. })));
+        assert!(r
+            .fw
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::Activated { .. })));
     }
 
     #[test]
@@ -903,7 +979,12 @@ mod tests {
         r.board.release_button(r.fw.profile().select_button());
         r.run_ms(60);
         assert_eq!(r.fw.navigator().level(), 1, "short press selected");
-        assert!(!r.fw.log().events().iter().any(|e| matches!(e.event, Event::WentBack)));
+        assert!(!r
+            .fw
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::WentBack)));
     }
 
     #[test]
@@ -922,10 +1003,18 @@ mod tests {
         // Long press: back fires at the threshold, while still held.
         r.board.press_button(r.fw.profile().select_button());
         r.run_ms(700);
-        assert_eq!(r.fw.navigator().level(), 0, "long press went back while held");
+        assert_eq!(
+            r.fw.navigator().level(),
+            0,
+            "long press went back while held"
+        );
         r.board.release_button(r.fw.profile().select_button());
         r.run_ms(60);
-        assert_eq!(r.fw.navigator().level(), 0, "release after a long press does not select");
+        assert_eq!(
+            r.fw.navigator().level(),
+            0,
+            "release after a long press does not select"
+        );
     }
 
     #[test]
@@ -946,7 +1035,10 @@ mod tests {
 
     #[test]
     fn boot_rejects_invalid_profiles() {
-        let bad = DeviceProfile { near_cm: -2.0, ..DeviceProfile::paper() };
+        let bad = DeviceProfile {
+            near_cm: -2.0,
+            ..DeviceProfile::paper()
+        };
         assert!(matches!(
             Firmware::new(bad, Menu::flat(4)),
             Err(CoreError::BadProfile { .. })

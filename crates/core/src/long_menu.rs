@@ -51,12 +51,18 @@ impl LongMenuStrategy {
     /// The paper's suggested chunking: pages of 10, a third of a second
     /// of dwell to flip.
     pub fn paper_chunked() -> Self {
-        LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 30 }
+        LongMenuStrategy::Chunked {
+            page_size: 10,
+            dwell_ticks: 30,
+        }
     }
 
     /// A representative SDAZ tuning.
     pub fn paper_sdaz() -> Self {
-        LongMenuStrategy::Sdaz { max_rate: 25.0, dead_band: 0.12 }
+        LongMenuStrategy::Sdaz {
+            max_rate: 25.0,
+            dead_band: 0.12,
+        }
     }
 }
 
@@ -100,7 +106,14 @@ impl LongMenuController {
         if let LongMenuStrategy::Chunked { page_size, .. } = strategy {
             assert!(page_size > 0, "page size must be positive");
         }
-        LongMenuController { strategy, n_total, page: 0, cursor_f: 0.0, dwell_near: 0, dwell_far: 0 }
+        LongMenuController {
+            strategy,
+            n_total,
+            page: 0,
+            cursor_f: 0.0,
+            dwell_near: 0,
+            dwell_far: 0,
+        }
     }
 
     /// The strategy in use.
@@ -157,7 +170,10 @@ impl LongMenuController {
                 };
                 (idx, LongMenuAction::None)
             }
-            LongMenuStrategy::Chunked { page_size, dwell_ticks } => {
+            LongMenuStrategy::Chunked {
+                page_size,
+                dwell_ticks,
+            } => {
                 let mut action = LongMenuAction::None;
                 match hit {
                     IslandHit::TooNear => {
@@ -201,7 +217,10 @@ impl LongMenuController {
                 };
                 (idx, action)
             }
-            LongMenuStrategy::Sdaz { max_rate, dead_band } => {
+            LongMenuStrategy::Sdaz {
+                max_rate,
+                dead_band,
+            } => {
                 if let Some(u) = u {
                     let offset = u - 0.5;
                     if offset.abs() > dead_band {
@@ -248,7 +267,13 @@ mod tests {
 
     #[test]
     fn chunked_maps_local_to_global() {
-        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 3 }, 45);
+        let mut c = LongMenuController::new(
+            LongMenuStrategy::Chunked {
+                page_size: 10,
+                dwell_ticks: 3,
+            },
+            45,
+        );
         assert_eq!(c.islands_needed(), 10);
         assert_eq!(c.page_count(), 5);
         let (idx, _) = c.update(IslandHit::Entry(7), None, 0.01, 0);
@@ -267,16 +292,31 @@ mod tests {
 
     #[test]
     fn chunked_clamps_last_partial_page() {
-        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 1 }, 45);
+        let mut c = LongMenuController::new(
+            LongMenuStrategy::Chunked {
+                page_size: 10,
+                dwell_ticks: 1,
+            },
+            45,
+        );
         c.seek(44);
         assert_eq!(c.page(), 4);
         let (idx, _) = c.update(IslandHit::Entry(9), None, 0.01, 44);
-        assert_eq!(idx, 44, "local 9 on the last page clamps to the final entry");
+        assert_eq!(
+            idx, 44,
+            "local 9 on the last page clamps to the final entry"
+        );
     }
 
     #[test]
     fn chunked_dwell_resets_when_leaving_the_zone() {
-        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 3 }, 40);
+        let mut c = LongMenuController::new(
+            LongMenuStrategy::Chunked {
+                page_size: 10,
+                dwell_ticks: 3,
+            },
+            40,
+        );
         c.update(IslandHit::TooFar, None, 0.01, 0);
         c.update(IslandHit::TooFar, None, 0.01, 0);
         c.update(IslandHit::Entry(2), None, 0.01, 0); // leaves the zone
@@ -287,7 +327,13 @@ mod tests {
 
     #[test]
     fn chunked_does_not_page_past_the_ends() {
-        let mut c = LongMenuController::new(LongMenuStrategy::Chunked { page_size: 10, dwell_ticks: 1 }, 30);
+        let mut c = LongMenuController::new(
+            LongMenuStrategy::Chunked {
+                page_size: 10,
+                dwell_ticks: 1,
+            },
+            30,
+        );
         let (_, act) = c.update(IslandHit::TooNear, None, 0.01, 0);
         assert_eq!(act, LongMenuAction::None, "already at page 0");
         c.seek(29);
@@ -318,7 +364,10 @@ mod tests {
         };
         let slow = run(0.70);
         let fast = run(0.95);
-        assert!(fast > 2 * slow, "0.95 displacement ({fast}) should beat 0.70 ({slow})");
+        assert!(
+            fast > 2 * slow,
+            "0.95 displacement ({fast}) should beat 0.70 ({slow})"
+        );
     }
 
     #[test]

@@ -112,13 +112,19 @@ impl IslandMap {
         curve: &InverseCurveFit,
     ) -> Result<Self, CoreError> {
         if n == 0 {
-            return Err(CoreError::BadMapping { reason: "zero entries" });
+            return Err(CoreError::BadMapping {
+                reason: "zero entries",
+            });
         }
         if !(near_cm.is_finite() && far_cm.is_finite() && far_cm > near_cm) {
-            return Err(CoreError::BadMapping { reason: "inverted or non-finite range" });
+            return Err(CoreError::BadMapping {
+                reason: "inverted or non-finite range",
+            });
         }
         if !(0.0..1.0).contains(&gap_fraction) {
-            return Err(CoreError::BadMapping { reason: "gap fraction outside 0..1" });
+            return Err(CoreError::BadMapping {
+                reason: "gap fraction outside 0..1",
+            });
         }
         let slot = (far_cm - near_cm) / n as f64;
         let width = slot * (1.0 - gap_fraction);
@@ -141,7 +147,14 @@ impl IslandMap {
                     reason: "islands collapse below adc resolution; use fewer entries or chunking",
                 });
             }
-            islands.push(Island { index: i, center_cm, width_cm: width, lo_code, hi_code, center_code });
+            islands.push(Island {
+                index: i,
+                center_cm,
+                width_cm: width,
+                lo_code,
+                hi_code,
+                center_code,
+            });
         }
         Ok(IslandMap {
             islands,
@@ -168,15 +181,21 @@ impl IslandMap {
         curve: &InverseCurveFit,
     ) -> Result<Self, CoreError> {
         if n == 0 {
-            return Err(CoreError::BadMapping { reason: "zero entries" });
+            return Err(CoreError::BadMapping {
+                reason: "zero entries",
+            });
         }
         if !(0.0..1.0).contains(&gap_fraction) {
-            return Err(CoreError::BadMapping { reason: "gap fraction outside 0..1" });
+            return Err(CoreError::BadMapping {
+                reason: "gap fraction outside 0..1",
+            });
         }
         let near_code = volts_to_code(curve.voltage_at(near_cm));
         let far_code = volts_to_code(curve.voltage_at(far_cm));
         if far_code >= near_code {
-            return Err(CoreError::BadMapping { reason: "inverted or non-finite range" });
+            return Err(CoreError::BadMapping {
+                reason: "inverted or non-finite range",
+            });
         }
         let slot = f64::from(near_code - far_code) / n as f64;
         let width = slot * (1.0 - gap_fraction);
@@ -203,7 +222,13 @@ impl IslandMap {
                 center_code: center_code_f.round() as u16,
             });
         }
-        Ok(IslandMap { islands, near_code, far_code, near_cm, far_cm })
+        Ok(IslandMap {
+            islands,
+            near_code,
+            far_code,
+            near_cm,
+            far_cm,
+        })
     }
 
     /// Builds a gapless, collapse-tolerant mapping used by the
@@ -225,10 +250,14 @@ impl IslandMap {
         curve: &InverseCurveFit,
     ) -> Result<Self, CoreError> {
         if n == 0 {
-            return Err(CoreError::BadMapping { reason: "zero entries" });
+            return Err(CoreError::BadMapping {
+                reason: "zero entries",
+            });
         }
         if !(near_cm.is_finite() && far_cm.is_finite() && far_cm > near_cm) {
-            return Err(CoreError::BadMapping { reason: "inverted or non-finite range" });
+            return Err(CoreError::BadMapping {
+                reason: "inverted or non-finite range",
+            });
         }
         let slot = (far_cm - near_cm) / n as f64;
         let mut islands = Vec::with_capacity(n);
@@ -318,8 +347,11 @@ impl IslandMap {
     /// Fraction of the code span covered by islands (1 − dead-zone
     /// fraction in code space); an analysis aid for E7.
     pub fn code_coverage(&self) -> f64 {
-        let covered: u32 =
-            self.islands.iter().map(|i| u32::from(i.hi_code - i.lo_code) + 1).sum();
+        let covered: u32 = self
+            .islands
+            .iter()
+            .map(|i| u32::from(i.hi_code - i.lo_code) + 1)
+            .sum();
         let span = u32::from(self.near_code - self.far_code) + 1;
         f64::from(covered) / f64::from(span)
     }
@@ -373,7 +405,10 @@ mod tests {
         let slot = 26.0 / 10.0;
         for (i, c) in centers.iter().enumerate() {
             let expected = 4.0 + (i as f64 + 0.5) * slot;
-            assert!((c - expected).abs() < 1e-9, "island {i} centre {c} vs {expected}");
+            assert!(
+                (c - expected).abs() < 1e-9,
+                "island {i} centre {c} vs {expected}"
+            );
         }
         // Equal width in cm everywhere — the perceptual-equal-spacing goal.
         for i in m.islands() {
@@ -454,7 +489,10 @@ mod tests {
         for code in (0..=700u16).rev() {
             if let IslandHit::Entry(i) = m.lookup(code) {
                 if let Some(prev) = last_entry {
-                    assert!(i == prev || i == prev + 1, "entry order broke at code {code}");
+                    assert!(
+                        i == prev || i == prev + 1,
+                        "entry order broke at code {code}"
+                    );
                 }
                 last_entry = Some(i);
             }
@@ -495,7 +533,10 @@ mod tests {
         // Distance centres are heavily skewed towards the near end.
         let d01 = m.islands()[1].center_cm - m.islands()[0].center_cm;
         let d89 = m.islands()[9].center_cm - m.islands()[8].center_cm;
-        assert!(d89 > 3.0 * d01, "far entries far apart: {d01:.2} cm vs {d89:.2} cm");
+        assert!(
+            d89 > 3.0 * d01,
+            "far entries far apart: {d01:.2} cm vs {d89:.2} cm"
+        );
     }
 
     #[test]
@@ -515,7 +556,10 @@ mod tests {
     fn dense_map_small_n_reaches_everything() {
         let m = IslandMap::build_dense(10, 4.0, 30.0, &paper_curve()).unwrap();
         assert!(m.unreachable_entries().is_empty());
-        assert!((m.code_coverage() - 1.0).abs() < 0.05, "dense maps have no gaps");
+        assert!(
+            (m.code_coverage() - 1.0).abs() < 0.05,
+            "dense maps have no gaps"
+        );
     }
 
     #[test]
@@ -525,7 +569,10 @@ mod tests {
         assert!(!lost.is_empty(), "200 entries cannot all fit the code span");
         // The casualties are at the far end, where codes are scarce.
         let min_lost = *lost.iter().min().unwrap();
-        assert!(min_lost > 100, "near entries stay reachable, first loss at {min_lost}");
+        assert!(
+            min_lost > 100,
+            "near entries stay reachable, first loss at {min_lost}"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct MenuNode {
 impl MenuNode {
     /// A leaf entry (an activatable item).
     pub fn leaf(label: impl Into<String>) -> Self {
-        MenuNode { label: label.into(), children: Vec::new() }
+        MenuNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
     }
 
     /// A submenu with children.
@@ -32,8 +35,14 @@ impl MenuNode {
     /// Panics if `children` is empty — an empty submenu is a modelling
     /// error, not a runtime condition.
     pub fn submenu(label: impl Into<String>, children: Vec<MenuNode>) -> Self {
-        assert!(!children.is_empty(), "a submenu must have at least one child");
-        MenuNode { label: label.into(), children }
+        assert!(
+            !children.is_empty(),
+            "a submenu must have at least one child"
+        );
+        MenuNode {
+            label: label.into(),
+            children,
+        }
     }
 
     /// The entry's display label.
@@ -93,7 +102,9 @@ impl Menu {
         assert!(n > 0, "a menu needs at least one entry");
         Menu::new(MenuNode::submenu(
             "root",
-            (0..n).map(|i| MenuNode::leaf(format!("Item {i:02}"))).collect(),
+            (0..n)
+                .map(|i| MenuNode::leaf(format!("Item {i:02}")))
+                .collect(),
         ))
     }
 
@@ -138,7 +149,11 @@ pub struct Navigator {
 impl Navigator {
     /// A cursor at the first entry of the top level.
     pub fn new(menu: Menu) -> Self {
-        Navigator { menu, path: Vec::new(), highlighted: 0 }
+        Navigator {
+            menu,
+            path: Vec::new(),
+            highlighted: 0,
+        }
     }
 
     /// The menu being navigated.
@@ -148,7 +163,10 @@ impl Navigator {
 
     /// The entries at the current level.
     pub fn entries(&self) -> &[MenuNode] {
-        self.menu.node_at(&self.path).expect("navigator path is always valid").children()
+        self.menu
+            .node_at(&self.path)
+            .expect("navigator path is always valid")
+            .children()
     }
 
     /// Number of entries at the current level.
@@ -195,7 +213,10 @@ impl Navigator {
     /// [`CoreError::BadMenuIndex`] if `index` is out of range.
     pub fn highlight(&mut self, index: usize) -> Result<(), CoreError> {
         if index >= self.len() {
-            return Err(CoreError::BadMenuIndex { index, len: self.len() });
+            return Err(CoreError::BadMenuIndex {
+                index,
+                len: self.len(),
+            });
         }
         self.highlighted = index;
         Ok(())
@@ -287,21 +308,32 @@ mod tests {
         assert_eq!(nav.highlighted(), 2);
         let err = nav.highlight(3).unwrap_err();
         assert_eq!(err, CoreError::BadMenuIndex { index: 3, len: 3 });
-        assert_eq!(nav.highlighted(), 2, "failed highlight must not move the cursor");
+        assert_eq!(
+            nav.highlighted(),
+            2,
+            "failed highlight must not move the cursor"
+        );
     }
 
     #[test]
     fn select_enters_submenus_and_activates_leaves() {
         let mut nav = Navigator::new(small_menu());
         let sel = nav.select();
-        assert_eq!(sel, Selection::EnteredSubmenu { label: "Messages".into() });
+        assert_eq!(
+            sel,
+            Selection::EnteredSubmenu {
+                label: "Messages".into()
+            }
+        );
         assert_eq!(nav.level(), 1);
         assert_eq!(nav.len(), 2);
         nav.highlight(1).unwrap();
         let sel = nav.select();
         assert_eq!(
             sel,
-            Selection::Activated { path: vec!["Messages".into(), "Compose".into()] }
+            Selection::Activated {
+                path: vec!["Messages".into(), "Compose".into()]
+            }
         );
         assert_eq!(nav.level(), 1, "activating a leaf does not move the cursor");
     }
@@ -314,7 +346,11 @@ mod tests {
         assert_eq!(nav.level(), 1);
         assert!(nav.back());
         assert_eq!(nav.level(), 0);
-        assert_eq!(nav.highlighted(), 2, "highlight lands on the submenu we came from");
+        assert_eq!(
+            nav.highlighted(),
+            2,
+            "highlight lands on the submenu we came from"
+        );
         assert!(!nav.back(), "cannot go above the top level");
     }
 

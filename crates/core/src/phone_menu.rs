@@ -77,7 +77,11 @@ pub fn phone_menu() -> Menu {
                     ),
                     N::submenu(
                         "Display",
-                        vec![N::leaf("Wallpaper"), N::leaf("Contrast"), N::leaf("Backlight")],
+                        vec![
+                            N::leaf("Wallpaper"),
+                            N::leaf("Contrast"),
+                            N::leaf("Backlight"),
+                        ],
                     ),
                     N::leaf("Time and date"),
                     N::leaf("Call settings"),
@@ -87,7 +91,12 @@ pub fn phone_menu() -> Menu {
             ),
             N::submenu(
                 "Organizer",
-                vec![N::leaf("Alarm clock"), N::leaf("Calendar"), N::leaf("Calculator"), N::leaf("Notes")],
+                vec![
+                    N::leaf("Alarm clock"),
+                    N::leaf("Calendar"),
+                    N::leaf("Calculator"),
+                    N::leaf("Notes"),
+                ],
             ),
             N::submenu(
                 "Games",
@@ -114,7 +123,11 @@ mod tests {
         assert!(m.root().leaf_count() >= 30, "enough leaves for study tasks");
         // Every level fits the default island budget of 12.
         fn check(node: &MenuNode) {
-            assert!(node.children().len() <= 12, "level too wide: {}", node.label());
+            assert!(
+                node.children().len() <= 12,
+                "level too wide: {}",
+                node.label()
+            );
             for c in node.children() {
                 if !c.is_leaf() {
                     check(c);
@@ -133,13 +146,20 @@ mod tests {
         }
         // After the last select we activated the leaf; the breadcrumb
         // shows the two submenus we passed through.
-        assert_eq!(nav.breadcrumb(), vec!["Settings".to_string(), "Tone settings".to_string()]);
+        assert_eq!(
+            nav.breadcrumb(),
+            vec!["Settings".to_string(), "Tone settings".to_string()]
+        );
     }
 
     #[test]
     fn labels_fit_the_display() {
         fn check(node: &MenuNode) {
-            assert!(node.label().len() <= 15, "label too long for 16 columns: {}", node.label());
+            assert!(
+                node.label().len() <= 15,
+                "label too long for 16 columns: {}",
+                node.label()
+            );
             for c in node.children() {
                 check(c);
             }

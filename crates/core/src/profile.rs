@@ -121,12 +121,22 @@ impl FilterConfig {
     /// sensor sample; 9 taps (90 ms) does, 5 would pass it through. The
     /// 18 bytes of window still fit the PIC easily.
     pub fn paper() -> Self {
-        FilterConfig { median_len: 9, ema_alpha: 0.45, slew_gate: true, slew_max_codes: 120.0 }
+        FilterConfig {
+            median_len: 9,
+            ema_alpha: 0.45,
+            slew_gate: true,
+            slew_max_codes: 120.0,
+        }
     }
 
     /// Raw samples straight through (ablation).
     pub fn raw() -> Self {
-        FilterConfig { median_len: 1, ema_alpha: 1.0, slew_gate: false, slew_max_codes: 120.0 }
+        FilterConfig {
+            median_len: 1,
+            ema_alpha: 1.0,
+            slew_gate: false,
+            slew_max_codes: 120.0,
+        }
     }
 }
 
@@ -219,28 +229,44 @@ impl DeviceProfile {
     /// [`CoreError::BadProfile`] naming the offending field.
     pub fn validate(&self) -> Result<(), CoreError> {
         if !(self.near_cm.is_finite() && self.near_cm > 0.0) {
-            return Err(CoreError::BadProfile { reason: "near edge must be positive" });
+            return Err(CoreError::BadProfile {
+                reason: "near edge must be positive",
+            });
         }
         if !(self.far_cm.is_finite() && self.far_cm > self.near_cm + 1.0) {
-            return Err(CoreError::BadProfile { reason: "far edge must exceed near edge by at least 1 cm" });
+            return Err(CoreError::BadProfile {
+                reason: "far edge must exceed near edge by at least 1 cm",
+            });
         }
         if !(0.0..0.9).contains(&self.gap_fraction) {
-            return Err(CoreError::BadProfile { reason: "gap fraction must be in 0.0..0.9" });
+            return Err(CoreError::BadProfile {
+                reason: "gap fraction must be in 0.0..0.9",
+            });
         }
         if self.filters.median_len.is_multiple_of(2) || self.filters.median_len > 15 {
-            return Err(CoreError::BadProfile { reason: "median window must be odd and at most 15" });
+            return Err(CoreError::BadProfile {
+                reason: "median window must be odd and at most 15",
+            });
         }
         if !(self.filters.ema_alpha > 0.0 && self.filters.ema_alpha <= 1.0) {
-            return Err(CoreError::BadProfile { reason: "ema alpha must be in (0, 1]" });
+            return Err(CoreError::BadProfile {
+                reason: "ema alpha must be in (0, 1]",
+            });
         }
         if self.max_islands < 2 {
-            return Err(CoreError::BadProfile { reason: "need at least two islands" });
+            return Err(CoreError::BadProfile {
+                reason: "need at least two islands",
+            });
         }
         if self.tick_ms == 0 || self.tick_ms > 100 {
-            return Err(CoreError::BadProfile { reason: "tick period must be 1..=100 ms" });
+            return Err(CoreError::BadProfile {
+                reason: "tick period must be 1..=100 ms",
+            });
         }
         if self.telemetry_every_ticks == 0 {
-            return Err(CoreError::BadProfile { reason: "telemetry cadence must be positive" });
+            return Err(CoreError::BadProfile {
+                reason: "telemetry cadence must be positive",
+            });
         }
         Ok(())
     }
@@ -303,7 +329,10 @@ mod tests {
 
     #[test]
     fn left_handed_layout_mirrors_buttons() {
-        let p = DeviceProfile { handedness: Handedness::Left, ..DeviceProfile::paper() };
+        let p = DeviceProfile {
+            handedness: Handedness::Left,
+            ..DeviceProfile::paper()
+        };
         assert_eq!(p.select_button(), ButtonId::LeftUpper);
         assert_eq!(p.back_button(), ButtonId::TopRight);
     }
@@ -312,25 +341,61 @@ mod tests {
     fn validation_catches_each_field() {
         let base = DeviceProfile::paper;
         let cases: Vec<(DeviceProfile, &str)> = vec![
-            (DeviceProfile { near_cm: -1.0, ..base() }, "near"),
-            (DeviceProfile { far_cm: 4.5, ..base() }, "far"),
-            (DeviceProfile { gap_fraction: 0.95, ..base() }, "gap"),
             (
                 DeviceProfile {
-                    filters: FilterConfig { median_len: 4, ..FilterConfig::paper() },
+                    near_cm: -1.0,
+                    ..base()
+                },
+                "near",
+            ),
+            (
+                DeviceProfile {
+                    far_cm: 4.5,
+                    ..base()
+                },
+                "far",
+            ),
+            (
+                DeviceProfile {
+                    gap_fraction: 0.95,
+                    ..base()
+                },
+                "gap",
+            ),
+            (
+                DeviceProfile {
+                    filters: FilterConfig {
+                        median_len: 4,
+                        ..FilterConfig::paper()
+                    },
                     ..base()
                 },
                 "median",
             ),
             (
                 DeviceProfile {
-                    filters: FilterConfig { ema_alpha: 0.0, ..FilterConfig::paper() },
+                    filters: FilterConfig {
+                        ema_alpha: 0.0,
+                        ..FilterConfig::paper()
+                    },
                     ..base()
                 },
                 "ema",
             ),
-            (DeviceProfile { max_islands: 1, ..base() }, "islands"),
-            (DeviceProfile { tick_ms: 0, ..base() }, "tick"),
+            (
+                DeviceProfile {
+                    max_islands: 1,
+                    ..base()
+                },
+                "islands",
+            ),
+            (
+                DeviceProfile {
+                    tick_ms: 0,
+                    ..base()
+                },
+                "tick",
+            ),
         ];
         for (p, field) in cases {
             let err = p.validate().unwrap_err();

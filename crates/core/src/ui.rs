@@ -26,7 +26,11 @@ pub fn render_menu(entries: &[MenuNode], highlighted: usize) -> Vec<String> {
         highlighted.saturating_sub(visible / 2).min(n - visible)
     };
     let needs_bar = n > visible;
-    let label_width = if needs_bar { TEXT_COLS - 2 } else { TEXT_COLS - 1 };
+    let label_width = if needs_bar {
+        TEXT_COLS - 2
+    } else {
+        TEXT_COLS - 1
+    };
     let mut lines = Vec::with_capacity(visible);
     for row in 0..visible {
         let idx = start + row;
@@ -41,7 +45,11 @@ pub fn render_menu(entries: &[MenuNode], highlighted: usize) -> Vec<String> {
                 line.push(' ');
             }
             // Scrollbar thumb: the row proportional to the highlight.
-            let thumb_row = if n <= 1 { 0 } else { highlighted * (visible - 1) / (n - 1) };
+            let thumb_row = if n <= 1 {
+                0
+            } else {
+                highlighted * (visible - 1) / (n - 1)
+            };
             line.push(if row == thumb_row { '#' } else { '|' });
         }
         lines.push(line.trim_end().to_string());
@@ -82,8 +90,7 @@ pub fn render_instruction(text: &str) -> Vec<String> {
     let mut lines = vec!["Find:".to_string()];
     let mut current = String::new();
     for word in text.split_whitespace() {
-        let candidate_len =
-            current.len() + usize::from(!current.is_empty()) + word.len();
+        let candidate_len = current.len() + usize::from(!current.is_empty()) + word.len();
         if candidate_len <= TEXT_COLS {
             if !current.is_empty() {
                 current.push(' ');
@@ -159,8 +166,14 @@ mod tests {
         let e = entries(20);
         let top = render_menu(&e, 0);
         let bottom = render_menu(&e, 19);
-        assert!(top[0].ends_with('#'), "thumb at the top for the first entry: {top:?}");
-        assert!(bottom[TEXT_LINES - 1].ends_with('#'), "thumb at the bottom for the last");
+        assert!(
+            top[0].ends_with('#'),
+            "thumb at the top for the first entry: {top:?}"
+        );
+        assert!(
+            bottom[TEXT_LINES - 1].ends_with('#'),
+            "thumb at the bottom for the last"
+        );
         assert!(top.iter().skip(1).all(|l| l.ends_with('|')));
     }
 
@@ -204,7 +217,10 @@ mod tests {
         let lines = render_instruction("the Ringing tone entry under Tone settings");
         assert_eq!(lines.len(), TEXT_LINES);
         assert_eq!(lines[0], "Find:");
-        assert!(lines.iter().all(|l| l.chars().count() <= TEXT_COLS), "{lines:?}");
+        assert!(
+            lines.iter().all(|l| l.chars().count() <= TEXT_COLS),
+            "{lines:?}"
+        );
         let joined = lines.join(" ");
         assert!(joined.contains("Ringing"));
         assert!(joined.contains("settings"));

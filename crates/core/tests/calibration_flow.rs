@@ -31,20 +31,27 @@ fn calibration_removes_the_units_bias() {
     let mut dev =
         DistScrollDevice::new_with_unit_variation(DeviceProfile::paper(), Menu::flat(8), UNIT_SEED);
     let before = estimate_bias(&mut dev);
-    dev.calibrate_on_jig(&[5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0]).expect("jig fit succeeds");
+    dev.calibrate_on_jig(&[5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0])
+        .expect("jig fit succeeds");
     let after = estimate_bias(&mut dev);
     assert!(
         after < before,
         "calibration must reduce the unit's bias: {before:.2} cm -> {after:.2} cm"
     );
-    assert!(after < 0.6, "calibrated estimates are sub-centimetre-ish: {after:.2} cm");
+    assert!(
+        after < 0.6,
+        "calibrated estimates are sub-centimetre-ish: {after:.2} cm"
+    );
 }
 
 #[test]
 fn typical_part_needs_no_calibration() {
     let mut dev = DistScrollDevice::new(DeviceProfile::paper(), Menu::flat(8), 5);
     let bias = estimate_bias(&mut dev);
-    assert!(bias < 0.6, "the datasheet curve already fits the typical part: {bias:.2} cm");
+    assert!(
+        bias < 0.6,
+        "the datasheet curve already fits the typical part: {bias:.2} cm"
+    );
 }
 
 #[test]
@@ -53,17 +60,27 @@ fn stored_record_survives_a_reboot() {
     // fresh board (the EEPROM would physically persist).
     let mut dev =
         DistScrollDevice::new_with_unit_variation(DeviceProfile::paper(), Menu::flat(8), UNIT_SEED);
-    dev.calibrate_on_jig(&[5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0]).expect("jig fit succeeds");
+    dev.calibrate_on_jig(&[5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0])
+        .expect("jig fit succeeds");
     let stored =
         distscroll_core::calibration::load(&dev.board().eeprom).expect("record was stored");
 
     let mut rebooted =
         DistScrollDevice::new_with_unit_variation(DeviceProfile::paper(), Menu::flat(8), UNIT_SEED);
-    assert!(!rebooted.load_calibration().expect("load runs"), "fresh eeprom has no record");
+    assert!(
+        !rebooted.load_calibration().expect("load runs"),
+        "fresh eeprom has no record"
+    );
     rebooted.store_calibration(&stored).expect("record stores");
-    assert!(rebooted.load_calibration().expect("load runs"), "record now present");
+    assert!(
+        rebooted.load_calibration().expect("load runs"),
+        "record now present"
+    );
     let bias = estimate_bias(&mut rebooted);
-    assert!(bias < 0.6, "rebooted device uses the stored curve: {bias:.2} cm");
+    assert!(
+        bias < 0.6,
+        "rebooted device uses the stored curve: {bias:.2} cm"
+    );
 }
 
 #[test]

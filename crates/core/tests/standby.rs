@@ -8,7 +8,10 @@ use distscroll_core::profile::DeviceProfile;
 use distscroll_hw::display::DisplayRole;
 
 fn standby_device(seed: u64) -> DistScrollDevice {
-    let profile = DeviceProfile { orientation_standby: true, ..DeviceProfile::paper() };
+    let profile = DeviceProfile {
+        orientation_standby: true,
+        ..DeviceProfile::paper()
+    };
     let mut dev = DistScrollDevice::new(profile, Menu::flat(8), seed);
     dev.set_distance(15.0);
     dev
@@ -32,8 +35,14 @@ fn a_device_set_down_goes_to_standby_and_wakes_on_pickup() {
     // detection window.
     dev.set_resting(true);
     dev.run_for_ms(4_000).expect("fresh battery");
-    assert!(dev.firmware().is_standby(), "flat + still for seconds means set down");
-    assert!(!dev.board().is_sensor_powered(), "sensor rail off in standby");
+    assert!(
+        dev.firmware().is_standby(),
+        "flat + still for seconds means set down"
+    );
+    assert!(
+        !dev.board().is_sensor_powered(),
+        "sensor rail off in standby"
+    );
     assert_eq!(
         dev.board().display(DisplayRole::Upper).lit_pixels(),
         0,
@@ -80,6 +89,9 @@ fn without_the_flag_nothing_sleeps() {
     dev.set_distance(15.0);
     dev.set_resting(true);
     dev.run_for_ms(6_000).expect("fresh battery");
-    assert!(!dev.firmware().is_standby(), "the prototype (paper profile) has no standby");
+    assert!(
+        !dev.firmware().is_standby(),
+        "the prototype (paper profile) has no standby"
+    );
     assert!(dev.board().is_sensor_powered());
 }

@@ -63,7 +63,12 @@ impl Default for Criterion {
             .iter()
             .position(|a| a == "--save-baseline")
             .and_then(|i| args.get(i + 1).cloned());
-        Criterion { sample_size: 20, warmup_iters: 2, mode, baseline }
+        Criterion {
+            sample_size: 20,
+            warmup_iters: 2,
+            mode,
+            baseline,
+        }
     }
 }
 
@@ -92,7 +97,11 @@ impl Criterion {
                 return self;
             }
             Mode::Smoke => {
-                let mut b = Bencher { samples: Vec::new(), budget: 1, warmup: 0 };
+                let mut b = Bencher {
+                    samples: Vec::new(),
+                    budget: 1,
+                    warmup: 0,
+                };
                 f(&mut b);
                 println!("{id}: smoke ok");
                 return self;
@@ -106,7 +115,10 @@ impl Criterion {
         };
         f(&mut b);
         let times = &b.samples;
-        assert!(!times.is_empty(), "benchmark {id} never called Bencher::iter");
+        assert!(
+            !times.is_empty(),
+            "benchmark {id} never called Bencher::iter"
+        );
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
         let min = times.iter().min().copied().unwrap_or_default();
         let max = times.iter().max().copied().unwrap_or_default();
@@ -214,13 +226,23 @@ mod tests {
 
     #[test]
     fn measures_and_reports_samples() {
-        let mut c = Criterion { sample_size: 3, warmup_iters: 1, mode: Mode::Measure, baseline: None };
+        let mut c = Criterion {
+            sample_size: 3,
+            warmup_iters: 1,
+            mode: Mode::Measure,
+            baseline: None,
+        };
         demo_bench(&mut c);
     }
 
     #[test]
     fn smoke_mode_runs_once() {
-        let mut c = Criterion { sample_size: 50, warmup_iters: 1, mode: Mode::Smoke, baseline: None };
+        let mut c = Criterion {
+            sample_size: 50,
+            warmup_iters: 1,
+            mode: Mode::Smoke,
+            baseline: None,
+        };
         let mut calls = 0u64;
         c.bench_function("count", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 1, "smoke mode must run the body exactly once");

@@ -25,11 +25,7 @@ use super::{Effort, ExperimentReport};
 
 /// Runs a small trial block under a profile; returns (mean time of
 /// correct trials or None, error rate, mean corrections).
-pub fn trial_block(
-    profile: DeviceProfile,
-    trials: usize,
-    seed: u64,
-) -> (Option<f64>, f64, f64) {
+pub fn trial_block(profile: DeviceProfile, trials: usize, seed: u64) -> (Option<f64>, f64, f64) {
     trial_block_env(profile, None, trials, seed)
 }
 
@@ -50,15 +46,20 @@ pub fn trial_block_env(
     }
     let plan = TaskPlan::block(8, trials, 100, seed);
     let records = run_block(&mut tech, &user, 0, &plan, seed ^ 0x5eed);
-    let times: Vec<f64> =
-        records.iter().filter(|r| r.result.correct).map(|r| r.result.time_s).collect();
+    let times: Vec<f64> = records
+        .iter()
+        .filter(|r| r.result.correct)
+        .map(|r| r.result.time_s)
+        .collect();
     let errors = records.iter().filter(|r| !r.result.correct).count() as f64 / records.len() as f64;
-    let corrections = records.iter().map(|r| f64::from(r.result.corrections)).sum::<f64>()
+    let corrections = records
+        .iter()
+        .map(|r| f64::from(r.result.corrections))
+        .sum::<f64>()
         / records.len() as f64;
     let mean = (!times.is_empty()).then(|| times.iter().sum::<f64>() / times.len() as f64);
     (mean, errors, corrections)
 }
-
 
 /// Spurious highlight changes per second while dwelling on one island
 /// centre under given conditions — the flicker the input filters exist
@@ -107,13 +108,21 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let gaps: &[f64] = effort.pick(&[0.0, 0.35, 0.6][..], &[0.0, 0.15, 0.35, 0.5, 0.65][..]);
     let mut gap_table = Table::new(
         "ablation 1: dead-zone (gap) fraction",
-        &["gap fraction", "boundary chatter [flips/s]", "time [s]", "error rate"],
+        &[
+            "gap fraction",
+            "boundary chatter [flips/s]",
+            "time [s]",
+            "error rate",
+        ],
     );
     let mut chatter_at_zero = 0.0;
     let mut chatter_at_paper = 0.0;
     for &g in gaps {
         let chatter = chatter_rate(g, 17.0, effort.pick(4.0, 15.0), seed);
-        let profile = DeviceProfile { gap_fraction: g, ..DeviceProfile::paper() };
+        let profile = DeviceProfile {
+            gap_fraction: g,
+            ..DeviceProfile::paper()
+        };
         let (time, err, _) = trial_block(profile, trials, seed ^ g.to_bits());
         if g == 0.0 {
             chatter_at_zero = chatter;
@@ -140,10 +149,14 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         &["mapping", "time [s]", "error rate", "corrections"],
     );
     let mut eq_results = Vec::new();
-    for (label, kind) in
-        [("equal-distance (paper)", MappingKind::EqualDistance), ("equal-code (naive)", MappingKind::LinearInCode)]
-    {
-        let profile = DeviceProfile { mapping_kind: kind, ..DeviceProfile::paper() };
+    for (label, kind) in [
+        ("equal-distance (paper)", MappingKind::EqualDistance),
+        ("equal-code (naive)", MappingKind::LinearInCode),
+    ] {
+        let profile = DeviceProfile {
+            mapping_kind: kind,
+            ..DeviceProfile::paper()
+        };
         let (time, err, corr) = trial_block(profile, trials, seed ^ label.len() as u64);
         eq_table.row(&[
             label.into(),
@@ -154,7 +167,8 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         eq_results.push((time.unwrap_or(f64::INFINITY), err, corr));
     }
     sections.push(eq_table.render());
-    let equalization_wins = eq_results[0].2 < eq_results[1].2 || eq_results[0].1 < eq_results[1].1
+    let equalization_wins = eq_results[0].2 < eq_results[1].2
+        || eq_results[0].1 < eq_results[1].1
         || eq_results[0].0 < eq_results[1].0;
     findings.push(format!(
         "the naive equal-code mapping costs {:.2} corrections/trial vs {:.2} for the paper's \
@@ -178,14 +192,35 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let configs: Vec<(&str, FilterConfig)> = vec![
         ("paper (median9+ema+gate)", FilterConfig::paper()),
         ("raw (no filtering)", FilterConfig::raw()),
-        ("median only", FilterConfig { ema_alpha: 1.0, slew_gate: false, ..FilterConfig::paper() }),
-        ("ema only", FilterConfig { median_len: 1, slew_gate: false, ..FilterConfig::paper() }),
+        (
+            "median only",
+            FilterConfig {
+                ema_alpha: 1.0,
+                slew_gate: false,
+                ..FilterConfig::paper()
+            },
+        ),
+        (
+            "ema only",
+            FilterConfig {
+                median_len: 1,
+                slew_gate: false,
+                ..FilterConfig::paper()
+            },
+        ),
     ];
     let mut filter_flicker = Vec::new();
     for (label, f) in configs {
-        let profile = DeviceProfile { filters: f, ..DeviceProfile::paper() };
-        let flicker =
-            dwell_flicker(profile.clone(), harsh, dwell_secs, seed ^ (label.len() as u64) << 9);
+        let profile = DeviceProfile {
+            filters: f,
+            ..DeviceProfile::paper()
+        };
+        let flicker = dwell_flicker(
+            profile.clone(),
+            harsh,
+            dwell_secs,
+            seed ^ (label.len() as u64) << 9,
+        );
         let (time, err, _) =
             trial_block_env(profile, harsh, trials, seed ^ (label.len() as u64) << 3);
         filter_table.row(&[
@@ -206,10 +241,15 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
 
     // --- Axis 4: tick rate. ---
     let ticks: &[u64] = effort.pick(&[10, 50][..], &[5, 10, 20, 50][..]);
-    let mut tick_table =
-        Table::new("ablation 4: firmware tick period", &["tick [ms]", "time [s]", "error rate"]);
+    let mut tick_table = Table::new(
+        "ablation 4: firmware tick period",
+        &["tick [ms]", "time [s]", "error rate"],
+    );
     for &ms in ticks {
-        let profile = DeviceProfile { tick_ms: ms, ..DeviceProfile::paper() };
+        let profile = DeviceProfile {
+            tick_ms: ms,
+            ..DeviceProfile::paper()
+        };
         let (time, err, _) = trial_block(profile, trials, seed ^ ms);
         tick_table.row(&[
             format!("{ms}"),

@@ -47,7 +47,9 @@ fn task_menu() -> Menu {
             .map(|i| {
                 MenuNode::submenu(
                     format!("Group {i}"),
-                    (0..4).map(|j| MenuNode::leaf(format!("Leaf {i}{j}"))).collect(),
+                    (0..4)
+                        .map(|j| MenuNode::leaf(format!("Leaf {i}{j}")))
+                        .collect(),
                 )
             })
             .collect(),
@@ -86,7 +88,11 @@ pub fn run_round(
     seed: u64,
 ) -> RoundOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
-    let profile = DeviceProfile { button_layout: layout, handedness, ..DeviceProfile::paper() };
+    let profile = DeviceProfile {
+        button_layout: layout,
+        handedness,
+        ..DeviceProfile::paper()
+    };
     let mut dev = DistScrollDevice::new(profile, task_menu(), seed ^ 0xb007);
 
     // Wrong-hand friction: the three-button prototype is right-hand
@@ -101,8 +107,16 @@ pub fn run_round(
     // the layout's slips come from: a "select" held too long, a "back"
     // released too early.
     let one_large = matches!(layout, ButtonLayout::OneLarge { .. });
-    let press_ms = if one_large { 200.0 } else { 150.0 * press_factor };
-    let press_sd = if one_large { 130.0 } else { 45.0 * press_factor };
+    let press_ms = if one_large {
+        200.0
+    } else {
+        150.0 * press_factor
+    };
+    let press_sd = if one_large {
+        130.0
+    } else {
+        45.0 * press_factor
+    };
     let long_target_ms = match layout {
         ButtonLayout::OneLarge { long_press_ms } => long_press_ms as f64 + 120.0,
         _ => 0.0,
@@ -112,8 +126,8 @@ pub fn run_round(
     let mut slips = 0u32;
 
     let act = |dev: &mut DistScrollDevice,
-                   rng: &mut StdRng,
-                   want_back: bool|
+               rng: &mut StdRng,
+               want_back: bool|
      -> Result<(), distscroll_core::CoreError> {
         match layout {
             ButtonLayout::OneLarge { .. } => {
@@ -142,7 +156,11 @@ pub fn run_round(
             let cm = dev.island_center_cm(target_idx).unwrap_or(17.0);
             dev.set_distance(cm);
             if dev.run_for_ms(450).is_err() {
-                return RoundOutcome { time_s: 0.0, slips, completed: false };
+                return RoundOutcome {
+                    time_s: 0.0,
+                    slips,
+                    completed: false,
+                };
             }
         }
         // The user re-acts until the intended effect happened (they see
@@ -150,7 +168,11 @@ pub fn run_round(
         for attempt in 0..4 {
             let level_before = dev.level();
             if act(&mut dev, &mut rng, want_back).is_err() {
-                return RoundOutcome { time_s: 0.0, slips, completed: false };
+                return RoundOutcome {
+                    time_s: 0.0,
+                    slips,
+                    completed: false,
+                };
             }
             let leaf_selected = dev
                 .drain_events()
@@ -158,7 +180,11 @@ pub fn run_round(
                 .any(|e| matches!(e.event, Event::Activated { .. }));
             let went_deeper = dev.level() > level_before;
             let went_back = dev.level() < level_before;
-            let intended = if want_back { went_back } else { went_deeper || leaf_selected };
+            let intended = if want_back {
+                went_back
+            } else {
+                went_deeper || leaf_selected
+            };
             if intended {
                 break;
             }
@@ -180,7 +206,11 @@ pub fn run_round(
             }
         }
     }
-    RoundOutcome { time_s: (dev.now() - t0).as_secs_f64(), slips, completed: dev.level() <= 1 }
+    RoundOutcome {
+        time_s: (dev.now() - t0).as_secs_f64(),
+        slips,
+        completed: dev.level() <= 1,
+    }
 }
 
 /// Runs E8.
@@ -205,12 +235,19 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         let outcomes: Vec<RoundOutcome> = (0..rounds)
             .map(|k| run_round(layout, hand, &user, seed ^ tag ^ (k as u64) << 8))
             .collect();
-        let times: Vec<f64> =
-            outcomes.iter().filter(|o| o.completed).map(|o| o.time_s).collect();
+        let times: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.completed)
+            .map(|o| o.time_s)
+            .collect();
         let slips: Vec<f64> = outcomes.iter().map(|o| f64::from(o.slips)).collect();
         let completed = outcomes.iter().filter(|o| o.completed).count();
         (
-            if times.is_empty() { None } else { Some(Summary::of(&times)) },
+            if times.is_empty() {
+                None
+            } else {
+                Some(Summary::of(&times))
+            },
             Summary::of(&slips),
             Proportion::of(completed, rounds),
         )
@@ -218,9 +255,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
 
     let mut results = Vec::new();
     for (name, layout) in layouts {
-        for (hand_name, hand, tag) in
-            [("right", Handedness::Right, 1u64), ("left", Handedness::Left, 2)]
-        {
+        for (hand_name, hand, tag) in [
+            ("right", Handedness::Right, 1u64),
+            ("left", Handedness::Left, 2),
+        ] {
             let (time, slips, completed) = cell(layout, hand, tag);
             table.row(&[
                 name.into(),
@@ -241,21 +279,24 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             .unwrap_or(f64::INFINITY)
     };
     let slips_of = |name: &str, hand: &str| {
-        results.iter().find(|(n, h, ..)| *n == name && *h == hand).map(|r| r.3).unwrap_or(99.0)
+        results
+            .iter()
+            .find(|(n, h, ..)| *n == name && *h == hand)
+            .map(|r| r.3)
+            .unwrap_or(99.0)
     };
 
     // The three claims the layouts were proposed on. The left-hand
     // penalty counts from 5 % up: the simulated friction is ~13 % but
     // cell means carry a few percent of sampling noise, and a 5 % hit on
     // every selection is already worth redesigning buttons over.
-    let three_penalizes_left =
-        mean_of("three buttons (prototype)", "left") > mean_of("three buttons (prototype)", "right") * 1.05;
-    let slidable_is_symmetric = (mean_of("two slidable", "left")
-        - mean_of("two slidable", "right"))
-    .abs()
-        < 0.25 * mean_of("two slidable", "right");
-    let one_large_backs_cost_time = mean_of("one large (600 ms hold)", "right")
-        > mean_of("two slidable", "right");
+    let three_penalizes_left = mean_of("three buttons (prototype)", "left")
+        > mean_of("three buttons (prototype)", "right") * 1.05;
+    let slidable_is_symmetric =
+        (mean_of("two slidable", "left") - mean_of("two slidable", "right")).abs()
+            < 0.25 * mean_of("two slidable", "right");
+    let one_large_backs_cost_time =
+        mean_of("one large (600 ms hold)", "right") > mean_of("two slidable", "right");
     let one_large_slips_more =
         slips_of("one large (600 ms hold)", "right") >= slips_of("two slidable", "right");
 
@@ -300,11 +341,15 @@ mod tests {
 
     #[test]
     fn rounds_complete_under_every_layout() {
-        for layout in
-            [ButtonLayout::ThreePushButtons, ButtonLayout::TwoSlidable, ButtonLayout::one_large()]
-        {
+        for layout in [
+            ButtonLayout::ThreePushButtons,
+            ButtonLayout::TwoSlidable,
+            ButtonLayout::one_large(),
+        ] {
             let ok = (0..6)
-                .filter(|&k| run_round(layout, Handedness::Right, &UserParams::expert(), k).completed)
+                .filter(|&k| {
+                    run_round(layout, Handedness::Right, &UserParams::expert(), k).completed
+                })
                 .count();
             assert!(ok >= 4, "{layout:?}: {ok}/6 rounds completed");
         }

@@ -40,10 +40,26 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
 
     // Conditions: (device mapping, user belief).
     let conditions: [(&str, DirectionMapping, DirectionMapping); 4] = [
-        ("toward-is-down, belief matches", DirectionMapping::TowardIsDown, DirectionMapping::TowardIsDown),
-        ("toward-is-up, belief matches", DirectionMapping::TowardIsUp, DirectionMapping::TowardIsUp),
-        ("toward-is-down, belief mismatched", DirectionMapping::TowardIsDown, DirectionMapping::TowardIsUp),
-        ("toward-is-up, belief mismatched", DirectionMapping::TowardIsUp, DirectionMapping::TowardIsDown),
+        (
+            "toward-is-down, belief matches",
+            DirectionMapping::TowardIsDown,
+            DirectionMapping::TowardIsDown,
+        ),
+        (
+            "toward-is-up, belief matches",
+            DirectionMapping::TowardIsUp,
+            DirectionMapping::TowardIsUp,
+        ),
+        (
+            "toward-is-down, belief mismatched",
+            DirectionMapping::TowardIsDown,
+            DirectionMapping::TowardIsUp,
+        ),
+        (
+            "toward-is-up, belief mismatched",
+            DirectionMapping::TowardIsUp,
+            DirectionMapping::TowardIsDown,
+        ),
     ];
 
     let mut table = Table::new(
@@ -52,13 +68,28 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     );
     let mut cond_means = Vec::new();
     for (label, device_dir, belief) in conditions {
-        let profile = DeviceProfile { direction: device_dir, ..DeviceProfile::paper() };
-        let records = run_users(&cohort, jobs(), |uid, user| {
-            let mut tech = DistScrollTechnique::with_profile(profile.clone())
-                .with_user_direction_belief(belief);
-            let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 7));
-            run_block(&mut tech, user, uid, &plan, seed ^ (uid as u64 * 17) ^ label.len() as u64)
-        });
+        let profile = DeviceProfile {
+            direction: device_dir,
+            ..DeviceProfile::paper()
+        };
+        let records = run_users(
+            &cohort,
+            jobs(),
+            || {
+                DistScrollTechnique::with_profile(profile.clone())
+                    .with_user_direction_belief(belief)
+            },
+            |tech, uid, user| {
+                let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 7));
+                run_block(
+                    tech,
+                    user,
+                    uid,
+                    &plan,
+                    seed ^ (uid as u64 * 17) ^ label.len() as u64,
+                )
+            },
+        );
         let stats = summarize(&records)
             .unwrap_or_else(|e| panic!("direction condition {label:?} degenerate: {e}"));
         table.row(&[

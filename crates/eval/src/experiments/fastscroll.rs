@@ -106,31 +106,58 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     // Expert browse: gate off, sweep the fold-back sliver. Moving *out*
     // through 0.5..3 cm raises the voltage, aliasing from far codes to
     // near codes, i.e. the same code trajectory as pulling the device in.
-    let expert_profile = DeviceProfile { expert_foldback: true, ..DeviceProfile::paper() };
+    let expert_profile = DeviceProfile {
+        expert_foldback: true,
+        ..DeviceProfile::paper()
+    };
 
     let mut normal = Vec::new();
     let mut expert = Vec::new();
     for k in 0..repeats {
         // Normal users sweep at a speed that gives each island a couple of
         // sensor refreshes: the full 26 cm at ~18 cm/s.
-        normal.push(browse_sweep(normal_profile.clone(), n, 30.0, 4.0, 1.45, seed ^ k));
+        normal.push(browse_sweep(
+            normal_profile.clone(),
+            n,
+            30.0,
+            4.0,
+            1.45,
+            seed ^ k,
+        ));
         // Experts flick 2.5 cm of fold-back at the same *relative* pacing:
         // the region spans the same codes, so the same dwell per island
         // needs the same total time per code — but the hand only moves
         // 2.5 cm, so the flick can be quicker, bounded by the sensor's
         // 38 ms refresh per island (10 islands -> ~0.5 s minimum).
-        expert.push(browse_sweep(expert_profile.clone(), n, 0.1, 3.0, 0.9, seed ^ (k + 1000)));
+        expert.push(browse_sweep(
+            expert_profile.clone(),
+            n,
+            0.1,
+            3.0,
+            0.9,
+            seed ^ (k + 1000),
+        ));
     }
 
     let mut table = Table::new(
         format!("browse-all task, {n} entries ({repeats} passes each)"),
-        &["condition", "sweep [cm]", "time [s]", "entries visited", "spurious highlights"],
+        &[
+            "condition",
+            "sweep [cm]",
+            "time [s]",
+            "entries visited",
+            "spurious highlights",
+        ],
     );
     let summarize_rows = |rows: &[BrowseOutcome]| {
         let times: Vec<f64> = rows.iter().map(|r| r.time_s).collect();
         let visited: Vec<f64> = rows.iter().map(|r| r.visited as f64).collect();
         let spurious: Vec<f64> = rows.iter().map(|r| f64::from(r.spurious)).collect();
-        (Summary::of(&times), Summary::of(&visited), Summary::of(&spurious))
+        (
+            Summary::of(&times),
+            Summary::of(&visited),
+            Summary::of(&spurious),
+        )
     };
     let (nt, nv, ns) = summarize_rows(&normal);
     let (et, ev, es) = summarize_rows(&expert);
@@ -203,9 +230,15 @@ mod tests {
 
     #[test]
     fn foldback_flick_works_with_gate_off() {
-        let profile = DeviceProfile { expert_foldback: true, ..DeviceProfile::paper() };
+        let profile = DeviceProfile {
+            expert_foldback: true,
+            ..DeviceProfile::paper()
+        };
         let r = browse_sweep(profile, 10, 0.1, 3.0, 0.9, 2);
-        assert!(r.visited >= 8, "fold-back aliasing reaches most entries: {r:?}");
+        assert!(
+            r.visited >= 8,
+            "fold-back aliasing reaches most entries: {r:?}"
+        );
     }
 
     #[test]

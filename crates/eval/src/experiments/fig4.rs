@@ -56,7 +56,11 @@ pub fn measure_curve(
         }
         let mean = readings.iter().sum::<f64>() / repeats as f64;
         let sd = (readings.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / repeats as f64).sqrt();
-        points.push(MeasuredPoint { distance_cm: d, volts: mean, sd });
+        points.push(MeasuredPoint {
+            distance_cm: d,
+            volts: mean,
+            sd,
+        });
         d += step_cm;
     }
     points
@@ -78,7 +82,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
 
     let mut table = Table::new(
         "figure 4 data: measured voltage vs distance",
-        &["d [cm]", "V measured [V]", "sd [mV]", "V fitted [V]", "residual [mV]"],
+        &[
+            "d [cm]",
+            "V measured [V]",
+            "sd [mV]",
+            "V fitted [V]",
+            "residual [mV]",
+        ],
     );
     for p in &points {
         let fitted = if p.distance_cm >= gp2d120::MIN_VALID_CM {
@@ -91,8 +101,16 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             format!("{:.1}", p.distance_cm),
             format!("{:.3}", p.volts),
             format!("{:.1}", p.sd * 1000.0),
-            if fitted.is_finite() { format!("{fitted:.3}") } else { "-".into() },
-            if fitted.is_finite() { format!("{resid:+.1}") } else { "-".into() },
+            if fitted.is_finite() {
+                format!("{fitted:.3}")
+            } else {
+                "-".into()
+            },
+            if fitted.is_finite() {
+                format!("{resid:+.1}")
+            } else {
+                "-".into()
+            },
         ]);
     }
 
@@ -170,6 +188,9 @@ mod tests {
 
     #[test]
     fn f4_is_reproducible_per_seed() {
-        assert_eq!(run(Effort::Quick, 7).sections, run(Effort::Quick, 7).sections);
+        assert_eq!(
+            run(Effort::Quick, 7).sections,
+            run(Effort::Quick, 7).sections
+        );
     }
 }

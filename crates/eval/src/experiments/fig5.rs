@@ -18,7 +18,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let step = effort.pick(2.0, 0.5);
     let repeats = effort.pick(6, 24);
     // Same bench sweep as Figure 4 (the paper plots the same data twice).
-    let points = measure_curve(gp2d120::MIN_VALID_CM, gp2d120::MAX_VALID_CM, step, repeats, seed);
+    let points = measure_curve(
+        gp2d120::MIN_VALID_CM,
+        gp2d120::MAX_VALID_CM,
+        step,
+        repeats,
+        seed,
+    );
     let data: Vec<(f64, f64)> = points.iter().map(|p| (p.distance_cm, p.volts)).collect();
     let fit = fit_loglog(&data).expect("positive coordinates by construction");
 

@@ -63,7 +63,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         let map = IslandMap::build(n, 4.0, 30.0, 0.35, &curve).expect("sizes fit the range");
         let mut table = Table::new(
             format!("island mapping for {n} entries (gap fraction 0.35)"),
-            &["entry", "centre [cm]", "width [cm]", "codes [lo..hi]", "code span"],
+            &[
+                "entry",
+                "centre [cm]",
+                "width [cm]",
+                "codes [lo..hi]",
+                "code span",
+            ],
         );
         for i in map.islands() {
             table.row(&[
@@ -76,8 +82,11 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         }
         sections.push(table.render());
 
-        let spans: Vec<u16> =
-            map.islands().iter().map(|i| i.hi_code - i.lo_code + 1).collect();
+        let spans: Vec<u16> = map
+            .islands()
+            .iter()
+            .map(|i| i.hi_code - i.lo_code + 1)
+            .collect();
         let near = f64::from(spans[0]);
         let far = f64::from(spans[n - 1]);
         let equal_cm = map
@@ -106,7 +115,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         "boundary chatter: flips per second at a boundary (1 mm tremor + 4 mm breathing sway)",
         &["gap fraction", "flips/s"],
     );
-    table.row(&["0.00 (no dead zones)".into(), format!("{chatter_gapless:.2}")]);
+    table.row(&[
+        "0.00 (no dead zones)".into(),
+        format!("{chatter_gapless:.2}"),
+    ]);
     table.row(&["0.35 (paper)".into(), format!("{chatter_paper:.2}")]);
     sections.push(table.render());
     let chatter_ok = chatter_paper < chatter_gapless * 0.25 || chatter_paper < 0.05;
@@ -141,6 +153,9 @@ mod tests {
     fn gaps_actually_reduce_chatter() {
         let gapless = chatter_rate(0.0, 17.0, 8.0, 3);
         let gapped = chatter_rate(0.35, 17.0, 8.0, 3);
-        assert!(gapped <= gapless, "gapless {gapless:.2} vs gapped {gapped:.2}");
+        assert!(
+            gapped <= gapless,
+            "gapless {gapless:.2} vs gapped {gapped:.2}"
+        );
     }
 }

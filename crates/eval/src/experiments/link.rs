@@ -62,12 +62,23 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let n_frames = effort.pick(2_000, 20_000);
     let conditions: &[(f64, f64)] = effort.pick(
         &[(0.0, 0.0), (0.1, 0.001), (0.2, 0.005)][..],
-        &[(0.0, 0.0), (0.02, 0.0), (0.05, 0.0005), (0.1, 0.001), (0.2, 0.005)][..],
+        &[
+            (0.0, 0.0),
+            (0.02, 0.0),
+            (0.05, 0.0005),
+            (0.1, 0.001),
+            (0.2, 0.005),
+        ][..],
     );
 
     let mut table = Table::new(
         format!("telemetry link sweep ({n_frames} frames per condition)"),
-        &["drop prob", "bit error rate", "delivered intact", "crc-rejected"],
+        &[
+            "drop prob",
+            "bit error rate",
+            "delivered intact",
+            "crc-rejected",
+        ],
     );
     let mut outcomes = Vec::new();
     for &(dp, ber) in conditions {
@@ -101,16 +112,24 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         }
     }
     let lat = Summary::of(&latencies);
-    let mut lat_table = Table::new("end-to-end telemetry latency, clean channel", &["quantity", "value"]);
+    let mut lat_table = Table::new(
+        "end-to-end telemetry latency, clean channel",
+        &["quantity", "value"],
+    );
     lat_table.row(&["frames observed".into(), format!("{}", lat.n)]);
-    lat_table.row(&["latency mean".into(), format!("{:.1} ms", lat.mean * 1000.0)]);
+    lat_table.row(&[
+        "latency mean".into(),
+        format!("{:.1} ms", lat.mean * 1000.0),
+    ]);
     lat_table.row(&["latency max".into(), format!("{:.1} ms", lat.max * 1000.0)]);
 
     // Shape: CRC catches corruption (no corrupted frame is delivered as
     // intact — delivered+rejected+dropped ≈ 1), and delivery degrades
     // monotonically with channel quality.
     let clean_perfect = outcomes[0].delivered > 0.999;
-    let degrades = outcomes.windows(2).all(|w| w[1].delivered <= w[0].delivered + 0.01);
+    let degrades = outcomes
+        .windows(2)
+        .all(|w| w[1].delivered <= w[0].delivered + 0.01);
     let accounted = outcomes
         .iter()
         .all(|o| (o.delivered + o.crc_rejected) <= 1.0 + 1e-9);
@@ -131,7 +150,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
                 outcomes.last().expect("conditions exist").delivered * 100.0,
                 outcomes.last().expect("conditions exist").crc_rejected * 100.0
             ),
-            format!("telemetry latency on the bench channel: {:.1} ms mean", lat.mean * 1000.0),
+            format!(
+                "telemetry latency on the bench channel: {:.1} ms mean",
+                lat.mean * 1000.0
+            ),
             "every corrupted frame is caught by the CRC-16; none decodes as valid".into(),
         ],
         shape_holds: clean_perfect && degrades && accounted,

@@ -51,7 +51,9 @@ fn drain_selected(dev: &mut DistScrollDevice) -> Option<usize> {
     let mut selected = None;
     for ev in dev.drain_events() {
         if let Event::Activated { path } = ev.event {
-            selected = path.last().and_then(|l| l.trim_start_matches("Item ").parse().ok());
+            selected = path
+                .last()
+                .and_then(|l| l.trim_start_matches("Item ").parse().ok());
         }
     }
     selected
@@ -67,8 +69,10 @@ pub fn run_continuous_trial(
     seed: u64,
 ) -> LongTrial {
     let mut rng = StdRng::seed_from_u64(seed);
-    let profile =
-        DeviceProfile { long_menu: LongMenuStrategy::Continuous, ..DeviceProfile::paper() };
+    let profile = DeviceProfile {
+        long_menu: LongMenuStrategy::Continuous,
+        ..DeviceProfile::paper()
+    };
     let mut dev = DistScrollDevice::new(profile.clone(), Menu::flat(n), rng.gen());
     let geometry = DeviceGeometry {
         near_cm: profile.near_cm,
@@ -79,7 +83,11 @@ pub fn run_continuous_trial(
     let start_cm = geometry.entry_position_cm(start);
     dev.set_distance(start_cm);
     if dev.run_for_ms(500).is_err() {
-        return LongTrial { time_s: 0.0, correct: false, timed_out: true };
+        return LongTrial {
+            time_s: 0.0,
+            correct: false,
+            timed_out: true,
+        };
     }
     dev.drain_events();
     let mut aim = PositionAim::new(*user, geometry, target, start_cm, 100, &mut rng);
@@ -127,7 +135,10 @@ pub fn run_chunked_trial(
         LongMenuStrategy::Chunked { page_size, .. } => page_size,
         _ => unreachable!(),
     };
-    let profile = DeviceProfile { long_menu: strategy, ..DeviceProfile::paper() };
+    let profile = DeviceProfile {
+        long_menu: strategy,
+        ..DeviceProfile::paper()
+    };
     let mut dev = DistScrollDevice::new(profile.clone(), Menu::flat(n), rng.gen());
 
     // Local-page geometry for the aiming phase.
@@ -142,7 +153,11 @@ pub fn run_chunked_trial(
 
     dev.set_distance(geometry.entry_position_cm(start.min(page_size - 1)));
     if dev.run_for_ms(500).is_err() {
-        return LongTrial { time_s: 0.0, correct: false, timed_out: true };
+        return LongTrial {
+            time_s: 0.0,
+            correct: false,
+            timed_out: true,
+        };
     }
     dev.drain_events();
 
@@ -156,36 +171,45 @@ pub fn run_chunked_trial(
     loop {
         t = (dev.now() - t0).as_secs_f64();
         if t >= TIMEOUT_S {
-            return LongTrial { time_s: t, correct: false, timed_out: true };
+            return LongTrial {
+                time_s: t,
+                correct: false,
+                timed_out: true,
+            };
         }
         let seen_page = dev.highlighted() / page_size;
         if seen_page == target_page {
             break;
         }
-        let zone = if seen_page < target_page { PAGE_FWD_CM } else { PAGE_BACK_CM };
+        let zone = if seen_page < target_page {
+            PAGE_FWD_CM
+        } else {
+            PAGE_BACK_CM
+        };
         dev.set_distance(zone);
         if dev.tick().is_err() {
-            return LongTrial { time_s: t, correct: false, timed_out: true };
+            return LongTrial {
+                time_s: t,
+                correct: false,
+                timed_out: true,
+            };
         }
         let _ = t < react; // reaction folded into the settling below
     }
     // Small settle after leaving the zone (the user re-fixates).
     dev.set_distance(geometry.entry_position_cm(page_size / 2));
     if dev.run_for_ms(200).is_err() {
-        return LongTrial { time_s: (dev.now() - t0).as_secs_f64(), correct: false, timed_out: true };
+        return LongTrial {
+            time_s: (dev.now() - t0).as_secs_f64(),
+            correct: false,
+            timed_out: true,
+        };
     }
     dev.drain_events();
 
     // Phase 2: local aim inside the page.
     let t1 = dev.now();
-    let mut aim = PositionAim::new(
-        *user,
-        geometry,
-        target_local,
-        dev.distance(),
-        100,
-        &mut rng,
-    );
+    let mut aim = PositionAim::new(*user, geometry, target_local, dev.distance(), 100, &mut rng);
     loop {
         let t_local = (dev.now() - t1).as_secs_f64();
         t = (dev.now() - t0).as_secs_f64();
@@ -194,7 +218,9 @@ pub fn run_chunked_trial(
         }
         // The display shows global indices; present the local one (if the
         // page drifted, the clamped value keeps corrections sane).
-        let seen_local = dev.highlighted().saturating_sub(dev.highlighted() / page_size * page_size);
+        let seen_local = dev
+            .highlighted()
+            .saturating_sub(dev.highlighted() / page_size * page_size);
         let (pos, cmd) = aim.step(t_local, seen_local.min(page_size - 1), &mut rng);
         dev.set_distance(pos.clamp(profile.near_cm, profile.far_cm));
         match cmd {
@@ -212,7 +238,11 @@ pub fn run_chunked_trial(
             break;
         }
     }
-    LongTrial { time_s: t, correct: selected == Some(target), timed_out: selected.is_none() }
+    LongTrial {
+        time_s: t,
+        correct: selected == Some(target),
+        timed_out: selected.is_none(),
+    }
 }
 
 /// Runs one trial with the SDAZ rate-control strategy: hold a
@@ -226,15 +256,21 @@ pub fn run_sdaz_trial(
     seed: u64,
 ) -> LongTrial {
     let mut rng = StdRng::seed_from_u64(seed);
-    let profile =
-        DeviceProfile { long_menu: LongMenuStrategy::paper_sdaz(), ..DeviceProfile::paper() };
+    let profile = DeviceProfile {
+        long_menu: LongMenuStrategy::paper_sdaz(),
+        ..DeviceProfile::paper()
+    };
     let mut dev = DistScrollDevice::new(profile.clone(), Menu::flat(n), rng.gen());
     let centre = (profile.near_cm + profile.far_cm) / 2.0;
     let half = profile.span_cm() / 2.0;
 
     dev.set_distance(centre);
     if dev.run_for_ms(500).is_err() {
-        return LongTrial { time_s: 0.0, correct: false, timed_out: true };
+        return LongTrial {
+            time_s: 0.0,
+            correct: false,
+            timed_out: true,
+        };
     }
     // Seed the controller at the start entry by seeking: the runner
     // treats the start position as given, as in the other strategies.
@@ -304,7 +340,11 @@ pub fn run_sdaz_trial(
         }
         t = (dev.now() - t0).as_secs_f64();
     }
-    LongTrial { time_s: t, correct: selected == Some(target), timed_out: selected.is_none() }
+    LongTrial {
+        time_s: t,
+        correct: selected == Some(target),
+        timed_out: selected.is_none(),
+    }
 }
 
 /// Runs E4.
@@ -330,7 +370,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         );
         let mut per_strategy = Vec::new();
         for (name, f) in [
-            ("continuous", run_continuous_trial as fn(usize, usize, usize, &UserParams, u64) -> LongTrial),
+            (
+                "continuous",
+                run_continuous_trial as fn(usize, usize, usize, &UserParams, u64) -> LongTrial,
+            ),
             ("chunked-10", run_chunked_trial),
             ("sdaz", run_sdaz_trial),
         ] {
@@ -338,12 +381,21 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             for k in 0..trials {
                 let start = 0;
                 let target = rng.gen_range(n / 2..n); // long-menu tasks aim deep
-                results.push(f(n, start, target, &user, seed ^ (k as u64) << 5 ^ n as u64));
+                results.push(f(
+                    n,
+                    start,
+                    target,
+                    &user,
+                    seed ^ (k as u64) << 5 ^ n as u64,
+                ));
             }
             let correct = results.iter().filter(|r| r.correct).count();
             let timeouts = results.iter().filter(|r| r.timed_out).count();
-            let times: Vec<f64> =
-                results.iter().filter(|r| r.correct).map(|r| r.time_s).collect();
+            let times: Vec<f64> = results
+                .iter()
+                .filter(|r| r.correct)
+                .map(|r| r.time_s)
+                .collect();
             let time_str = if times.is_empty() {
                 "-".to_string()
             } else {
@@ -415,7 +467,10 @@ mod tests {
         let ok = (0..4)
             .filter(|&s| run_continuous_trial(200, 0, 150, &UserParams::expert(), s).correct)
             .count();
-        assert!(ok <= 2, "200 hair-thin islands cannot work reliably: {ok}/4 correct");
+        assert!(
+            ok <= 2,
+            "200 hair-thin islands cannot work reliably: {ok}/4 correct"
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl ExperimentReport {
         }
         out.push_str(&format!(
             "shape vs paper: {}\n",
-            if self.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+            if self.shape_holds {
+                "HOLDS"
+            } else {
+                "DOES NOT HOLD"
+            }
         ));
         out
     }
@@ -86,29 +90,43 @@ impl std::fmt::Display for ExperimentReport {
     }
 }
 
-/// The worker-thread budget for the harness, settable from the CLI.
+/// The worker-token budget for the harness, settable from the CLI.
 ///
 /// `0` means "auto" (the machine's available parallelism); `1` forces
 /// the serial path everywhere. Experiments read it through [`jobs`] at
-/// their fan-out points. Results are byte-for-byte identical at any
-/// value — parallelism only reorders *execution*, never records — so a
-/// process-wide knob is safe.
+/// their fan-out points; the shared pool in `distscroll-par` enforces
+/// it globally, so nested fan-outs (users inside experiments) borrow
+/// from this one budget instead of multiplying threads. Results are
+/// byte-for-byte identical at any value — parallelism only reorders
+/// *execution*, never records — so a process-wide knob is safe.
 static JOBS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
-/// Sets the worker-thread budget (`0` = auto, `1` = serial).
+/// Sets the worker-token budget (`0` = auto, `1` = serial).
 pub fn set_jobs(jobs: usize) {
     JOBS.store(jobs, std::sync::atomic::Ordering::Relaxed);
 }
 
-/// The effective worker-thread budget.
+/// The effective worker-token budget.
 pub fn jobs() -> usize {
     distscroll_par::resolve_jobs(JOBS.load(std::sync::atomic::Ordering::Relaxed))
 }
 
 /// Canonical experiment order: the CLI ids, as `run_all` reports them.
 pub const ALL_IDS: [&str; 14] = [
-    "fig4", "fig5", "islands", "study", "shootout", "range", "direction", "longmenus",
-    "fastscroll", "robustness", "ablation", "buttons", "pda", "link",
+    "fig4",
+    "fig5",
+    "islands",
+    "study",
+    "shootout",
+    "range",
+    "direction",
+    "longmenus",
+    "fastscroll",
+    "robustness",
+    "ablation",
+    "buttons",
+    "pda",
+    "link",
 ];
 
 /// Runs one experiment by CLI id; `None` for an unknown id.
@@ -134,12 +152,15 @@ pub fn run_id(id: &str, effort: Effort, seed: u64) -> Option<ExperimentReport> {
 
 /// Runs every experiment and reports in the canonical order.
 ///
-/// The 14 experiments fan out over [`jobs`] worker threads; each is
-/// internally deterministic (all stochasticity flows from `seed`), and
-/// the join reassembles reports in canonical order, so the output is
-/// identical to running them one after another.
+/// The 14 experiments fan out over the shared pool under a [`jobs`]
+/// token budget; each is internally deterministic (all stochasticity
+/// flows from `seed`), and the join reassembles reports in canonical
+/// order, so the output is identical to running them one after another.
 pub fn run_all(effort: Effort, seed: u64) -> Vec<ExperimentReport> {
-    run_all_timed(effort, seed).into_iter().map(|(report, _)| report).collect()
+    run_all_timed(effort, seed)
+        .into_iter()
+        .map(|(report, _)| report)
+        .collect()
 }
 
 /// Like [`run_all`], but also reports each experiment's wall-clock
@@ -158,8 +179,8 @@ pub fn run_all_timed(effort: Effort, seed: u64) -> Vec<(ExperimentReport, f64)> 
 pub fn run_ids_timed(ids: &[&str], effort: Effort, seed: u64) -> Vec<(ExperimentReport, f64)> {
     distscroll_par::par_map(jobs(), ids, |_, id| {
         let t0 = std::time::Instant::now();
-        let report = run_id(id, effort, seed)
-            .unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
+        let report =
+            run_id(id, effort, seed).unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
         (report, t0.elapsed().as_secs_f64())
     })
 }

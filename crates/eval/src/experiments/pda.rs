@@ -85,8 +85,9 @@ pub fn run_pda_trial(
         }
         for ev in dev.drain_events() {
             if let Event::Activated { path } = ev.event {
-                selected =
-                    path.last().and_then(|l| l.trim_start_matches("Item ").parse().ok());
+                selected = path
+                    .last()
+                    .and_then(|l| l.trim_start_matches("Item ").parse().ok());
             }
         }
         if selected.is_some() && aim.is_done() {
@@ -137,8 +138,9 @@ pub fn run_onboard_trial(
         }
         for ev in dev.drain_events() {
             if let Event::Activated { path } = ev.event {
-                selected =
-                    path.last().and_then(|l| l.trim_start_matches("Item ").parse().ok());
+                selected = path
+                    .last()
+                    .and_then(|l| l.trim_start_matches("Item ").parse().ok());
             }
         }
         if selected.is_some() && aim.is_done() {
@@ -192,7 +194,12 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let ts_pda = Summary::of(&pda_times);
     let mut table = Table::new(
         format!("self-contained prototype vs PDA add-on ({trials} trials, {n}-entry menu)"),
-        &["variant", "time [s]", "correct", &format!("battery used, {idle_min} min idle")],
+        &[
+            "variant",
+            "time [s]",
+            "correct",
+            &format!("battery used, {idle_min} min idle"),
+        ],
     );
     table.row(&[
         "self-contained (onboard panels)".into(),

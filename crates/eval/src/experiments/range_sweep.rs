@@ -112,21 +112,28 @@ pub fn sweep(effort: Effort, seed: u64) -> Vec<RangeOutcome> {
 
     fars.iter()
         .map(|&far| {
-            let profile = DeviceProfile { far_cm: far, ..DeviceProfile::paper() };
+            let profile = DeviceProfile {
+                far_cm: far,
+                ..DeviceProfile::paper()
+            };
             // The probe uses 12 entries — the device's full island budget —
             // where misplacement past the sensor range is unambiguous.
             let reachable = reachable_fraction(&profile, 12, seed ^ far.to_bits());
-            let records = run_users(&cohort, jobs(), |uid, user| {
-                let mut tech = DistScrollTechnique::with_profile(profile.clone());
-                let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 11));
-                run_block(
-                    &mut tech,
-                    user,
-                    uid,
-                    &plan,
-                    seed ^ (uid as u64 * 131) ^ far.to_bits(),
-                )
-            });
+            let records = run_users(
+                &cohort,
+                jobs(),
+                || DistScrollTechnique::with_profile(profile.clone()),
+                |tech, uid, user| {
+                    let plan = TaskPlan::block(menu, trials, 100, seed ^ ((uid as u64) << 11));
+                    run_block(
+                        tech,
+                        user,
+                        uid,
+                        &plan,
+                        seed ^ (uid as u64 * 131) ^ far.to_bits(),
+                    )
+                },
+            );
             let n = records.len() as f64;
             let correct: Vec<f64> = records
                 .iter()
@@ -139,7 +146,10 @@ pub fn sweep(effort: Effort, seed: u64) -> Vec<RangeOutcome> {
                 time_s: (!correct.is_empty())
                     .then(|| correct.iter().sum::<f64>() / correct.len() as f64),
                 error_rate: records.iter().filter(|r| !r.result.correct).count() as f64 / n,
-                corrections: records.iter().map(|r| f64::from(r.result.corrections)).sum::<f64>()
+                corrections: records
+                    .iter()
+                    .map(|r| f64::from(r.result.corrections))
+                    .sum::<f64>()
                     / n,
             }
         })
@@ -152,7 +162,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
 
     let mut table = Table::new(
         "scroll range sweep (near edge fixed at 4 cm, 8-entry menu)",
-        &["far edge [cm]", "entries reachable", "time [s]", "error rate", "corrections"],
+        &[
+            "far edge [cm]",
+            "entries reachable",
+            "time [s]",
+            "error rate",
+            "corrections",
+        ],
     );
     for o in &outcomes {
         table.row(&[
@@ -219,7 +235,10 @@ mod tests {
     #[test]
     fn reachability_collapses_past_the_sensor() {
         let ok30 = reachable_fraction(&DeviceProfile::paper(), 12, 1);
-        let p38 = DeviceProfile { far_cm: 38.0, ..DeviceProfile::paper() };
+        let p38 = DeviceProfile {
+            far_cm: 38.0,
+            ..DeviceProfile::paper()
+        };
         let ok38 = reachable_fraction(&p38, 12, 1);
         assert_eq!(ok30, 1.0, "all of 4-30 cm is usable");
         assert!(ok38 < 1.0, "entries past 30 cm are not: {ok38}");

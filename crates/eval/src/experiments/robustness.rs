@@ -32,7 +32,11 @@ use super::{Effort, ExperimentReport};
 pub fn refit_under(surface: Surface, ambient: AmbientLight, seed: u64) -> (f64, f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sensor = Gp2d120::typical();
-    let mut scene = Scene { distance_cm: 10.0, surface, ambient };
+    let mut scene = Scene {
+        distance_cm: 10.0,
+        surface,
+        ambient,
+    };
     let mut points = Vec::new();
     let mut t = 0.0;
     for i in 0..=13 {
@@ -50,12 +54,7 @@ pub fn refit_under(surface: Surface, ambient: AmbientLight, seed: u64) -> (f64, 
 }
 
 /// Error rate of full-stack selection trials under a condition.
-pub fn error_rate_under(
-    surface: Surface,
-    ambient: AmbientLight,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn error_rate_under(surface: Surface, ambient: AmbientLight, trials: usize, seed: u64) -> f64 {
     let user = UserParams::expert();
     let mut rng = StdRng::seed_from_u64(seed);
     let profile = DeviceProfile::paper();
@@ -97,8 +96,9 @@ pub fn error_rate_under(
             }
             for ev in dev.drain_events() {
                 if let distscroll_core::events::Event::Activated { path } = ev.event {
-                    selected =
-                        path.last().and_then(|l| l.trim_start_matches("Item ").parse().ok());
+                    selected = path
+                        .last()
+                        .and_then(|l| l.trim_start_matches("Item ").parse().ok());
                 }
             }
             if selected.is_some() && aim.is_done() {
@@ -116,11 +116,17 @@ pub fn error_rate_under(
 pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let trials = effort.pick(6, 16);
     let surfaces: &[Surface] = effort.pick(
-        &[Surface::WhiteCotton, Surface::BlackLeather, Surface::HiVisVest][..],
+        &[
+            Surface::WhiteCotton,
+            Surface::BlackLeather,
+            Surface::HiVisVest,
+        ][..],
         &Surface::ALL[..],
     );
-    let ambients: &[AmbientLight] =
-        effort.pick(&[AmbientLight::Indoor, AmbientLight::Sunlight][..], &AmbientLight::ALL[..]);
+    let ambients: &[AmbientLight] = effort.pick(
+        &[AmbientLight::Indoor, AmbientLight::Sunlight][..],
+        &AmbientLight::ALL[..],
+    );
 
     // Reference fit under lab conditions.
     let (a_ref, _d0_ref, _) = refit_under(Surface::GrayFleece, AmbientLight::Indoor, seed);
@@ -182,7 +188,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             .into(),
         sections: vec![fit_table.render(), err_table.render()],
         findings: vec![
-            format!("maximum calibration drift across conditions: {:.1}% of a", max_drift * 100.0),
+            format!(
+                "maximum calibration drift across conditions: {:.1}% of a",
+                max_drift * 100.0
+            ),
             format!(
                 "lab error rate {:.1}%; worst condition {worst_label} at {:.1}%",
                 err_lab * 100.0,

@@ -58,19 +58,31 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     for &n in menu_sizes {
         let mut table = Table::new(
             format!("technique comparison, {n}-entry menu ({n_users} users x {trials} trials)"),
-            &["technique", "hands", "time [s]", "error rate", "corrections", "timeouts"],
+            &[
+                "technique",
+                "hands",
+                "time [s]",
+                "error rate",
+                "corrections",
+                "timeouts",
+            ],
         );
         for ctor in all_technique_ctors() {
             let (name, hands) = {
                 let probe = ctor();
                 (probe.name(), probe.hands_required())
             };
-            // One fresh technique per user so the cohort can fan out
-            // over worker threads; records join in (user, trial) order.
-            let records = run_users(&cohort, jobs(), |uid, user| {
-                let mut tech = ctor();
+            // One technique per worker-chunk so the cohort can fan out
+            // over the pool; records join in (user, trial) order.
+            let records = run_users(&cohort, jobs(), ctor, |tech, uid, user| {
                 let plan = TaskPlan::block(n, trials, 100, seed ^ ((uid as u64) << 13) ^ n as u64);
-                run_block(tech.as_mut(), user, uid, &plan, seed ^ (uid as u64 * 31) ^ (n as u64) << 3)
+                run_block(
+                    tech.as_mut(),
+                    user,
+                    uid,
+                    &plan,
+                    seed ^ (uid as u64 * 31) ^ (n as u64) << 3,
+                )
             });
             match summarize(&records) {
                 Ok(stats) => {
@@ -107,7 +119,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let fitts_menu = 12;
     let mut fitts_table = Table::new(
         format!("fitts regression: time vs index of difficulty ({fitts_menu}-entry menu)"),
-        &["technique", "a [s]", "b [s/bit]", "R^2", "throughput [bit/s]"],
+        &[
+            "technique",
+            "a [s]",
+            "b [s/bit]",
+            "R^2",
+            "throughput [bit/s]",
+        ],
     );
     let mut plot = AsciiPlot::new(
         "selection time vs index of difficulty (d=distscroll b=buttons w=wheel t=tilt y=yoyo T=tuister)",
@@ -123,13 +141,21 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         let mut pts = Vec::new();
         for &dist in distances {
             let id = index_of_difficulty(dist as f64, 1.0);
-            let records = run_users(&cohort, jobs(), |uid, user| {
-                let mut tech = ctor();
+            let records = run_users(&cohort, jobs(), ctor, |tech, uid, user| {
                 let plan = TaskPlan::fixed_distance(fitts_menu, dist, fitts_trials, 100);
-                run_block(tech.as_mut(), user, uid, &plan, seed ^ (uid as u64) ^ (dist as u64) << 20)
+                run_block(
+                    tech.as_mut(),
+                    user,
+                    uid,
+                    &plan,
+                    seed ^ (uid as u64) ^ (dist as u64) << 20,
+                )
             });
-            let times: Vec<f64> =
-                records.iter().filter(|r| r.result.correct).map(|r| r.result.time_s).collect();
+            let times: Vec<f64> = records
+                .iter()
+                .filter(|r| r.result.correct)
+                .map(|r| r.result.time_s)
+                .collect();
             if times.is_empty() {
                 continue;
             }
@@ -151,7 +177,14 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
                     format!("{:.2}", fit.intercept),
                     format!("{:.3}", fit.slope),
                     format!("{:.3}", fit.r2),
-                    format!("{:.2}", if fit.slope > 0.0 { 1.0 / fit.slope } else { f64::NAN }),
+                    format!(
+                        "{:.2}",
+                        if fit.slope > 0.0 {
+                            1.0 / fit.slope
+                        } else {
+                            f64::NAN
+                        }
+                    ),
                 ]);
                 if tech_name == "distscroll" {
                     distscroll_r2 = fit.r2;
@@ -183,7 +216,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     findings.push(format!(
         "fitts' law holds for distance scrolling: R² = {distscroll_r2:.3}, slope {distscroll_b:.3} s/bit"
     ));
-    let dist_time = mean_times.iter().find(|(n, _)| n == "distscroll").map(|(_, t)| *t);
+    let dist_time = mean_times
+        .iter()
+        .find(|(n, _)| n == "distscroll")
+        .map(|(_, t)| *t);
     let best_time = mean_times.first().map(|(_, t)| *t);
     let competitive = match (dist_time, best_time) {
         (Some(d), Some(b)) => d <= 2.5 * b,
@@ -191,7 +227,11 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     };
     findings.push(format!(
         "distscroll is {} with the fastest technique (within 2.5x)",
-        if competitive { "competitive" } else { "NOT competitive" }
+        if competitive {
+            "competitive"
+        } else {
+            "NOT competitive"
+        }
     ));
 
     ExperimentReport {

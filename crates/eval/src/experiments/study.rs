@@ -21,10 +21,10 @@ use distscroll_user::population::sample_cohort;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::report::Table;
 use crate::runner::{run_block, run_users, TrialRecord};
 use crate::stats::{Proportion, Summary};
 use crate::task::TaskPlan;
-use crate::report::Table;
 
 use super::{jobs, Effort, ExperimentReport};
 
@@ -43,16 +43,29 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let cohort = sample_cohort(n_users, &mut rng);
 
-    let all: Vec<TrialRecord> = run_users(&cohort, jobs(), |user_id, user| {
-        let mut tech = DistScrollTechnique::paper();
-        let plan = TaskPlan::block(menu_size, n_trials, 1, seed ^ ((user_id as u64) << 9));
-        run_block(&mut tech, user, user_id, &plan, seed.wrapping_add(user_id as u64))
-    });
+    let all: Vec<TrialRecord> = run_users(
+        &cohort,
+        jobs(),
+        DistScrollTechnique::paper,
+        |tech, user_id, user| {
+            let plan = TaskPlan::block(menu_size, n_trials, 1, seed ^ ((user_id as u64) << 9));
+            run_block(
+                tech,
+                user,
+                user_id,
+                &plan,
+                seed.wrapping_add(user_id as u64),
+            )
+        },
+    );
 
     // Discovery: the very first trial of each user.
     let first_trials: Vec<&TrialRecord> =
         all.iter().filter(|r| r.setup.trial_number == 1).collect();
-    let discovered = first_trials.iter().filter(|r| r.result.selected_idx.is_some()).count();
+    let discovered = first_trials
+        .iter()
+        .filter(|r| r.result.selected_idx.is_some())
+        .count();
     let discovery = Proportion::of(discovered, first_trials.len());
     let first_times: Vec<f64> = first_trials
         .iter()
@@ -64,7 +77,12 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let n_blocks = n_trials / BLOCK;
     let mut table = Table::new(
         format!("learning curve ({n_users} users x {n_trials} trials, {menu_size}-entry menu)"),
-        &["block (trials)", "mean time [s]", "error rate", "corrections"],
+        &[
+            "block (trials)",
+            "mean time [s]",
+            "error rate",
+            "corrections",
+        ],
     );
     let mut block_stats = Vec::new();
     for b in 0..n_blocks {
@@ -79,10 +97,14 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             .filter(|r| r.result.correct)
             .map(|r| r.result.time_s)
             .collect();
-        let errors =
-            Proportion::of(records.iter().filter(|r| !r.result.correct).count(), records.len());
-        let corrections: Vec<f64> =
-            records.iter().map(|r| f64::from(r.result.corrections)).collect();
+        let errors = Proportion::of(
+            records.iter().filter(|r| !r.result.correct).count(),
+            records.len(),
+        );
+        let corrections: Vec<f64> = records
+            .iter()
+            .map(|r| f64::from(r.result.corrections))
+            .collect();
         let time = Summary::of(&times);
         table.row(&[
             format!("{lo}-{hi}"),
@@ -118,7 +140,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
                 if first_times.is_empty() {
                     String::new()
                 } else {
-                    format!(", mean first-trial time {:.1} s", Summary::of(&first_times).mean)
+                    format!(
+                        ", mean first-trial time {:.1} s",
+                        Summary::of(&first_times).mean
+                    )
                 }
             ),
             format!(
@@ -129,7 +154,11 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             ),
             format!(
                 "'nearly errorless' after practice: {}",
-                if nearly_errorless { "reproduced" } else { "NOT reproduced" }
+                if nearly_errorless {
+                    "reproduced"
+                } else {
+                    "NOT reproduced"
+                }
             ),
         ],
         shape_holds,

@@ -18,6 +18,7 @@
 use std::io::Write as _;
 
 use distscroll_eval::experiments::{self, Effort};
+use distscroll_host::telemetry::ExecutorStage;
 
 fn usage() -> ! {
     eprintln!(
@@ -34,23 +35,34 @@ struct BenchRow {
     parallel_s: f64,
 }
 
-/// Renders the perf report as JSON by hand — the harness has no JSON
+/// Renders the v2 perf report as JSON by hand — the harness has no JSON
 /// dependency, and experiment ids contain no characters that need
 /// escaping.
 ///
-/// The headline `speedup` compares each pass's *overall* wall clock:
-/// per-experiment parallel timings overlap on shared cores, so their
-/// sum double-counts contended time and says nothing about throughput.
+/// v2 adds `schema`, `cores` (machine parallelism), `tokens` (what the
+/// executor's budget actually granted — `--jobs` is clamped to the core
+/// count), and a `stages` array with one executor-counter snapshot per
+/// timing pass. The headline `speedup` compares each pass's *overall*
+/// wall clock: per-experiment parallel timings overlap on shared cores,
+/// so their sum double-counts contended time and says nothing about
+/// throughput.
 fn bench_json(
     rows: &[BenchRow],
-    serial_wall_s: f64,
-    parallel_wall_s: f64,
+    stages: &[ExecutorStage],
     jobs: usize,
     effort: Effort,
     seed: u64,
 ) -> String {
+    let serial_wall_s = stages[0].wall_s;
+    let parallel_wall_s = stages[1].wall_s;
     let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"cores\": {},\n", distscroll_par::max_jobs()));
+    out.push_str(&format!(
+        "  \"tokens\": {},\n",
+        distscroll_par::granted_tokens(jobs)
+    ));
     out.push_str(&format!("  \"effort\": \"{effort:?}\",\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str("  \"experiments\": [\n");
@@ -60,6 +72,12 @@ fn bench_json(
             "    {{\"id\": \"{}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}}}{comma}\n",
             r.id, r.serial_s, r.parallel_s,
         ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stages\": [\n");
+    for (i, stage) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", stage.to_json()));
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
@@ -85,10 +103,16 @@ fn main() {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
             "--seed" => {
-                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--jobs" => {
-                jobs = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--out" => {
                 out_dir = Some(args.next().unwrap_or_else(|| usage()));
@@ -119,7 +143,11 @@ fn main() {
 
     println!(
         "DistScroll reproduction — experiment harness (seed {seed}, {effort:?}, jobs {})\n",
-        if jobs == 0 { "auto".to_string() } else { jobs.to_string() }
+        if jobs == 0 {
+            "auto".to_string()
+        } else {
+            jobs.to_string()
+        }
     );
     let mut holds = 0;
     for (r, secs) in &timed {
@@ -146,14 +174,19 @@ fn main() {
         // guarantee, checked on every perf run for free.
         eprintln!("bench: timing serial pass (--jobs 1)...");
         experiments::set_jobs(1);
+        distscroll_par::reset_pool_stats();
         let t_serial = std::time::Instant::now();
         let serial = experiments::run_ids_timed(&ids, effort, seed);
-        let serial_wall_s = t_serial.elapsed().as_secs_f64();
+        let serial_stage = ExecutorStage::capture("serial", t_serial.elapsed().as_secs_f64());
+        eprintln!("{}", serial_stage.render());
         eprintln!("bench: timing parallel pass (--jobs {jobs})...");
         experiments::set_jobs(jobs);
+        distscroll_par::reset_pool_stats();
         let t_parallel = std::time::Instant::now();
         let parallel = experiments::run_ids_timed(&ids, effort, seed);
-        let parallel_wall_s = t_parallel.elapsed().as_secs_f64();
+        let parallel_stage = ExecutorStage::capture("parallel", t_parallel.elapsed().as_secs_f64());
+        eprintln!("{}", parallel_stage.render());
+        let (serial_wall_s, parallel_wall_s) = (serial_stage.wall_s, parallel_stage.wall_s);
         for ((sr, _), (pr, _)) in serial.iter().zip(&parallel) {
             assert_eq!(
                 sr.render(),
@@ -173,8 +206,7 @@ fn main() {
             .collect();
         let json = bench_json(
             &rows,
-            serial_wall_s,
-            parallel_wall_s,
+            &[serial_stage, parallel_stage],
             distscroll_par::resolve_jobs(jobs),
             effort,
             seed,
@@ -190,7 +222,10 @@ fn main() {
         );
     }
 
-    println!("== summary: {holds}/{} experiments hold the paper's shape ==", timed.len());
+    println!(
+        "== summary: {holds}/{} experiments hold the paper's shape ==",
+        timed.len()
+    );
     if holds < timed.len() {
         std::process::exit(1);
     }

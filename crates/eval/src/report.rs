@@ -29,7 +29,11 @@ impl Table {
     ///
     /// Panics if the row's length differs from the header count.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells.to_vec());
         self
     }
@@ -100,7 +104,11 @@ pub struct AsciiPlot {
 
 impl AsciiPlot {
     /// A plot with the given labels, 72×22 characters.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         AsciiPlot {
             title: title.into(),
             x_label: x_label.into(),
@@ -139,9 +147,10 @@ impl AsciiPlot {
         let mut pts: Vec<(char, f64, f64)> = Vec::new();
         for (marker, series) in &self.series {
             for &(x, y) in series {
-                if let (Some(tx), Some(ty)) =
-                    (Self::transform(self.x_scale, x), Self::transform(self.y_scale, y))
-                {
+                if let (Some(tx), Some(ty)) = (
+                    Self::transform(self.x_scale, x),
+                    Self::transform(self.y_scale, y),
+                ) {
                     pts.push((*marker, tx, ty));
                 }
             }
@@ -186,7 +195,10 @@ impl AsciiPlot {
             } else {
                 " ".repeat(9)
             };
-            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>().trim_end()));
+            out.push_str(&format!(
+                "{label} |{}\n",
+                row.iter().collect::<String>().trim_end()
+            ));
         }
         out.push_str(&format!("{} +{}\n", " ".repeat(9), "-".repeat(self.width)));
         out.push_str(&format!(
@@ -255,7 +267,9 @@ mod tests {
         // y = 1/x on log-log is a straight anti-diagonal; verify the
         // extremes land in opposite corners.
         let pts: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 1.0 / i as f64)).collect();
-        let p = AsciiPlot::new("t", "x", "y").scales(Scale::Log, Scale::Log).series('*', &pts);
+        let p = AsciiPlot::new("t", "x", "y")
+            .scales(Scale::Log, Scale::Log)
+            .series('*', &pts);
         let r = p.render();
         let rows: Vec<&str> = r.lines().filter(|l| l.contains('|')).collect();
         let first_star_row = rows.iter().position(|l| l.contains('*')).unwrap();

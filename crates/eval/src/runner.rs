@@ -1,13 +1,15 @@
 //! Cohort × technique × condition trial loops.
 //!
 //! [`run_block`] runs one user through one block on one technique;
-//! [`run_users`] fans a cohort out across worker threads — each worker
-//! builds its *own* technique instance, so no `&mut` state crosses
-//! users — and [`run_cohort`] is the standard plan-per-user instance of
-//! it. Everything is seeded per `(user, block)`, so the records are
-//! **identical at any `jobs` count**: workers tag results by user and
-//! the join reassembles them in `(user_id, trial)` order, byte-for-byte
-//! equal to the serial path.
+//! [`run_users`] fans a cohort out over the shared worker pool — each
+//! worker-chunk builds its *own* technique instance via the context
+//! factory, so no `&mut` state crosses chunks and per-user setup cost
+//! is amortized over the chunk — and [`run_cohort`] is the standard
+//! plan-per-user instance of it. Everything is seeded per
+//! `(user, block)`, so the records are **identical at any `jobs`
+//! count**: results are keyed by user index and the join reassembles
+//! them in `(user_id, trial)` order, byte-for-byte equal to the serial
+//! path.
 
 use distscroll_baselines::{ScrollTechnique, TrialResult, TrialSetup};
 use distscroll_user::population::UserParams;
@@ -28,13 +30,14 @@ pub struct TrialRecord {
     pub result: TrialResult,
 }
 
-/// Builds a fresh technique instance for one parallel worker.
+/// Builds a fresh technique instance for one worker-chunk.
 ///
-/// The old runner threaded a single `&mut dyn ScrollTechnique` through
-/// every user, which serializes the cohort. All techniques are
+/// The original runner threaded a single `&mut dyn ScrollTechnique`
+/// through every user, which serializes the cohort. All techniques are
 /// stateless across trials (their per-trial state lives in the devices
-/// they build per trial), so giving each user a fresh instance produces
-/// the same records — and lets users run concurrently.
+/// they build per trial), so sharing one instance across the users of a
+/// worker-chunk produces the same records as building one per user —
+/// and lets chunks run concurrently while amortizing construction.
 pub type TechniqueFactory<'a> = dyn Fn() -> Box<dyn ScrollTechnique> + Sync + 'a;
 
 /// Runs one user through a task plan.
@@ -56,17 +59,30 @@ pub fn run_block(
         .collect()
 }
 
-/// Fans a cohort out over up to `jobs` worker threads and returns every
-/// user's records concatenated in `(user_id, trial)` order.
+/// Fans a cohort out over the shared worker pool (budgeted by `jobs`
+/// tokens) and returns every user's records concatenated in
+/// `(user_id, trial)` order.
 ///
-/// `per_user` must derive all stochasticity from `(user_id, user)` —
-/// the discipline every experiment already follows via per-user seeds —
-/// which makes the output independent of `jobs`.
-pub fn run_users<F>(cohort: &[UserParams], jobs: usize, per_user: F) -> Vec<TrialRecord>
+/// `mk_ctx` builds the per-chunk context — typically a technique
+/// instance — once per worker-chunk; `per_user` receives it mutably for
+/// every user of the chunk. `per_user` must derive all stochasticity
+/// from `(user_id, user)` — the discipline every experiment already
+/// follows via per-user seeds — and the context must be
+/// observationally stateless across users, which together make the
+/// output independent of `jobs` and of chunk boundaries. The
+/// determinism regression tests compare runs whose chunk boundaries
+/// differ, so a technique that smuggles state across trials fails loud.
+pub fn run_users<C, G, F>(
+    cohort: &[UserParams],
+    jobs: usize,
+    mk_ctx: G,
+    per_user: F,
+) -> Vec<TrialRecord>
 where
-    F: Fn(usize, &UserParams) -> Vec<TrialRecord> + Sync,
+    G: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &UserParams) -> Vec<TrialRecord> + Sync,
 {
-    let per_user_records = distscroll_par::par_map(jobs, cohort, per_user);
+    let per_user_records = distscroll_par::par_map_ctx(jobs, cohort, mk_ctx, per_user);
     let mut records = Vec::with_capacity(per_user_records.iter().map(Vec::len).sum());
     for user_records in per_user_records {
         records.extend(user_records);
@@ -75,11 +91,13 @@ where
 }
 
 /// Runs every user of a cohort through (their own copy of) a task plan,
-/// in parallel over up to `jobs` threads (`jobs = 1` forces the serial
-/// path; the records are identical either way).
+/// fanned out over up to `jobs` pool tokens (`jobs = 1` forces the
+/// serial path; the records are identical either way).
 ///
 /// Each user gets a distinct trial seed derived from `seed` and a
-/// distinct task seed, as a counterbalanced study would.
+/// distinct task seed, as a counterbalanced study would. One technique
+/// instance is constructed per worker-chunk and reused across that
+/// chunk's users.
 pub fn run_cohort(
     factory: &TechniqueFactory,
     cohort: &[UserParams],
@@ -88,8 +106,7 @@ pub fn run_cohort(
     seed: u64,
     jobs: usize,
 ) -> Vec<TrialRecord> {
-    run_users(cohort, jobs, |user_id, user| {
-        let mut technique = factory();
+    run_users(cohort, jobs, factory, |technique, user_id, user| {
         let plan = TaskPlan::block(n_entries, trials_per_user, 1, seed ^ (user_id as u64) << 17);
         run_block(
             technique.as_mut(),
@@ -156,11 +173,19 @@ pub fn summarize(records: &[TrialRecord]) -> Result<BlockStats, SummarizeError> 
         .map(|r| r.result.time_s)
         .collect();
     if times.is_empty() {
-        return Err(SummarizeError::NoCorrectTrials { records: records.len() });
+        return Err(SummarizeError::NoCorrectTrials {
+            records: records.len(),
+        });
     }
     let errors = records.iter().filter(|r| !r.result.correct).count();
-    let timeouts = records.iter().filter(|r| r.result.selected_idx.is_none()).count();
-    let corrections: Vec<f64> = records.iter().map(|r| f64::from(r.result.corrections)).collect();
+    let timeouts = records
+        .iter()
+        .filter(|r| r.result.selected_idx.is_none())
+        .count();
+    let corrections: Vec<f64> = records
+        .iter()
+        .map(|r| f64::from(r.result.corrections))
+        .collect();
     Ok(BlockStats {
         time: Summary::of(&times),
         errors: Proportion::of(errors, records.len()),
@@ -204,7 +229,10 @@ mod tests {
         let serial = run_cohort(factory, &cohort, 10, 4, 123, 1);
         for jobs in [2, 4, 8] {
             let parallel = run_cohort(factory, &cohort, 10, 4, 123, jobs);
-            assert_eq!(serial, parallel, "jobs={jobs} must reproduce the serial records");
+            assert_eq!(
+                serial, parallel,
+                "jobs={jobs} must reproduce the serial records"
+            );
         }
     }
 
@@ -212,10 +240,11 @@ mod tests {
     fn cohort_records_arrive_in_user_then_trial_order() {
         let mut rng = StdRng::seed_from_u64(4);
         let cohort = sample_cohort(5, &mut rng);
-        let records =
-            run_cohort(&|| Box::new(ButtonsTechnique::new()), &cohort, 8, 3, 50, 8);
-        let order: Vec<(usize, u32)> =
-            records.iter().map(|r| (r.user_id, r.setup.trial_number)).collect();
+        let records = run_cohort(&|| Box::new(ButtonsTechnique::new()), &cohort, 8, 3, 50, 8);
+        let order: Vec<(usize, u32)> = records
+            .iter()
+            .map(|r| (r.user_id, r.setup.trial_number))
+            .collect();
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(order, sorted, "records must stay in (user_id, trial) order");
@@ -228,14 +257,28 @@ mod tests {
             TrialRecord {
                 user_id: 0,
                 setup,
-                result: TrialResult { time_s: 1.0, selected_idx: Some(4), correct: true, corrections: 0 },
+                result: TrialResult {
+                    time_s: 1.0,
+                    selected_idx: Some(4),
+                    correct: true,
+                    corrections: 0,
+                },
             },
             TrialRecord {
                 user_id: 0,
                 setup,
-                result: TrialResult { time_s: 2.0, selected_idx: Some(3), correct: false, corrections: 2 },
+                result: TrialResult {
+                    time_s: 2.0,
+                    selected_idx: Some(3),
+                    correct: false,
+                    corrections: 2,
+                },
             },
-            TrialRecord { user_id: 0, setup, result: TrialResult::timeout(30.0, 5) },
+            TrialRecord {
+                user_id: 0,
+                setup,
+                result: TrialResult::timeout(30.0, 5),
+            },
         ];
         let stats = summarize(&records).expect("one correct trial is summarizable");
         assert_eq!(stats.time.n, 1);
@@ -247,8 +290,15 @@ mod tests {
     #[test]
     fn summarize_reports_degenerate_sets_instead_of_panicking() {
         let setup = TrialSetup::new(8, 0, 4, 1);
-        let records = vec![TrialRecord { user_id: 0, setup, result: TrialResult::timeout(30.0, 0) }];
-        assert_eq!(summarize(&records), Err(SummarizeError::NoCorrectTrials { records: 1 }));
+        let records = vec![TrialRecord {
+            user_id: 0,
+            setup,
+            result: TrialResult::timeout(30.0, 0),
+        }];
+        assert_eq!(
+            summarize(&records),
+            Err(SummarizeError::NoCorrectTrials { records: 1 })
+        );
         assert_eq!(summarize(&[]), Err(SummarizeError::Empty));
         let msg = SummarizeError::NoCorrectTrials { records: 1 }.to_string();
         assert!(msg.contains("no correct trials"), "{msg}");

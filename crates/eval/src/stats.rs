@@ -35,7 +35,10 @@ impl Summary {
     /// Panics if `xs` is empty or contains non-finite values.
     pub fn of(xs: &[f64]) -> Summary {
         assert!(!xs.is_empty(), "cannot summarize an empty sample");
-        assert!(xs.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
         let n = xs.len();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -50,7 +53,15 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Summary { n, mean, sd, sem, ci95: 1.96 * sem, min, max }
+        Summary {
+            n,
+            mean,
+            sd,
+            sem,
+            ci95: 1.96 * sem,
+            min,
+            max,
+        }
     }
 }
 
@@ -78,18 +89,24 @@ pub struct WelchT {
 ///
 /// Panics if either sample has fewer than two observations.
 pub fn welch_t(a: &[f64], b: &[f64]) -> WelchT {
-    assert!(a.len() >= 2 && b.len() >= 2, "welch t needs at least two observations per group");
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "welch t needs at least two observations per group"
+    );
     let sa = Summary::of(a);
     let sb = Summary::of(b);
     let va = sa.sd * sa.sd / sa.n as f64;
     let vb = sb.sd * sb.sd / sb.n as f64;
     let se = (va + vb).sqrt();
-    let t = if se == 0.0 { 0.0 } else { (sa.mean - sb.mean) / se };
+    let t = if se == 0.0 {
+        0.0
+    } else {
+        (sa.mean - sb.mean) / se
+    };
     let df = if va + vb == 0.0 {
         (a.len() + b.len() - 2) as f64
     } else {
-        (va + vb).powi(2)
-            / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0))
+        (va + vb).powi(2) / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0))
     };
     let p = 2.0 * normal_sf(t.abs());
     WelchT { t, df, p }
@@ -124,7 +141,8 @@ pub fn normal_sf(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x * x).exp();
     0.5 * (1.0 - erf)
 }
@@ -162,13 +180,27 @@ impl Proportion {
         let denom = 1.0 + z2 / nf;
         let centre = (p + z2 / (2.0 * nf)) / denom;
         let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
-        Proportion { k, n, p, lo: (centre - half).max(0.0), hi: (centre + half).min(1.0) }
+        Proportion {
+            k,
+            n,
+            p,
+            lo: (centre - half).max(0.0),
+            hi: (centre + half).min(1.0),
+        }
     }
 }
 
 impl std::fmt::Display for Proportion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.1}% [{:.1}, {:.1}] ({}/{})", self.p * 100.0, self.lo * 100.0, self.hi * 100.0, self.k, self.n)
+        write!(
+            f,
+            "{:.1}% [{:.1}, {:.1}] ({}/{})",
+            self.p * 100.0,
+            self.lo * 100.0,
+            self.hi * 100.0,
+            self.k,
+            self.n
+        )
     }
 }
 

@@ -38,7 +38,12 @@ impl TaskPlan {
                     break t;
                 }
             };
-            setups.push(TrialSetup::new(n_entries, start, target, first_trial_number + k as u32));
+            setups.push(TrialSetup::new(
+                n_entries,
+                start,
+                target,
+                first_trial_number + k as u32,
+            ));
             start = target;
         }
         TaskPlan { setups }
@@ -61,8 +66,17 @@ impl TaskPlan {
         let mut setups = Vec::with_capacity(trials);
         let mut start = 0usize;
         for k in 0..trials {
-            let target = if start + distance < n_entries { start + distance } else { start - distance };
-            setups.push(TrialSetup::new(n_entries, start, target, first_trial_number + k as u32));
+            let target = if start + distance < n_entries {
+                start + distance
+            } else {
+                start - distance
+            };
+            setups.push(TrialSetup::new(
+                n_entries,
+                start,
+                target,
+                first_trial_number + k as u32,
+            ));
             start = target;
         }
         TaskPlan { setups }

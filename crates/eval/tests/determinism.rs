@@ -1,11 +1,18 @@
-//! The parallel harness's load-bearing guarantee: the worker-thread
+//! The parallel harness's load-bearing guarantee: the worker-token
 //! budget must never change a single record or rendered report.
 //!
-//! `run_cohort` fans users out over threads and `run_all` fans whole
-//! experiments out; both tag results by input index and reassemble in
-//! order, and every unit of work derives its stochasticity from
-//! per-(user, block) seeds. If someone ever threads an RNG or a shared
-//! technique instance through the fan-out, these tests catch it.
+//! `run_cohort` fans users out over the shared pool and `run_all` fans
+//! whole experiments out; both slot results by input index and
+//! reassemble in order, and every unit of work derives its
+//! stochasticity from per-(user, block) seeds. Chunk boundaries — and
+//! therefore which users share one technique instance — differ between
+//! job counts, so these tests also catch a technique that smuggles
+//! state across trials, a threaded RNG, or a shared `&mut` instance.
+//!
+//! `DISTSCROLL_PAR_OVERSUBSCRIBE=1` lifts the executor's core-count
+//! clamp so the parallel paths run real helper threads even on
+//! single-core CI machines (without it, every budget collapses to one
+//! token there and the comparison is vacuous).
 
 use distscroll_baselines::buttons::ButtonsTechnique;
 use distscroll_baselines::distscroll::DistScrollTechnique;
@@ -16,8 +23,13 @@ use distscroll_user::population::sample_cohort;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn oversubscribe() {
+    std::env::set_var("DISTSCROLL_PAR_OVERSUBSCRIBE", "1");
+}
+
 #[test]
-fn cohort_records_identical_at_any_jobs_count() {
+fn cohort_records_identical_at_jobs_1_2_4_and_8() {
+    oversubscribe();
     let mut rng = StdRng::seed_from_u64(20050607);
     let cohort = sample_cohort(8, &mut rng);
     let factories: [&TechniqueFactory; 2] = [
@@ -26,7 +38,7 @@ fn cohort_records_identical_at_any_jobs_count() {
     ];
     for factory in factories {
         let serial = run_cohort(factory, &cohort, 10, 6, 77, 1);
-        for jobs in [2, 8] {
+        for jobs in [2, 4, 8] {
             let parallel = run_cohort(factory, &cohort, 10, 6, 77, jobs);
             assert_eq!(
                 serial, parallel,
@@ -37,21 +49,23 @@ fn cohort_records_identical_at_any_jobs_count() {
 }
 
 #[test]
-fn run_all_reports_identical_serial_vs_parallel() {
+fn run_all_reports_identical_at_jobs_1_2_4() {
+    oversubscribe();
     set_jobs(1);
     let serial = run_all(Effort::Quick, 20050607);
-    set_jobs(8);
-    let parallel = run_all(Effort::Quick, 20050607);
-    set_jobs(0);
-
-    assert_eq!(serial.len(), parallel.len());
-    for (s, p) in serial.iter().zip(&parallel) {
-        assert_eq!(s.id, p.id, "canonical order must survive the fan-out");
-        assert_eq!(
-            s.render(),
-            p.render(),
-            "experiment {} rendered differently serial vs parallel",
-            s.id
-        );
+    for jobs in [2, 4] {
+        set_jobs(jobs);
+        let parallel = run_all(Effort::Quick, 20050607);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id, "canonical order must survive the fan-out");
+            assert_eq!(
+                s.render(),
+                p.render(),
+                "experiment {} rendered differently at --jobs 1 vs --jobs {jobs}",
+                s.id
+            );
+        }
     }
+    set_jobs(0);
 }

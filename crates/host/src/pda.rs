@@ -29,7 +29,10 @@ pub struct PdaScreen {
 impl PdaScreen {
     /// A blank screen awaiting telemetry.
     pub fn new() -> Self {
-        PdaScreen { stale: true, ..PdaScreen::default() }
+        PdaScreen {
+            stale: true,
+            ..PdaScreen::default()
+        }
     }
 
     /// Ingests one decoded record, updating the view.
@@ -92,10 +95,17 @@ impl PdaScreen {
         let start = if n <= PDA_VISIBLE_LINES {
             0
         } else {
-            self.highlighted.saturating_sub(PDA_VISIBLE_LINES / 2).min(n - PDA_VISIBLE_LINES)
+            self.highlighted
+                .saturating_sub(PDA_VISIBLE_LINES / 2)
+                .min(n - PDA_VISIBLE_LINES)
         };
         let mut out = String::new();
-        for (i, label) in labels.iter().enumerate().skip(start).take(PDA_VISIBLE_LINES) {
+        for (i, label) in labels
+            .iter()
+            .enumerate()
+            .skip(start)
+            .take(PDA_VISIBLE_LINES)
+        {
             out.push(if i == self.highlighted { '>' } else { ' ' });
             out.push_str(label);
             out.push('\n');
@@ -110,11 +120,21 @@ mod tests {
     use crate::telemetry::{EventRecord, StateRecord};
 
     fn state(highlighted: u8, level: u8) -> Record {
-        Record::State(StateRecord { stamp: 0, code: 100, island: Some(0), highlighted, level })
+        Record::State(StateRecord {
+            stamp: 0,
+            code: 100,
+            island: Some(0),
+            highlighted,
+            level,
+        })
     }
 
     fn event(kind: EventKind, aux: u8) -> Record {
-        Record::Event(EventRecord { stamp: 0, kind, aux })
+        Record::Event(EventRecord {
+            stamp: 0,
+            kind,
+            aux,
+        })
     }
 
     #[test]

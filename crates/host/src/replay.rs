@@ -43,7 +43,10 @@ impl Trajectory {
 
     /// Total hand travel, cm.
     pub fn travel_cm(&self) -> f64 {
-        self.samples.windows(2).map(|w| (w[1].1 - w[0].1).abs()).sum()
+        self.samples
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1).abs())
+            .sum()
     }
 
     /// Mean absolute hand speed, cm/s.
@@ -75,7 +78,12 @@ impl Trajectory {
             return "(no trajectory samples)".to_string();
         }
         let t0 = self.samples[0].0;
-        let t1 = self.samples.last().expect("samples not empty").0.max(t0 + 1e-9);
+        let t1 = self
+            .samples
+            .last()
+            .expect("samples not empty")
+            .0
+            .max(t0 + 1e-9);
         let (mut d_lo, mut d_hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &(_, d) in &self.samples {
             d_lo = d_lo.min(d);
@@ -110,8 +118,9 @@ mod tests {
     use distscroll_sensors::gp2d120;
 
     fn curve() -> InverseCurveFit {
-        let pts: Vec<(f64, f64)> =
-            (4..=30).map(|d| (f64::from(d), gp2d120::ideal_voltage(f64::from(d)))).collect();
+        let pts: Vec<(f64, f64)> = (4..=30)
+            .map(|d| (f64::from(d), gp2d120::ideal_voltage(f64::from(d))))
+            .collect();
         fit_inverse_curve(&pts).expect("ideal points fit")
     }
 
@@ -145,15 +154,22 @@ mod tests {
     fn travel_and_speed_are_computed() {
         let log = log_with_distances(&[10.0, 20.0, 10.0]);
         let traj = Trajectory::from_log(&log, &curve(), 0.01);
-        assert!((traj.travel_cm() - 20.0).abs() < 1.0, "travel {}", traj.travel_cm());
+        assert!(
+            (traj.travel_cm() - 20.0).abs() < 1.0,
+            "travel {}",
+            traj.travel_cm()
+        );
         assert!(traj.mean_speed() > 0.0);
     }
 
     #[test]
     fn dwell_fraction_distinguishes_rest_from_motion() {
         let still = Trajectory::from_log(&log_with_distances(&[15.0; 20]), &curve(), 0.01);
-        let moving =
-            Trajectory::from_log(&log_with_distances(&[5.0, 10.0, 15.0, 20.0, 25.0]), &curve(), 0.01);
+        let moving = Trajectory::from_log(
+            &log_with_distances(&[5.0, 10.0, 15.0, 20.0, 25.0]),
+            &curve(),
+            0.01,
+        );
         assert!(still.dwell_fraction(0.5) > 0.9);
         assert!(moving.dwell_fraction(0.5) < 0.3);
     }

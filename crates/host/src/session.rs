@@ -51,7 +51,10 @@ pub struct SessionLog {
 impl SessionLog {
     /// An empty log assuming the default 10 ms tick.
     pub fn new() -> Self {
-        SessionLog { tick_s: DEFAULT_TICK_S, ..SessionLog::default() }
+        SessionLog {
+            tick_s: DEFAULT_TICK_S,
+            ..SessionLog::default()
+        }
     }
 
     /// An empty log for a device configured with a different tick.
@@ -61,7 +64,10 @@ impl SessionLog {
     /// Panics if `tick_s` is not positive.
     pub fn with_tick(tick_s: f64) -> Self {
         assert!(tick_s > 0.0, "tick period must be positive");
-        SessionLog { tick_s, ..SessionLog::default() }
+        SessionLog {
+            tick_s,
+            ..SessionLog::default()
+        }
     }
 
     /// Ingests one record, unwrapping its 16-bit stamp.
@@ -132,9 +138,7 @@ impl SessionLog {
     pub fn brownouts(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| {
-                matches!(r.record, Record::Event(e) if e.kind == EventKind::BrownOut)
-            })
+            .filter(|r| matches!(r.record, Record::Event(e) if e.kind == EventKind::BrownOut))
             .count()
     }
 
@@ -190,7 +194,13 @@ mod tests {
     use crate::telemetry::{EventRecord, StateRecord};
 
     fn state(stamp: u16, code: u16) -> Record {
-        Record::State(StateRecord { stamp, code, island: Some(0), level: 0, highlighted: 0 })
+        Record::State(StateRecord {
+            stamp,
+            code,
+            island: Some(0),
+            level: 0,
+            highlighted: 0,
+        })
     }
 
     fn event(stamp: u16, kind: EventKind, aux: u8) -> Record {

@@ -129,7 +129,11 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::UnknownKind { kind } => {
                 write!(f, "unknown telemetry record kind {kind:#04x}")
             }
-            ProtocolError::BadLength { kind, got, expected } => write!(
+            ProtocolError::BadLength {
+                kind,
+                got,
+                expected,
+            } => write!(
                 f,
                 "telemetry record {kind:#04x} has {got} bytes, expected {expected}"
             ),
@@ -154,7 +158,11 @@ pub fn parse_record(payload: &[u8]) -> Result<Record, ProtocolError> {
     match kind {
         b'T' => {
             if rest.len() != 7 {
-                return Err(ProtocolError::BadLength { kind, got: rest.len(), expected: 7 });
+                return Err(ProtocolError::BadLength {
+                    kind,
+                    got: rest.len(),
+                    expected: 7,
+                });
             }
             Ok(Record::State(StateRecord {
                 stamp: u16::from(rest[0]) << 8 | u16::from(rest[1]),
@@ -166,11 +174,14 @@ pub fn parse_record(payload: &[u8]) -> Result<Record, ProtocolError> {
         }
         b'E' => {
             if rest.len() != 4 {
-                return Err(ProtocolError::BadLength { kind, got: rest.len(), expected: 4 });
+                return Err(ProtocolError::BadLength {
+                    kind,
+                    got: rest.len(),
+                    expected: 4,
+                });
             }
             let tag = rest[2];
-            let kind_e =
-                EventKind::from_tag(tag).ok_or(ProtocolError::UnknownEventTag { tag })?;
+            let kind_e = EventKind::from_tag(tag).ok_or(ProtocolError::UnknownEventTag { tag })?;
             Ok(Record::Event(EventRecord {
                 stamp: u16::from(rest[0]) << 8 | u16::from(rest[1]),
                 kind: kind_e,
@@ -233,6 +244,64 @@ impl StreamDecoder {
     }
 }
 
+/// One timed stage of a host-side run with the executor counters it
+/// consumed — the worker-pool analogue of a device [`StateRecord`].
+///
+/// The host instruments two kinds of activity: what the *device* did
+/// (the records above) and what the *evaluation executor* did while
+/// replaying or simulating it. A stage is a named span of wall-clock
+/// time (`serial pass`, `parallel pass`, …) paired with a
+/// [`distscroll_par::PoolStats`] snapshot; the `--bench-out` report
+/// embeds one object per stage, and the CLI prints the rendered line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorStage {
+    /// Stage name (stable, lowercase; becomes the JSON `stage` field).
+    pub stage: &'static str,
+    /// Wall-clock seconds the stage took.
+    pub wall_s: f64,
+    /// Executor counters accumulated during the stage (callers reset
+    /// the pool stats when the stage starts).
+    pub stats: distscroll_par::PoolStats,
+}
+
+impl ExecutorStage {
+    /// Captures the current executor counters as the closing snapshot
+    /// of a stage that took `wall_s` seconds.
+    pub fn capture(stage: &'static str, wall_s: f64) -> ExecutorStage {
+        ExecutorStage {
+            stage,
+            wall_s,
+            stats: distscroll_par::pool_stats(),
+        }
+    }
+
+    /// One-line human rendering, e.g. for stderr progress output.
+    pub fn render(&self) -> String {
+        format!(
+            "executor[{}]: {:.2} s wall, {}",
+            self.stage, self.wall_s, self.stats
+        )
+    }
+
+    /// The stage as a JSON object (hand-rendered — the workspace has no
+    /// JSON dependency; stage names and counters need no escaping).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"stage\": \"{}\", \"wall_s\": {:.4}, \"executor\": {{\
+             \"workers_spawned\": {}, \"jobs_submitted\": {}, \"tasks_executed\": {}, \
+             \"inline_claims\": {}, \"helper_steals\": {}, \"peak_live\": {}}}}}",
+            self.stage,
+            self.wall_s,
+            self.stats.workers_spawned,
+            self.stats.jobs_submitted,
+            self.stats.tasks_executed,
+            self.stats.inline_claims,
+            self.stats.helper_steals,
+            self.stats.peak_live,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,17 +339,28 @@ mod tests {
         let rec = parse_record(&payload).unwrap();
         assert_eq!(
             rec,
-            Record::Event(EventRecord { stamp: 7, kind: EventKind::Highlight, aux: 4 })
+            Record::Event(EventRecord {
+                stamp: 7,
+                kind: EventKind::Highlight,
+                aux: 4
+            })
         );
     }
 
     #[test]
     fn malformed_payloads_error_without_panicking() {
         assert_eq!(parse_record(&[]), Err(ProtocolError::Empty));
-        assert_eq!(parse_record(&[b'X', 1]), Err(ProtocolError::UnknownKind { kind: b'X' }));
+        assert_eq!(
+            parse_record(&[b'X', 1]),
+            Err(ProtocolError::UnknownKind { kind: b'X' })
+        );
         assert_eq!(
             parse_record(&[b'T', 1, 2]),
-            Err(ProtocolError::BadLength { kind: b'T', got: 2, expected: 7 })
+            Err(ProtocolError::BadLength {
+                kind: b'T',
+                got: 2,
+                expected: 7
+            })
         );
         assert_eq!(
             parse_record(&[b'E', 0, 0, b'?', 0]),
@@ -293,6 +373,54 @@ mod tests {
         for tag in [b'H', b'A', b'S', b'B', b'<', b'>', b'!'] {
             assert!(EventKind::from_tag(tag).is_some(), "tag {tag}");
         }
+    }
+
+    #[test]
+    fn executor_stage_renders_and_serializes() {
+        let stage = ExecutorStage {
+            stage: "parallel",
+            wall_s: 1.25,
+            stats: distscroll_par::PoolStats {
+                workers_spawned: 3,
+                jobs_submitted: 7,
+                tasks_executed: 40,
+                inline_claims: 30,
+                helper_steals: 10,
+                live: 0,
+                peak_live: 4,
+            },
+        };
+        let line = stage.render();
+        for needle in [
+            "executor[parallel]",
+            "1.25 s",
+            "7 jobs",
+            "40 tasks",
+            "peak 4 live",
+        ] {
+            assert!(line.contains(needle), "render missing {needle:?}: {line}");
+        }
+        let json = stage.to_json();
+        for needle in [
+            "\"stage\": \"parallel\"",
+            "\"wall_s\": 1.2500",
+            "\"tasks_executed\": 40",
+            "\"inline_claims\": 30",
+            "\"helper_steals\": 10",
+            "\"peak_live\": 4",
+            "\"workers_spawned\": 3",
+        ] {
+            assert!(json.contains(needle), "json missing {needle:?}: {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn executor_stage_capture_reads_live_counters() {
+        let stage = ExecutorStage::capture("probe", 0.5);
+        assert_eq!(stage.stage, "probe");
+        let fresh = distscroll_par::pool_stats();
+        assert!(fresh.tasks_executed >= stage.stats.tasks_executed);
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Adc10 {
     /// negative or not finite.
     pub fn with_noise(vref: f64, noise_lsb: f64) -> Self {
         assert!(vref.is_finite() && vref > 0.0, "vref must be positive");
-        assert!(noise_lsb.is_finite() && noise_lsb >= 0.0, "noise must be non-negative");
+        assert!(
+            noise_lsb.is_finite() && noise_lsb >= 0.0,
+            "noise must be non-negative"
+        );
         Adc10 {
             vref,
             noise_lsb,

@@ -134,8 +134,14 @@ impl Board {
     /// analog sources wired yet.
     pub fn new() -> Self {
         let mut bus = I2cBus::new();
-        bus.attach(Box::new(Bt96040::new(UPPER_DISPLAY_ADDR, DisplayRole::Upper)));
-        bus.attach(Box::new(Bt96040::new(LOWER_DISPLAY_ADDR, DisplayRole::Lower)));
+        bus.attach(Box::new(Bt96040::new(
+            UPPER_DISPLAY_ADDR,
+            DisplayRole::Upper,
+        )));
+        bus.attach(Box::new(Bt96040::new(
+            LOWER_DISPLAY_ADDR,
+            DisplayRole::Lower,
+        )));
         Board {
             clock: SimClock::new(),
             mcu: Mcu::new(SimInstant::BOOT),
@@ -232,7 +238,9 @@ impl Board {
         rng: &mut R,
     ) -> Result<u16, HwError> {
         if self.browned_out {
-            return Err(HwError::BrownOut { volts: self.battery.terminal_volts(40.0) });
+            return Err(HwError::BrownOut {
+                volts: self.battery.terminal_volts(40.0),
+            });
         }
         let now = self.clock.now();
         let volts = match channel {
@@ -240,9 +248,12 @@ impl Board {
             // An unpowered sensor's output floats near ground.
             AdcChannel::Distance if !self.sensor_powered => 0.02,
             _ => {
-                let src = self.channels[channel.index()]
-                    .as_mut()
-                    .ok_or(HwError::AdcBadChannel { channel: channel.number() })?;
+                let src =
+                    self.channels[channel.index()]
+                        .as_mut()
+                        .ok_or(HwError::AdcBadChannel {
+                            channel: channel.number(),
+                        })?;
                 let mut boxed_rng = ErasedRng(rng);
                 src.voltage(now, &mut boxed_rng)
             }
@@ -276,11 +287,17 @@ impl Board {
     }
 
     fn button(&self, id: ButtonId) -> &Button {
-        self.buttons.iter().find(|b| b.id() == id).expect("all buttons wired")
+        self.buttons
+            .iter()
+            .find(|b| b.id() == id)
+            .expect("all buttons wired")
     }
 
     fn button_mut(&mut self, id: ButtonId) -> &mut Button {
-        self.buttons.iter_mut().find(|b| b.id() == id).expect("all buttons wired")
+        self.buttons
+            .iter_mut()
+            .find(|b| b.id() == id)
+            .expect("all buttons wired")
     }
 
     /// The contrast potentiometer (the user's thumb can turn it).
@@ -426,7 +443,10 @@ mod tests {
         payload.extend_from_slice(b"Settings");
         board.write_display(DisplayRole::Upper, &payload).unwrap();
         assert_eq!(board.display(DisplayRole::Upper).line(0), "Settings");
-        assert!(board.mcu.cycles_charged() > before, "i2c time must be charged");
+        assert!(
+            board.mcu.cycles_charged() > before,
+            "i2c time must be charged"
+        );
         assert_eq!(board.display(DisplayRole::Lower).line(0), "");
     }
 
@@ -436,11 +456,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         board.press_button(ButtonId::TopRight);
         board.step(SimDuration::from_millis(10));
-        assert_eq!(board.read_button(ButtonId::TopRight, &mut rng), PinLevel::Low);
-        assert_eq!(board.read_button(ButtonId::LeftUpper, &mut rng), PinLevel::High);
+        assert_eq!(
+            board.read_button(ButtonId::TopRight, &mut rng),
+            PinLevel::Low
+        );
+        assert_eq!(
+            board.read_button(ButtonId::LeftUpper, &mut rng),
+            PinLevel::High
+        );
         board.release_button(ButtonId::TopRight);
         board.step(SimDuration::from_millis(10));
-        assert_eq!(board.read_button(ButtonId::TopRight, &mut rng), PinLevel::High);
+        assert_eq!(
+            board.read_button(ButtonId::TopRight, &mut rng),
+            PinLevel::High
+        );
     }
 
     #[test]
@@ -448,7 +477,10 @@ mod tests {
         let mut board = Board::new();
         let mut rng = StdRng::seed_from_u64(0);
         board.send_telemetry(b"adc=512", &mut rng);
-        assert!(board.drain_received().is_empty(), "nothing arrives instantly");
+        assert!(
+            board.drain_received().is_empty(),
+            "nothing arrives instantly"
+        );
         board.step(SimDuration::from_millis(50));
         let got = board.drain_received();
         assert_eq!(got.len(), 1);

@@ -43,12 +43,16 @@ impl SimDuration {
 
     /// Creates a duration from whole milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { micros: millis * 1_000 }
+        SimDuration {
+            micros: millis * 1_000,
+        }
     }
 
     /// Creates a duration from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration { micros: secs * 1_000_000 }
+        SimDuration {
+            micros: secs * 1_000_000,
+        }
     }
 
     /// Creates a duration from fractional seconds, rounding to the nearest
@@ -57,7 +61,9 @@ impl SimDuration {
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
-        SimDuration { micros: (secs * 1e6).round() as u64 }
+        SimDuration {
+            micros: (secs * 1e6).round() as u64,
+        }
     }
 
     /// The duration in whole microseconds.
@@ -77,7 +83,9 @@ impl SimDuration {
 
     /// Saturating subtraction: returns zero instead of underflowing.
     pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_sub(rhs.micros) }
+        SimDuration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
     }
 
     /// Returns `true` for the zero duration.
@@ -89,7 +97,9 @@ impl SimDuration {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros + rhs.micros }
+        SimDuration {
+            micros: self.micros + rhs.micros,
+        }
     }
 }
 
@@ -102,7 +112,9 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros - rhs.micros }
+        SimDuration {
+            micros: self.micros - rhs.micros,
+        }
     }
 }
 
@@ -115,14 +127,18 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration { micros: self.micros * rhs }
+        SimDuration {
+            micros: self.micros * rhs,
+        }
     }
 }
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
     fn div(self, rhs: u64) -> SimDuration {
-        SimDuration { micros: self.micros / rhs }
+        SimDuration {
+            micros: self.micros / rhs,
+        }
     }
 }
 
@@ -165,14 +181,18 @@ impl SimInstant {
 
     /// Time elapsed from `earlier` to `self`; zero if `earlier` is later.
     pub fn saturating_since(self, earlier: SimInstant) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_sub(earlier.micros) }
+        SimDuration {
+            micros: self.micros.saturating_sub(earlier.micros),
+        }
     }
 }
 
 impl Add<SimDuration> for SimInstant {
     type Output = SimInstant;
     fn add(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { micros: self.micros + rhs.micros }
+        SimInstant {
+            micros: self.micros + rhs.micros,
+        }
     }
 }
 
@@ -185,14 +205,18 @@ impl AddAssign<SimDuration> for SimInstant {
 impl Sub<SimDuration> for SimInstant {
     type Output = SimInstant;
     fn sub(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { micros: self.micros - rhs.micros }
+        SimInstant {
+            micros: self.micros - rhs.micros,
+        }
     }
 }
 
 impl Sub for SimInstant {
     type Output = SimDuration;
     fn sub(self, rhs: SimInstant) -> SimDuration {
-        SimDuration { micros: self.micros - rhs.micros }
+        SimDuration {
+            micros: self.micros - rhs.micros,
+        }
     }
 }
 
@@ -214,7 +238,9 @@ pub struct SimClock {
 impl SimClock {
     /// Creates a clock at boot time.
     pub fn new() -> Self {
-        SimClock { now: SimInstant::BOOT }
+        SimClock {
+            now: SimInstant::BOOT,
+        }
     }
 
     /// The current simulated time.
@@ -246,14 +272,20 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
     fn from_secs_f64_clamps_bad_inputs() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -299,6 +331,9 @@ mod tests {
         assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
         assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
         assert_eq!(SimDuration::from_millis(2_500).to_string(), "2.500s");
-        assert_eq!(SimInstant::from_micros(1_000_000).to_string(), "t+1.000000s");
+        assert_eq!(
+            SimInstant::from_micros(1_000_000).to_string(),
+            "t+1.000000s"
+        );
     }
 }

@@ -175,7 +175,11 @@ impl Bt96040 {
         for l in 0..TEXT_LINES {
             out.push('|');
             for c in 0..TEXT_COLS {
-                out.push(if self.powered { self.text[l][c] as char } else { ' ' });
+                out.push(if self.powered {
+                    self.text[l][c] as char
+                } else {
+                    ' '
+                });
             }
             out.push_str("|\n");
         }
@@ -186,7 +190,10 @@ impl Bt96040 {
     }
 
     fn protocol_err(&self, reason: &'static str) -> HwError {
-        HwError::I2cProtocol { address: self.address, reason }
+        HwError::I2cProtocol {
+            address: self.address,
+            reason,
+        }
     }
 }
 

@@ -32,7 +32,10 @@ pub struct Eeprom {
 impl Eeprom {
     /// A factory-fresh part: all cells erased to 0xFF, zero wear.
     pub fn new() -> Self {
-        Eeprom { data: [0xff; EEPROM_BYTES], wear: [0; EEPROM_BYTES] }
+        Eeprom {
+            data: [0xff; EEPROM_BYTES],
+            wear: [0; EEPROM_BYTES],
+        }
     }
 
     /// Reads one byte.
@@ -74,7 +77,10 @@ impl Eeprom {
     ///
     /// Panics if the range exceeds the part.
     pub fn write_slice(&mut self, addr: usize, bytes: &[u8]) -> SimDuration {
-        assert!(addr + bytes.len() <= EEPROM_BYTES, "eeprom write out of range");
+        assert!(
+            addr + bytes.len() <= EEPROM_BYTES,
+            "eeprom write out of range"
+        );
         let mut total = SimDuration::ZERO;
         for (i, &b) in bytes.iter().enumerate() {
             total += self.write(addr + i, b);

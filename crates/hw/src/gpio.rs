@@ -90,7 +90,13 @@ impl Button {
 
     /// Creates a released button with an explicit bounce window.
     pub fn with_bounce(id: ButtonId, bounce: SimDuration) -> Self {
-        Button { id, pressed: false, last_edge: SimInstant::BOOT, bounce, press_count: 0 }
+        Button {
+            id,
+            pressed: false,
+            last_edge: SimInstant::BOOT,
+            bounce,
+            press_count: 0,
+        }
     }
 
     /// Which physical button this is.
@@ -132,7 +138,11 @@ impl Button {
     /// state (active-low).
     pub fn level<R: Rng + ?Sized>(&self, now: SimInstant, rng: &mut R) -> PinLevel {
         let since_edge = now.saturating_since(self.last_edge);
-        let settled = if self.pressed { PinLevel::Low } else { PinLevel::High };
+        let settled = if self.pressed {
+            PinLevel::Low
+        } else {
+            PinLevel::High
+        };
         if since_edge < self.bounce && self.last_edge > SimInstant::BOOT {
             // Chatter biases towards the settled level as the window closes.
             let progress = since_edge.as_micros() as f64 / self.bounce.as_micros() as f64;

@@ -68,7 +68,10 @@ pub struct I2cBus {
 impl std::fmt::Debug for I2cBus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("I2cBus")
-            .field("devices", &self.devices.iter().map(|d| d.address()).collect::<Vec<_>>())
+            .field(
+                "devices",
+                &self.devices.iter().map(|d| d.address()).collect::<Vec<_>>(),
+            )
             .field("clock_hz", &self.clock_hz)
             .field("stats", &self.stats)
             .finish()
@@ -91,7 +94,11 @@ impl I2cBus {
     /// Panics if `clock_hz` is zero.
     pub fn with_clock(clock_hz: u32) -> Self {
         assert!(clock_hz > 0, "bus clock must be non-zero");
-        I2cBus { devices: Vec::new(), clock_hz, stats: I2cStats::default() }
+        I2cBus {
+            devices: Vec::new(),
+            clock_hz,
+            stats: I2cStats::default(),
+        }
     }
 
     /// Attaches a device.
@@ -176,7 +183,10 @@ impl I2cBus {
     /// Borrows an attached device for inspection (e.g. reading a display's
     /// framebuffer in a test or example).
     pub fn device(&self, address: u8) -> Option<&dyn I2cDevice> {
-        self.devices.iter().find(|d| d.address() == address).map(|b| b.as_ref())
+        self.devices
+            .iter()
+            .find(|d| d.address() == address)
+            .map(|b| b.as_ref())
     }
 
     /// Mutably borrows an attached device.
@@ -224,7 +234,10 @@ mod tests {
         }
         fn write(&mut self, bytes: &[u8]) -> Result<(), HwError> {
             if bytes.is_empty() {
-                return Err(HwError::I2cProtocol { address: self.addr, reason: "empty write" });
+                return Err(HwError::I2cProtocol {
+                    address: self.addr,
+                    reason: "empty write",
+                });
             }
             self.buf = bytes.to_vec();
             Ok(())
@@ -240,7 +253,10 @@ mod tests {
     #[test]
     fn write_then_read_round_trips() {
         let mut bus = I2cBus::new();
-        bus.attach(Box::new(Echo { addr: 0x3c, ..Echo::default() }));
+        bus.attach(Box::new(Echo {
+            addr: 0x3c,
+            ..Echo::default()
+        }));
         bus.write(0x3c, &[1, 2, 3]).unwrap();
         let mut out = [0u8; 3];
         bus.read(0x3c, &mut out).unwrap();
@@ -262,7 +278,10 @@ mod tests {
     #[test]
     fn device_protocol_errors_propagate() {
         let mut bus = I2cBus::new();
-        bus.attach(Box::new(Echo { addr: 0x10, ..Echo::default() }));
+        bus.attach(Box::new(Echo {
+            addr: 0x10,
+            ..Echo::default()
+        }));
         let err = bus.write(0x10, &[]).unwrap_err();
         assert!(matches!(err, HwError::I2cProtocol { address: 0x10, .. }));
     }
@@ -271,15 +290,27 @@ mod tests {
     #[should_panic(expected = "already attached")]
     fn duplicate_address_is_a_wiring_error() {
         let mut bus = I2cBus::new();
-        bus.attach(Box::new(Echo { addr: 0x3c, ..Echo::default() }));
-        bus.attach(Box::new(Echo { addr: 0x3c, ..Echo::default() }));
+        bus.attach(Box::new(Echo {
+            addr: 0x3c,
+            ..Echo::default()
+        }));
+        bus.attach(Box::new(Echo {
+            addr: 0x3c,
+            ..Echo::default()
+        }));
     }
 
     #[test]
     fn scan_lists_sorted_addresses() {
         let mut bus = I2cBus::new();
-        bus.attach(Box::new(Echo { addr: 0x3d, ..Echo::default() }));
-        bus.attach(Box::new(Echo { addr: 0x3c, ..Echo::default() }));
+        bus.attach(Box::new(Echo {
+            addr: 0x3d,
+            ..Echo::default()
+        }));
+        bus.attach(Box::new(Echo {
+            addr: 0x3c,
+            ..Echo::default()
+        }));
         assert_eq!(bus.scan(), vec![0x3c, 0x3d]);
     }
 
@@ -296,7 +327,10 @@ mod tests {
     #[test]
     fn device_accessors_find_by_address() {
         let mut bus = I2cBus::new();
-        bus.attach(Box::new(Echo { addr: 0x22, ..Echo::default() }));
+        bus.attach(Box::new(Echo {
+            addr: 0x22,
+            ..Echo::default()
+        }));
         assert!(bus.device(0x22).is_some());
         assert!(bus.device(0x23).is_none());
         assert!(bus.device_mut(0x22).is_some());

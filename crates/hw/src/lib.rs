@@ -104,16 +104,25 @@ impl std::fmt::Display for HwError {
                 write!(f, "no acknowledge from i2c address {address:#04x}")
             }
             HwError::I2cProtocol { address, reason } => {
-                write!(f, "i2c device {address:#04x} rejected transaction: {reason}")
+                write!(
+                    f,
+                    "i2c device {address:#04x} rejected transaction: {reason}"
+                )
             }
             HwError::AdcBadChannel { channel } => {
                 write!(f, "adc channel {channel} is not wired")
             }
             HwError::BrownOut { volts } => {
-                write!(f, "supply voltage {volts:.2} V is below brown-out threshold")
+                write!(
+                    f,
+                    "supply voltage {volts:.2} V is below brown-out threshold"
+                )
             }
             HwError::LinkCrc { expected, actual } => {
-                write!(f, "link crc mismatch: frame says {expected:#06x}, computed {actual:#06x}")
+                write!(
+                    f,
+                    "link crc mismatch: frame says {expected:#06x}, computed {actual:#06x}"
+                )
             }
             HwError::LinkFraming { reason } => write!(f, "link framing error: {reason}"),
             HwError::WatchdogReset => write!(f, "watchdog timer expired"),
@@ -131,11 +140,19 @@ mod tests {
     fn errors_display_lowercase_without_trailing_period() {
         let errors = [
             HwError::I2cNoAck { address: 0x3c },
-            HwError::I2cProtocol { address: 0x3c, reason: "unknown command" },
+            HwError::I2cProtocol {
+                address: 0x3c,
+                reason: "unknown command",
+            },
             HwError::AdcBadChannel { channel: 9 },
             HwError::BrownOut { volts: 3.1 },
-            HwError::LinkCrc { expected: 1, actual: 2 },
-            HwError::LinkFraming { reason: "short frame" },
+            HwError::LinkCrc {
+                expected: 1,
+                actual: 2,
+            },
+            HwError::LinkFraming {
+                reason: "short frame",
+            },
             HwError::WatchdogReset,
         ];
         for e in errors {

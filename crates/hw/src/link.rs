@@ -33,7 +33,11 @@ pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
     for &b in bytes {
         crc ^= u16::from(b) << 8;
         for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
         }
     }
     crc
@@ -46,7 +50,10 @@ pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
 /// Panics if the payload exceeds [`MAX_PAYLOAD`] bytes; split longer
 /// telemetry across frames instead.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() <= MAX_PAYLOAD, "payload too long for one frame");
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "payload too long for one frame"
+    );
     let mut frame = Vec::with_capacity(payload.len() + 5);
     frame.push(SYNC1);
     frame.push(SYNC2);
@@ -124,14 +131,22 @@ impl FrameDecoder {
                 } else {
                     // Could be the start of a real sync: 0xAA 0xAA 0x55.
                     self.bytes_skipped += 1;
-                    self.state = if byte == SYNC1 { DecoderState::Sync2 } else { DecoderState::Sync1 };
+                    self.state = if byte == SYNC1 {
+                        DecoderState::Sync2
+                    } else {
+                        DecoderState::Sync1
+                    };
                 }
                 None
             }
             DecoderState::Len => {
                 self.expect_len = usize::from(byte);
                 self.payload.clear();
-                self.state = if self.expect_len == 0 { DecoderState::CrcHi } else { DecoderState::Payload };
+                self.state = if self.expect_len == 0 {
+                    DecoderState::CrcHi
+                } else {
+                    DecoderState::Payload
+                };
                 None
             }
             DecoderState::Payload => {
@@ -204,9 +219,19 @@ impl RadioChannel {
     ///
     /// Panics if either probability is outside `0.0..=1.0`.
     pub fn lossy(drop_probability: f64, bit_error_rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&drop_probability), "drop probability out of range");
-        assert!((0.0..=1.0).contains(&bit_error_rate), "bit error rate out of range");
-        RadioChannel { drop_probability, bit_error_rate, ..RadioChannel::clean() }
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&bit_error_rate),
+            "bit error rate out of range"
+        );
+        RadioChannel {
+            drop_probability,
+            bit_error_rate,
+            ..RadioChannel::clean()
+        }
     }
 
     /// Time on air for `len` bytes (10 bits per byte with start/stop).
@@ -378,7 +403,10 @@ mod tests {
             }
         }
         assert!(delivered_ok > 0, "some frames should survive");
-        assert!(dec.frames_bad() > 0, "some frames should fail crc at 0.2 % ber");
+        assert!(
+            dec.frames_bad() > 0,
+            "some frames should fail crc at 0.2 % ber"
+        );
     }
 
     #[test]

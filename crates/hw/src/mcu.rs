@@ -55,7 +55,10 @@ impl MemoryMap {
         if self.used() + bytes > RAM_BYTES {
             return false;
         }
-        self.regions.push(RamRegion { name: name.to_string(), bytes });
+        self.regions.push(RamRegion {
+            name: name.to_string(),
+            bytes,
+        });
         true
     }
 
@@ -87,7 +90,12 @@ pub struct Watchdog {
 impl Watchdog {
     /// A watchdog with the given timeout, initially fed at boot.
     pub fn new(timeout: SimDuration) -> Self {
-        Watchdog { timeout, last_fed: SimInstant::BOOT, enabled: true, resets: 0 }
+        Watchdog {
+            timeout,
+            last_fed: SimInstant::BOOT,
+            enabled: true,
+            resets: 0,
+        }
     }
 
     /// Feeds (clears) the watchdog.
@@ -161,7 +169,11 @@ impl TaskSet {
     /// Panics if the period is zero.
     pub fn register(&mut self, name: &str, period_us: u64, wcet_cycles: u64) {
         assert!(period_us > 0, "task period must be positive");
-        self.tasks.push(Task { name: name.to_string(), period_us, wcet_cycles });
+        self.tasks.push(Task {
+            name: name.to_string(),
+            period_us,
+            wcet_cycles,
+        });
     }
 
     /// The registered tasks.
@@ -355,7 +367,11 @@ mod tests {
         ts.register("sample distance", 10_000, 420);
         ts.register("redraw display", 100_000, 9_000);
         ts.register("telemetry", 100_000, 1_000);
-        assert!(ts.total_utilization() < 0.2, "u = {}", ts.total_utilization());
+        assert!(
+            ts.total_utilization() < 0.2,
+            "u = {}",
+            ts.total_utilization()
+        );
         assert!(ts.is_schedulable());
     }
 

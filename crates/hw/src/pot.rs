@@ -22,8 +22,15 @@ impl Potentiometer {
     /// A pot at mid-travel on a 5 V supply with a realistic wiper noise of
     /// a few millivolts.
     pub fn new(supply: f64) -> Self {
-        assert!(supply.is_finite() && supply > 0.0, "supply must be positive");
-        Potentiometer { position: 0.5, supply, wiper_noise_v: 0.003 }
+        assert!(
+            supply.is_finite() && supply > 0.0,
+            "supply must be positive"
+        );
+        Potentiometer {
+            position: 0.5,
+            supply,
+            wiper_noise_v: 0.003,
+        }
     }
 
     /// Current mechanical position, `0.0..=1.0`.
@@ -33,7 +40,11 @@ impl Potentiometer {
 
     /// Turns the pot to `position`, clamping into `0.0..=1.0`.
     pub fn set_position(&mut self, position: f64) {
-        self.position = if position.is_finite() { position.clamp(0.0, 1.0) } else { 0.5 };
+        self.position = if position.is_finite() {
+            position.clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
     }
 
     /// Noiseless wiper voltage.

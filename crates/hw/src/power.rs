@@ -38,7 +38,12 @@ pub struct LoadProfile {
 impl LoadProfile {
     /// Representative DistScroll board load.
     pub fn distscroll() -> Self {
-        LoadProfile { mcu_ma: 6.0, sensor_ma: 33.0, display_ma_per_kpixel: 1.2, radio_tx_ma: 12.0 }
+        LoadProfile {
+            mcu_ma: 6.0,
+            sensor_ma: 33.0,
+            display_ma_per_kpixel: 1.2,
+            radio_tx_ma: 12.0,
+        }
     }
 
     /// Total draw given the number of lit display pixels and whether the
@@ -80,8 +85,15 @@ impl Battery {
     ///
     /// Panics if `capacity_mah` is not positive and finite.
     pub fn with_capacity(capacity_mah: f64) -> Self {
-        assert!(capacity_mah.is_finite() && capacity_mah > 0.0, "capacity must be positive");
-        Battery { capacity_mah, consumed_mah: 0.0, internal_ohm: 1.7 }
+        assert!(
+            capacity_mah.is_finite() && capacity_mah > 0.0,
+            "capacity must be positive"
+        );
+        Battery {
+            capacity_mah,
+            consumed_mah: 0.0,
+            internal_ohm: 1.7,
+        }
     }
 
     /// Remaining state of charge, `0.0..=1.0`.
@@ -117,7 +129,10 @@ impl Battery {
 
     /// Integrates a constant load over `dt`, consuming charge.
     pub fn drain(&mut self, load_ma: f64, dt: SimDuration) {
-        assert!(load_ma.is_finite() && load_ma >= 0.0, "load must be non-negative");
+        assert!(
+            load_ma.is_finite() && load_ma >= 0.0,
+            "load must be non-negative"
+        );
         self.consumed_mah += load_ma * dt.as_secs_f64() / 3600.0;
     }
 
@@ -182,7 +197,10 @@ mod tests {
         let runtime = b.runtime_until_brownout(load);
         let hours = runtime.as_secs_f64() / 3600.0;
         assert!(hours > 4.0, "runtime {hours:.1} h too short");
-        assert!(hours < 24.0, "runtime {hours:.1} h implausibly long for a 9 V block");
+        assert!(
+            hours < 24.0,
+            "runtime {hours:.1} h implausibly long for a 9 V block"
+        );
     }
 
     #[test]

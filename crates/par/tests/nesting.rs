@@ -1,0 +1,57 @@
+//! The nesting guard: a fan-out inside a fan-out must borrow tokens
+//! from the same global budget, never multiply threads.
+//!
+//! This file holds a single test so no sibling test can inflate the
+//! process-wide live-thread watermark it asserts on. It runs with
+//! `DISTSCROLL_PAR_OVERSUBSCRIBE=1` so the budget is honored literally
+//! even on single-core CI machines — otherwise the core-count clamp
+//! would make the assertion vacuous there.
+
+use distscroll_par::{par_map, pool_stats, reset_pool_stats};
+
+#[test]
+fn nested_par_map_never_exceeds_the_token_budget() {
+    std::env::set_var("DISTSCROLL_PAR_OVERSUBSCRIBE", "1");
+    const BUDGET: usize = 4;
+
+    let outer: Vec<u64> = (0..2 * BUDGET as u64).collect();
+    let expected: Vec<Vec<u64>> = outer
+        .iter()
+        .map(|&o| (0..6u64).map(|i| o * 100 + i * i).collect())
+        .collect();
+
+    reset_pool_stats();
+    let nested: Vec<Vec<u64>> = par_map(BUDGET, &outer, |_, &o| {
+        let inner: Vec<u64> = (0..6).collect();
+        par_map(BUDGET, &inner, |_, &i| {
+            // Enough work that outer tasks genuinely overlap.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            o * 100 + i * i
+        })
+    });
+    let stats = pool_stats();
+
+    assert_eq!(nested, expected, "nesting must not perturb results");
+    assert!(
+        stats.peak_live <= BUDGET,
+        "peak live worker threads ({}) exceeded the --jobs budget ({BUDGET}); \
+         the inner fan-out must borrow tokens, not spawn threads",
+        stats.peak_live
+    );
+    assert!(
+        stats.peak_live >= 2,
+        "expected the outer fan-out to actually go parallel under the \
+         oversubscribe override (peak_live = {})",
+        stats.peak_live
+    );
+    assert!(
+        stats.workers_spawned < BUDGET,
+        "the pool spawned {} helpers for a budget of {BUDGET}; the submitting \
+         caller is one of the tokens",
+        stats.workers_spawned
+    );
+    assert_eq!(
+        stats.tasks_executed,
+        stats.inline_claims + stats.helper_steals
+    );
+}

@@ -1,0 +1,85 @@
+//! Edge cases of the pool-backed `par_map`, exercised with real helper
+//! threads: `DISTSCROLL_PAR_OVERSUBSCRIBE=1` lifts the core-count clamp
+//! so these paths go through helper hand-off even on one-core machines
+//! (the in-crate unit tests cover the clamped/serial paths).
+
+use distscroll_par::{granted_tokens, par_map, par_map_ctx};
+
+fn oversubscribe() {
+    std::env::set_var("DISTSCROLL_PAR_OVERSUBSCRIBE", "1");
+}
+
+#[test]
+fn empty_input_returns_empty_without_touching_the_pool() {
+    oversubscribe();
+    let empty: Vec<u32> = Vec::new();
+    assert!(par_map(8, &empty, |_, &x| x).is_empty());
+}
+
+#[test]
+fn single_item_runs_inline() {
+    oversubscribe();
+    assert_eq!(par_map(8, &[41u8], |i, &x| x + 1 + i as u8), vec![42]);
+}
+
+#[test]
+fn more_jobs_than_items_still_computes_every_item_once() {
+    oversubscribe();
+    let items: Vec<usize> = (0..3).collect();
+    assert_eq!(par_map(64, &items, |i, &x| i * 10 + x), vec![0, 11, 22]);
+}
+
+#[test]
+fn panic_payload_survives_the_helper_handoff() {
+    oversubscribe();
+    let items: Vec<u32> = (0..32).collect();
+    let result = std::panic::catch_unwind(|| {
+        par_map(4, &items, |_, &x| {
+            if x == 17 {
+                panic!("pool boom {x}");
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x
+        })
+    });
+    let payload = result.expect_err("panic must propagate through the pool");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("payload type must be preserved");
+    assert_eq!(message, "pool boom 17");
+}
+
+#[test]
+fn ctx_chunking_matches_serial_under_real_threads() {
+    oversubscribe();
+    let items: Vec<u64> = (0..50).collect();
+    let serial = par_map_ctx(
+        1,
+        &items,
+        || 0u64,
+        |acc, _, &x| {
+            *acc += x; // per-chunk running state must not leak into results
+            x * 3
+        },
+    );
+    for jobs in [2, 4, 8] {
+        let parallel = par_map_ctx(
+            jobs,
+            &items,
+            || 0u64,
+            |acc, _, &x| {
+                *acc += x;
+                x * 3
+            },
+        );
+        assert_eq!(serial, parallel, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn oversubscribe_override_lifts_the_core_clamp() {
+    oversubscribe();
+    assert_eq!(granted_tokens(64), 64);
+}

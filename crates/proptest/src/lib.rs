@@ -34,7 +34,11 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0, max_global_rejects: 1024 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
     }
 }
 
@@ -133,9 +137,9 @@ impl Strategy for &str {
                     }
                     set
                 }
-                '\\' => vec![chars.next().unwrap_or_else(|| {
-                    panic!("dangling escape in pattern {self:?}")
-                })],
+                '\\' => vec![chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {self:?}"))],
                 '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
                     panic!("unsupported regex feature {c:?} in pattern {self:?}")
                 }
@@ -147,19 +151,28 @@ impl Strategy for &str {
                 let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
                 match spec.split_once(',') {
                     Some((a, b)) => (
-                        a.trim().parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
-                        b.trim().parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
+                        a.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
+                        b.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
                     ),
                     None => {
-                        let n: usize =
-                            spec.trim().parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}"));
+                        let n: usize = spec
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat {spec:?}"));
                         (n, n)
                     }
                 }
             } else {
                 (1, 1)
             };
-            assert!(!alphabet.is_empty(), "empty character class in pattern {self:?}");
+            assert!(
+                !alphabet.is_empty(),
+                "empty character class in pattern {self:?}"
+            );
             let reps = rng.gen_range(lo..=hi);
             for _ in 0..reps {
                 out.push(alphabet[rng.gen_range(0..alphabet.len())]);
@@ -235,7 +248,7 @@ tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
 
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
@@ -249,20 +262,29 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
@@ -276,7 +298,10 @@ pub mod collection {
     /// A strategy for vectors whose elements come from `element` and
     /// whose length comes from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -465,7 +490,10 @@ mod tests {
         let s = collection::vec(any::<u64>(), 3..6);
         let mut a = crate::seed_rng_for("x");
         let mut b = crate::seed_rng_for("x");
-        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl Orientation {
 
     /// Construct from degrees, the unit tilt-interaction papers use.
     pub fn from_degrees(pitch_deg: f64, roll_deg: f64) -> Self {
-        Orientation { pitch_rad: pitch_deg.to_radians(), roll_rad: roll_deg.to_radians() }
+        Orientation {
+            pitch_rad: pitch_deg.to_radians(),
+            roll_rad: roll_deg.to_radians(),
+        }
     }
 
     /// Static acceleration on the X axis in g (gravity projection).
@@ -76,12 +79,20 @@ impl Adxl311 {
     /// A typical part: 2 mg rms noise in the useful bandwidth, small
     /// factory zero-g offsets.
     pub fn typical() -> Self {
-        Adxl311 { noise_sd_g: 0.002, offset_x_g: 0.01, offset_y_g: -0.008 }
+        Adxl311 {
+            noise_sd_g: 0.002,
+            offset_x_g: 0.01,
+            offset_y_g: -0.008,
+        }
     }
 
     /// A perfect part for deterministic tests.
     pub fn ideal() -> Self {
-        Adxl311 { noise_sd_g: 0.0, offset_x_g: 0.0, offset_y_g: 0.0 }
+        Adxl311 {
+            noise_sd_g: 0.0,
+            offset_x_g: 0.0,
+            offset_y_g: 0.0,
+        }
     }
 
     /// X-axis output voltage for an orientation (plus dynamic
@@ -152,7 +163,10 @@ mod tests {
             let o = Orientation::from_degrees(deg, 0.0);
             let v = a.y_volts(&o, 0.0, &mut rng);
             let back = Adxl311::volts_to_angle_rad(v).to_degrees();
-            assert!((back - deg).abs() < 0.01, "round trip {deg}° gave {back:.3}°");
+            assert!(
+                (back - deg).abs() < 0.01,
+                "round trip {deg}° gave {back:.3}°"
+            );
         }
     }
 
@@ -170,7 +184,9 @@ mod tests {
         let a = Adxl311::typical();
         let mut rng = StdRng::seed_from_u64(1);
         let o = Orientation::flat();
-        let xs: Vec<f64> = (0..5000).map(|_| Adxl311::volts_to_g(a.x_volts(&o, 0.0, &mut rng))).collect();
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| Adxl311::volts_to_g(a.x_volts(&o, 0.0, &mut rng)))
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((mean - 0.01).abs() < 0.001, "zero-g offset visible: {mean}");
         let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();

@@ -54,7 +54,9 @@ impl std::fmt::Display for FitError {
             FitError::TooFewPoints { got, need } => {
                 write!(f, "fit needs at least {need} points, got {got}")
             }
-            FitError::BadValue => write!(f, "fit input contains a non-finite or non-positive value"),
+            FitError::BadValue => {
+                write!(f, "fit input contains a non-finite or non-positive value")
+            }
             FitError::Degenerate => write!(f, "fit input is degenerate: all x values identical"),
         }
     }
@@ -100,7 +102,12 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
         sse += e * e;
     }
     let r2 = if syy == 0.0 { 1.0 } else { 1.0 - sse / syy };
-    Ok(LinearFit { slope, intercept, r2, rmse: (sse / nf).sqrt() })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r2,
+        rmse: (sse / nf).sqrt(),
+    })
 }
 
 /// The fitted idealized curve `V(d) = a/(d + d0) + c` of Figure 4.
@@ -148,9 +155,15 @@ impl InverseCurveFit {
 /// if any distance is non-positive or any value non-finite.
 pub fn fit_inverse_curve(points: &[(f64, f64)]) -> Result<InverseCurveFit, FitError> {
     if points.len() < 4 {
-        return Err(FitError::TooFewPoints { got: points.len(), need: 4 });
+        return Err(FitError::TooFewPoints {
+            got: points.len(),
+            need: 4,
+        });
     }
-    if points.iter().any(|&(d, v)| !d.is_finite() || !v.is_finite() || d <= 0.0) {
+    if points
+        .iter()
+        .any(|&(d, v)| !d.is_finite() || !v.is_finite() || d <= 0.0)
+    {
         return Err(FitError::BadValue);
     }
 
@@ -159,7 +172,15 @@ pub fn fit_inverse_curve(points: &[(f64, f64)]) -> Result<InverseCurveFit, FitEr
         let ys: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
         match linear_fit(&xs, &ys) {
             Ok(fit) => (fit.rmse, fit),
-            Err(_) => (f64::INFINITY, LinearFit { slope: 0.0, intercept: 0.0, r2: 0.0, rmse: f64::INFINITY }),
+            Err(_) => (
+                f64::INFINITY,
+                LinearFit {
+                    slope: 0.0,
+                    intercept: 0.0,
+                    r2: 0.0,
+                    rmse: f64::INFINITY,
+                },
+            ),
         }
     };
 
@@ -187,7 +208,13 @@ pub fn fit_inverse_curve(points: &[(f64, f64)]) -> Result<InverseCurveFit, FitEr
     }
     let d0 = 0.5 * (lo + hi);
     let (_, inner) = sse_for(d0);
-    Ok(InverseCurveFit { a: inner.slope, d0, c: inner.intercept, r2: inner.r2, rmse: inner.rmse })
+    Ok(InverseCurveFit {
+        a: inner.slope,
+        d0,
+        c: inner.intercept,
+        r2: inner.r2,
+        rmse: inner.rmse,
+    })
 }
 
 /// The Figure 5 view: power-law fit `ln V = slope·ln d + intercept`.
@@ -236,9 +263,18 @@ mod tests {
 
     #[test]
     fn linear_fit_rejects_degenerate_input() {
-        assert_eq!(linear_fit(&[1.0], &[2.0]), Err(FitError::TooFewPoints { got: 1, need: 2 }));
-        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]), Err(FitError::Degenerate));
-        assert_eq!(linear_fit(&[f64::NAN, 1.0], &[1.0, 2.0]), Err(FitError::BadValue));
+        assert_eq!(
+            linear_fit(&[1.0], &[2.0]),
+            Err(FitError::TooFewPoints { got: 1, need: 2 })
+        );
+        assert_eq!(
+            linear_fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(FitError::Degenerate)
+        );
+        assert_eq!(
+            linear_fit(&[f64::NAN, 1.0], &[1.0, 2.0]),
+            Err(FitError::BadValue)
+        );
     }
 
     #[test]
@@ -270,7 +306,10 @@ mod tests {
         for d in [4.0, 10.0, 17.0, 25.0, 30.0] {
             let v = fit.voltage_at(d);
             let back = fit.distance_at(v).unwrap();
-            assert!((back - d).abs() < 0.05, "round trip at {d} cm gave {back} cm");
+            assert!(
+                (back - d).abs() < 0.05,
+                "round trip at {d} cm gave {back} cm"
+            );
         }
         assert_eq!(fit.distance_at(0.0), None);
         assert_eq!(fit.distance_at(f64::NAN), None);
@@ -281,14 +320,24 @@ mod tests {
         // Figure 5's observation: on log axes the points lie on a line of
         // slope ≈ −1 (1/d law). The +c offset bends it slightly.
         let fit = fit_loglog(&synthetic_points()).unwrap();
-        assert!((-1.15..=-0.85).contains(&fit.slope), "slope = {}", fit.slope);
+        assert!(
+            (-1.15..=-0.85).contains(&fit.slope),
+            "slope = {}",
+            fit.slope
+        );
         assert!(fit.r2 > 0.99, "r2 = {}", fit.r2);
     }
 
     #[test]
     fn loglog_rejects_nonpositive_coordinates() {
-        assert_eq!(fit_loglog(&[(0.0, 1.0), (1.0, 1.0)]), Err(FitError::BadValue));
-        assert_eq!(fit_loglog(&[(1.0, -1.0), (2.0, 1.0)]), Err(FitError::BadValue));
+        assert_eq!(
+            fit_loglog(&[(0.0, 1.0), (1.0, 1.0)]),
+            Err(FitError::BadValue)
+        );
+        assert_eq!(
+            fit_loglog(&[(1.0, -1.0), (2.0, 1.0)]),
+            Err(FitError::BadValue)
+        );
     }
 
     #[test]
@@ -298,7 +347,10 @@ mod tests {
         while d <= 30.0 {
             let model = gp2d120::ideal_voltage(d);
             let fitted = fit.voltage_at(d);
-            assert!((model - fitted).abs() < 0.01, "at {d} cm: model {model} vs fit {fitted}");
+            assert!(
+                (model - fitted).abs() < 0.01,
+                "at {d} cm: model {model} vs fit {fitted}"
+            );
             d += 0.5;
         }
     }
@@ -306,6 +358,9 @@ mod tests {
     #[test]
     fn too_few_points_is_reported() {
         let pts = [(4.0, 2.2), (10.0, 1.0), (20.0, 0.5)];
-        assert_eq!(fit_inverse_curve(&pts), Err(FitError::TooFewPoints { got: 3, need: 4 }));
+        assert_eq!(
+            fit_inverse_curve(&pts),
+            Err(FitError::TooFewPoints { got: 3, need: 4 })
+        );
     }
 }

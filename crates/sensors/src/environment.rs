@@ -138,13 +138,21 @@ impl Scene {
     /// The paper's lab setup: indoor light, a gray fleece, device held at
     /// a comfortable 17 cm (the middle of the 4–30 cm usable range).
     pub fn lab() -> Self {
-        Scene { distance_cm: 17.0, surface: Surface::GrayFleece, ambient: AmbientLight::Indoor }
+        Scene {
+            distance_cm: 17.0,
+            surface: Surface::GrayFleece,
+            ambient: AmbientLight::Indoor,
+        }
     }
 
     /// Sets the true distance, clamping to physical limits (the hand
     /// cannot be behind the torso nor further than an arm's reach).
     pub fn set_distance(&mut self, cm: f64) {
-        self.distance_cm = if cm.is_finite() { cm.clamp(0.0, 80.0) } else { self.distance_cm };
+        self.distance_cm = if cm.is_finite() {
+            cm.clamp(0.0, 80.0)
+        } else {
+            self.distance_cm
+        };
     }
 }
 
@@ -170,8 +178,10 @@ mod tests {
 
     #[test]
     fn only_hi_vis_is_specular_banded() {
-        let banded: Vec<Surface> =
-            Surface::ALL.into_iter().filter(|s| s.is_specular_banded()).collect();
+        let banded: Vec<Surface> = Surface::ALL
+            .into_iter()
+            .filter(|s| s.is_specular_banded())
+            .collect();
         assert_eq!(banded, vec![Surface::HiVisVest]);
     }
 

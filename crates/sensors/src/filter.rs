@@ -34,8 +34,14 @@ impl MedianFilter {
     /// Panics if `len` is even, zero, or greater than 15.
     pub fn new(len: usize) -> Self {
         assert!(len % 2 == 1, "median window must be odd");
-        assert!((1..=15).contains(&len), "median window must fit embedded ram");
-        MedianFilter { window: VecDeque::with_capacity(len), len }
+        assert!(
+            (1..=15).contains(&len),
+            "median window must fit embedded ram"
+        );
+        MedianFilter {
+            window: VecDeque::with_capacity(len),
+            len,
+        }
     }
 
     /// Pushes a sample and returns the current median.
@@ -128,7 +134,11 @@ impl Debouncer {
     /// Panics if `threshold` is zero.
     pub fn new(threshold: u8) -> Self {
         assert!(threshold > 0, "threshold must be positive");
-        Debouncer { counter: 0, threshold, state: false }
+        Debouncer {
+            counter: 0,
+            threshold,
+            state: false,
+        }
     }
 
     /// Pushes a raw sample (`true` = active); returns the debounced state.
@@ -184,7 +194,12 @@ impl SlewGate {
     pub fn new(max_step: f64, give_up: u8) -> Self {
         assert!(max_step > 0.0, "max step must be positive");
         assert!(give_up > 0, "give-up count must be positive");
-        SlewGate { max_step, give_up, rejected: 0, state: None }
+        SlewGate {
+            max_step,
+            give_up,
+            rejected: 0,
+            state: None,
+        }
     }
 
     /// Pushes a sample; returns the gated value.
@@ -239,7 +254,11 @@ impl Hysteresis {
     /// Panics if `low >= high`.
     pub fn new(low: f64, high: f64) -> Self {
         assert!(low < high, "low threshold must be below high");
-        Hysteresis { low, high, state: false }
+        Hysteresis {
+            low,
+            high,
+            state: false,
+        }
     }
 
     /// Pushes a sample; returns the comparator output.

@@ -84,7 +84,10 @@ impl Gp2d120 {
     ///
     /// Panics if `noise_sd_v` is negative or not finite.
     pub fn with_noise(noise_sd_v: f64) -> Self {
-        assert!(noise_sd_v.is_finite() && noise_sd_v >= 0.0, "noise must be non-negative");
+        assert!(
+            noise_sd_v.is_finite() && noise_sd_v >= 0.0,
+            "noise must be non-negative"
+        );
         Gp2d120 {
             noise_sd_v,
             drift: RandomWalk::new(0.02, 0.0005, 0.02),
@@ -153,9 +156,7 @@ impl Gp2d120 {
             return wild;
         }
 
-        let noise_sd = self.noise_sd_v
-            * scene.ambient.noise_factor()
-            * (1.0 + 0.6 * (1.0 - refl));
+        let noise_sd = self.noise_sd_v * scene.ambient.noise_factor() * (1.0 + 0.6 * (1.0 - refl));
         // Part-to-part gain acts on the signal above the floor; the
         // offset shifts everything.
         v = FLOOR_V + (v - FLOOR_V) * self.gain + self.offset_v;
@@ -230,7 +231,16 @@ pub fn ideal_distance(volts: f64) -> f64 {
 /// Datasheet-style anchor points (distance cm, typical output volts) used
 /// to validate the model against the published part.
 pub fn datasheet_anchors() -> Vec<(f64, f64)> {
-    vec![(4.0, 2.25), (6.0, 1.55), (8.0, 1.20), (10.0, 0.98), (15.0, 0.68), (20.0, 0.53), (25.0, 0.44), (30.0, 0.38)]
+    vec![
+        (4.0, 2.25),
+        (6.0, 1.55),
+        (8.0, 1.20),
+        (10.0, 0.98),
+        (15.0, 0.68),
+        (20.0, 0.53),
+        (25.0, 0.44),
+        (30.0, 0.38),
+    ]
 }
 
 #[cfg(test)]
@@ -245,7 +255,10 @@ mod tests {
         for (d, v_typ) in datasheet_anchors() {
             let v = ideal_voltage(d);
             let tol = 0.06 + 0.06 * v_typ; // a few percent plus a fixed band
-            assert!((v - v_typ).abs() < tol, "at {d} cm: model {v:.3} V vs datasheet {v_typ} V");
+            assert!(
+                (v - v_typ).abs() < tol,
+                "at {d} cm: model {v:.3} V vs datasheet {v_typ} V"
+            );
         }
     }
 
@@ -266,7 +279,10 @@ mod tests {
         let peak = ideal_voltage(PEAK_CM);
         assert!(peak > ideal_voltage(1.0), "rising branch below the peak");
         assert!(peak > ideal_voltage(5.0), "falling branch above the peak");
-        assert!(ideal_voltage(0.0) < ideal_voltage(2.0), "fold-back rises towards the peak");
+        assert!(
+            ideal_voltage(0.0) < ideal_voltage(2.0),
+            "fold-back rises towards the peak"
+        );
     }
 
     #[test]
@@ -283,7 +299,10 @@ mod tests {
         while d <= MAX_VALID_CM {
             let v = ideal_voltage(d);
             let back = ideal_distance(v);
-            assert!((back - d).abs() < 0.01, "round trip at {d} cm gave {back} cm");
+            assert!(
+                (back - d).abs() < 0.01,
+                "round trip at {d} cm gave {back} cm"
+            );
             d += 0.25;
         }
     }
@@ -310,7 +329,11 @@ mod tests {
             let vw = s.measure(&white, &mut rng);
             let vd = s.measure(&dark, &mut rng);
             let rel = (vw - vd).abs() / vw;
-            assert!(rel < 0.05, "at {d} cm reflectance shifted output by {:.1} %", rel * 100.0);
+            assert!(
+                rel < 0.05,
+                "at {d} cm reflectance shifted output by {:.1} %",
+                rel * 100.0
+            );
         }
     }
 
@@ -324,7 +347,10 @@ mod tests {
         let v_dark = s.measure(&scene, &mut rng);
         scene.surface = Surface::WhiteCotton;
         let v_white = s.measure(&scene, &mut rng);
-        assert!(v_dark < v_white, "dark surface collapses towards the floor at max range");
+        assert!(
+            v_dark < v_white,
+            "dark surface collapses towards the floor at max range"
+        );
     }
 
     #[test]
@@ -340,7 +366,10 @@ mod tests {
         };
         let indoor = sd(AmbientLight::Indoor, &mut s, &mut rng);
         let sun = sd(AmbientLight::Sunlight, &mut s, &mut rng);
-        assert!(sun > 1.5 * indoor, "sunlight sd {sun:.4} vs indoor {indoor:.4}");
+        assert!(
+            sun > 1.5 * indoor,
+            "sunlight sd {sun:.4} vs indoor {indoor:.4}"
+        );
     }
 
     #[test]

@@ -52,10 +52,24 @@ impl RandomWalk {
     /// Panics if `reversion` is outside `0.0..=1.0`, or `sigma`/`bound`
     /// are negative or non-finite.
     pub fn new(reversion: f64, sigma: f64, bound: f64) -> Self {
-        assert!((0.0..=1.0).contains(&reversion), "reversion must be a rate in 0..=1");
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
-        assert!(bound.is_finite() && bound >= 0.0, "bound must be non-negative");
-        RandomWalk { state: 0.0, reversion, sigma, bound }
+        assert!(
+            (0.0..=1.0).contains(&reversion),
+            "reversion must be a rate in 0..=1"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
+        assert!(
+            bound.is_finite() && bound >= 0.0,
+            "bound must be non-negative"
+        );
+        RandomWalk {
+            state: 0.0,
+            reversion,
+            sigma,
+            bound,
+        }
     }
 
     /// The current drift value.
@@ -85,7 +99,11 @@ pub struct Periodic {
 impl Periodic {
     /// A sinusoid with zero phase.
     pub fn new(amplitude: f64, hz: f64) -> Self {
-        Periodic { amplitude, hz, phase: 0.0 }
+        Periodic {
+            amplitude,
+            hz,
+            phase: 0.0,
+        }
     }
 
     /// The value at time `t` seconds.
@@ -126,7 +144,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut w = RandomWalk::new(0.05, 0.1, 10.0);
         let mean: f64 = (0..50_000).map(|_| w.step(&mut rng)).sum::<f64>() / 50_000.0;
-        assert!(mean.abs() < 0.15, "long-run mean {mean} should be near zero");
+        assert!(
+            mean.abs() < 0.15,
+            "long-run mean {mean} should be near zero"
+        );
     }
 
     #[test]

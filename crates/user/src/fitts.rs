@@ -24,7 +24,10 @@ pub struct FittsParams {
 impl FittsParams {
     /// Values representative of published scrolling studies.
     pub fn typical() -> Self {
-        FittsParams { a_s: 0.30, b_s_per_bit: 0.18 }
+        FittsParams {
+            a_s: 0.30,
+            b_s_per_bit: 0.18,
+        }
     }
 
     /// Movement time for amplitude `d` onto a target of width `w` (same
@@ -59,7 +62,11 @@ mod tests {
         assert_eq!(index_of_difficulty(0.0, 1.0), 0.0);
         assert_eq!(index_of_difficulty(1.0, 1.0), 1.0);
         assert_eq!(index_of_difficulty(3.0, 1.0), 2.0);
-        assert_eq!(index_of_difficulty(-3.0, 1.0), 2.0, "amplitude sign is irrelevant");
+        assert_eq!(
+            index_of_difficulty(-3.0, 1.0),
+            2.0,
+            "amplitude sign is irrelevant"
+        );
     }
 
     #[test]
@@ -71,13 +78,19 @@ mod tests {
 
     #[test]
     fn zero_distance_costs_the_intercept() {
-        let p = FittsParams { a_s: 0.25, b_s_per_bit: 0.2 };
+        let p = FittsParams {
+            a_s: 0.25,
+            b_s_per_bit: 0.2,
+        };
         assert_eq!(p.movement_time_s(0.0, 1.0), 0.25);
     }
 
     #[test]
     fn doubling_relative_distance_adds_roughly_one_bit() {
-        let p = FittsParams { a_s: 0.0, b_s_per_bit: 1.0 };
+        let p = FittsParams {
+            a_s: 0.0,
+            b_s_per_bit: 1.0,
+        };
         // At large D/W, doubling D adds ~1 bit.
         let t1 = p.movement_time_s(64.0, 1.0);
         let t2 = p.movement_time_s(128.0, 1.0);

@@ -30,12 +30,20 @@ impl PracticeCurve {
     /// A typical novice: first trials cost ~2.2× the practiced time,
     /// α = 0.4.
     pub fn typical() -> Self {
-        PracticeCurve { initial_factor: 2.2, asymptote: 1.0, alpha: 0.4 }
+        PracticeCurve {
+            initial_factor: 2.2,
+            asymptote: 1.0,
+            alpha: 0.4,
+        }
     }
 
     /// No learning effect (already-practiced experts).
     pub fn flat() -> Self {
-        PracticeCurve { initial_factor: 1.0, asymptote: 1.0, alpha: 0.4 }
+        PracticeCurve {
+            initial_factor: 1.0,
+            asymptote: 1.0,
+            alpha: 0.4,
+        }
     }
 
     /// The multiplier for trial `n` (1-based; 0 is treated as 1).

@@ -41,7 +41,12 @@ impl Reach {
     /// Panics if `duration_s` is not positive.
     pub fn new(from: f64, to: f64, start_s: f64, duration_s: f64) -> Self {
         assert!(duration_s > 0.0, "reach duration must be positive");
-        Reach { from, to, start_s, duration_s }
+        Reach {
+            from,
+            to,
+            start_s,
+            duration_s,
+        }
     }
 
     /// Position at time `t` (clamps to the endpoints outside the reach).
@@ -75,7 +80,11 @@ impl Tremor {
     /// Tremor with peak `amplitude` (same unit as the hand position, cm
     /// here) at `hz`.
     pub fn new(amplitude: f64, hz: f64) -> Self {
-        Tremor { amplitude, hz, phase: 0.0 }
+        Tremor {
+            amplitude,
+            hz,
+            phase: 0.0,
+        }
     }
 
     /// The tremor displacement at time `t`, advancing the internal phase
@@ -108,8 +117,17 @@ impl Hand {
     /// A hand at `position` with the given tremor and signal-dependent
     /// endpoint noise (endpoint σ = `endpoint_noise_frac` × amplitude).
     pub fn new(position: f64, tremor: Tremor, endpoint_noise_frac: f64) -> Self {
-        assert!((0.0..0.5).contains(&endpoint_noise_frac), "endpoint noise fraction out of range");
-        Hand { position, reach: None, tremor, endpoint_noise_frac, reaches_started: 0 }
+        assert!(
+            (0.0..0.5).contains(&endpoint_noise_frac),
+            "endpoint noise fraction out of range"
+        );
+        Hand {
+            position,
+            reach: None,
+            tremor,
+            endpoint_noise_frac,
+            reaches_started: 0,
+        }
     }
 
     /// Starts a reach towards `target` lasting `duration_s`, perturbing
@@ -169,7 +187,10 @@ mod tests {
         assert_eq!(r.position(1.0), 10.0);
         assert_eq!(r.position(1.5), 20.0);
         assert_eq!(r.position(9.0), 20.0, "clamped after end");
-        assert!((r.position(1.25) - 15.0).abs() < 1e-9, "midpoint by symmetry");
+        assert!(
+            (r.position(1.25) - 15.0).abs() < 1e-9,
+            "midpoint by symmetry"
+        );
     }
 
     #[test]
@@ -190,7 +211,10 @@ mod tests {
         let v_mid = v(0.5);
         let v_early = v(0.1);
         let v_late = v(0.9);
-        assert!(v_mid > v_early && v_mid > v_late, "peak velocity at midpoint");
+        assert!(
+            v_mid > v_early && v_mid > v_late,
+            "peak velocity at midpoint"
+        );
         // Peak of minimum jerk is 1.875 × mean velocity.
         assert!((v_mid / 10.0 - 1.875).abs() < 0.01);
     }
@@ -199,10 +223,18 @@ mod tests {
     fn tremor_is_small_and_oscillatory() {
         let mut tr = Tremor::new(0.08, 9.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let xs: Vec<f64> = (0..1000).map(|i| tr.sample(i as f64 * 0.005, &mut rng)).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| tr.sample(i as f64 * 0.005, &mut rng))
+            .collect();
         assert!(xs.iter().all(|x| x.abs() <= 0.08 + 1e-9));
-        let sign_changes = xs.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
-        assert!(sign_changes > 50, "tremor oscillates: {sign_changes} sign changes");
+        let sign_changes = xs
+            .windows(2)
+            .filter(|w| w[0].signum() != w[1].signum())
+            .count();
+        assert!(
+            sign_changes > 50,
+            "tremor oscillates: {sign_changes} sign changes"
+        );
     }
 
     #[test]
@@ -233,7 +265,10 @@ mod tests {
         };
         let near = spread(2.0);
         let far = spread(20.0);
-        assert!(far > 5.0 * near, "endpoint sd must scale with amplitude: {near} vs {far}");
+        assert!(
+            far > 5.0 * near,
+            "endpoint sd must scale with amplitude: {near} vs {far}"
+        );
     }
 
     #[test]

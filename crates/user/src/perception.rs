@@ -34,7 +34,11 @@ impl Perception {
     /// Typical adult values: 250 ± 50 ms reactions, ~5 display samples
     /// per second.
     pub fn typical() -> Self {
-        Perception { reaction_mean_s: 0.25, reaction_sd_s: 0.05, visual_sampling_s: 0.20 }
+        Perception {
+            reaction_mean_s: 0.25,
+            reaction_sd_s: 0.05,
+            visual_sampling_s: 0.20,
+        }
     }
 
     /// Draws one reaction time (lognormal-shaped: gaussian on the log,
@@ -70,7 +74,11 @@ impl VisualSampler {
     /// Panics if `period_s` is not positive.
     pub fn new(period_s: f64) -> Self {
         assert!(period_s > 0.0, "sampling period must be positive");
-        VisualSampler { period_s, next_sample_s: 0.0, seen: None }
+        VisualSampler {
+            period_s,
+            next_sample_s: 0.0,
+            seen: None,
+        }
     }
 
     /// Feeds the display's true state at time `t`; returns what the user

@@ -70,7 +70,10 @@ impl UserParams {
     /// confirmation — the "advanced users" of Section 4.2.
     pub fn expert() -> Self {
         UserParams {
-            fitts: FittsParams { a_s: 0.22, b_s_per_bit: 0.12 },
+            fitts: FittsParams {
+                a_s: 0.22,
+                b_s_per_bit: 0.12,
+            },
             endpoint_noise_frac: 0.05,
             impulsivity: 0.02,
             dwell_s: 0.15,
@@ -168,8 +171,8 @@ mod tests {
         assert_eq!(cohort.len(), 24);
         let slopes: Vec<f64> = cohort.iter().map(|u| u.fitts.b_s_per_bit).collect();
         let mean = slopes.iter().sum::<f64>() / slopes.len() as f64;
-        let sd = (slopes.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / slopes.len() as f64)
-            .sqrt();
+        let sd =
+            (slopes.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / slopes.len() as f64).sqrt();
         assert!(sd > 0.01, "users must differ: sd {sd}");
     }
 

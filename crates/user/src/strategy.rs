@@ -52,7 +52,11 @@ impl DeviceGeometry {
     /// Where the user believes entry `idx` sits, in cm.
     pub fn entry_position_cm(&self, idx: usize) -> f64 {
         let slot = (self.far_cm - self.near_cm) / self.n_entries as f64;
-        let island_idx = if self.toward_is_down { self.n_entries - 1 - idx } else { idx };
+        let island_idx = if self.toward_is_down {
+            self.n_entries - 1 - idx
+        } else {
+            idx
+        };
         self.near_cm + (island_idx as f64 + 0.5) * slot
     }
 
@@ -244,8 +248,13 @@ impl PositionAim {
                                 }
                             }
                             self.last_err_entries = Some(err_entries);
-                            let sign = if self.geometry.toward_is_down { 1.0 } else { -1.0 };
-                            let delta = self.corr_sign * sign * err_entries * self.geometry.slot_cm();
+                            let sign = if self.geometry.toward_is_down {
+                                1.0
+                            } else {
+                                -1.0
+                            };
+                            let delta =
+                                self.corr_sign * sign * err_entries * self.geometry.slot_cm();
                             let to = (self.hand.position() + delta)
                                 .clamp(self.geometry.near_cm - 1.0, self.geometry.far_cm + 1.0);
                             self.start_reach_to(t, to, rng);
@@ -276,7 +285,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn geometry(n: usize) -> DeviceGeometry {
-        DeviceGeometry { near_cm: 4.0, far_cm: 30.0, n_entries: n, toward_is_down: true }
+        DeviceGeometry {
+            near_cm: 4.0,
+            far_cm: 30.0,
+            n_entries: n,
+            toward_is_down: true,
+        }
     }
 
     /// An idealized noiseless device: highlight = nearest slot.
@@ -383,7 +397,10 @@ mod tests {
         let g = geometry(10);
         // toward_is_down: entry 0 sits at the far edge.
         assert!(g.entry_position_cm(0) > g.entry_position_cm(9));
-        let up = DeviceGeometry { toward_is_down: false, ..g };
+        let up = DeviceGeometry {
+            toward_is_down: false,
+            ..g
+        };
         assert!(up.entry_position_cm(0) < up.entry_position_cm(9));
         assert!((g.slot_cm() - 2.6).abs() < 1e-12);
     }

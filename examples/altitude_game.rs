@@ -57,7 +57,11 @@ impl Game {
             self.obstacles.push((COLS - 1, rng.gen_range(0..ROWS)));
         }
         // Collision at the plane's column?
-        if self.obstacles.iter().any(|&(c, r)| c == 2 && r == self.plane_row) {
+        if self
+            .obstacles
+            .iter()
+            .any(|&(c, r)| c == 2 && r == self.plane_row)
+        {
             self.crashes += 1;
             self.score -= 10;
         } else {
@@ -71,7 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The menu is irrelevant here; the game taps the analog estimate.
     let mut dev = DistScrollDevice::new(profile.clone(), Menu::flat(2), 99);
     let mut rng = StdRng::seed_from_u64(99);
-    let mut game = Game { plane_row: ROWS / 2, obstacles: Vec::new(), score: 0, crashes: 0 };
+    let mut game = Game {
+        plane_row: ROWS / 2,
+        obstacles: Vec::new(),
+        score: 0,
+        crashes: 0,
+    };
 
     println!("altitude game — Section 5.2's third application area");
     println!("(distance from the body = altitude; scripted pilot flies 12 s)\n");
@@ -112,7 +121,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         if tick % 30 == 29 && shown < 3 {
             shown += 1;
-            println!("t = {:>2} s   score {}   crashes {}", (tick + 1) / 10, game.score, game.crashes);
+            println!(
+                "t = {:>2} s   score {}   crashes {}",
+                (tick + 1) / 10,
+                game.score,
+                game.crashes
+            );
             println!("{}\n", game.frame());
         }
     }

@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (d, est) in &before {
         println!("{d:>10.1} {est:>12.2} {:>+8.2}", est - d);
     }
-    let mean_before =
-        before.iter().map(|(d, e)| (e - d).abs()).sum::<f64>() / before.len() as f64;
+    let mean_before = before.iter().map(|(d, e)| (e - d).abs()).sum::<f64>() / before.len() as f64;
 
     println!("\nrunning the jig: reference surface at 7 known positions…");
     unit.calibrate_on_jig(&[5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0])?;
@@ -56,9 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mean_after = after.iter().map(|(d, e)| (e - d).abs()).sum::<f64>() / after.len() as f64;
 
-    println!(
-        "\nmean |error|: {mean_before:.2} cm before -> {mean_after:.2} cm after calibration"
-    );
+    println!("\nmean |error|: {mean_before:.2} cm before -> {mean_after:.2} cm after calibration");
     println!(
         "eeprom record wear so far: {} write cycles (endurance {})",
         unit.board().eeprom.wear(0),

@@ -122,6 +122,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total,
         logged as f64 / total * 60.0
     );
-    println!("battery after the shift so far: {:.1}%", dev.board().battery_soc() * 100.0);
+    println!(
+        "battery after the shift so far: {:.1}%",
+        dev.board().battery_soc() * 100.0
+    );
     Ok(())
 }

@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         toward_is_down: true,
     };
     for &target in &[1usize, 5, 3] {
-        let mut aim =
-            PositionAim::new(user, geometry, target, dev.distance(), 50, &mut rng);
+        let mut aim = PositionAim::new(user, geometry, target, dev.distance(), 50, &mut rng);
         let t0 = dev.now();
         loop {
             let t = (dev.now() - t0).as_secs_f64();
@@ -100,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\n{}", traj.strip_chart(70, 12));
 
-    println!("csv export: {} rows (first two shown)", log.to_csv().lines().count() - 1);
+    println!(
+        "csv export: {} rows (first two shown)",
+        log.to_csv().lines().count() - 1
+    );
     for line in log.to_csv().lines().take(3) {
         println!("  {line}");
     }

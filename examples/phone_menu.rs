@@ -77,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             wanted,
             got,
             time,
-            if got.starts_with(&wanted) { "ok" } else { "MISS" }
+            if got.starts_with(&wanted) {
+                "ok"
+            } else {
+                "MISS"
+            }
         );
         // Back out if a submenu was entered, so every trial starts at the top.
         while dev.level() > 0 {

@@ -40,20 +40,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.set_distance(settings_cm);
     dev.run_for_ms(400)?;
     dev.click_select()?;
-    println!("\nclicked select at {settings_cm:.1} cm -> entered {:?}", dev.firmware().navigator().breadcrumb());
+    println!(
+        "\nclicked select at {settings_cm:.1} cm -> entered {:?}",
+        dev.firmware().navigator().breadcrumb()
+    );
 
     // What the user sees on the two displays right now:
     println!("\nupper display (menu):\n{}", dev.upper_display_art());
-    println!("\nlower display (state information):\n{}", dev.lower_display_art());
+    println!(
+        "\nlower display (state information):\n{}",
+        dev.lower_display_art()
+    );
 
     // And back out.
     dev.click_back()?;
-    println!("\nclicked back -> level {} ({} entries)", dev.level(), dev.level_len());
+    println!(
+        "\nclicked back -> level {} ({} entries)",
+        dev.level(),
+        dev.level_len()
+    );
 
     // The device also streamed telemetry to the host over the radio the
     // whole time:
     let frames = dev.drain_telemetry();
-    println!("telemetry frames received by the host so far: {}", frames.len());
+    println!(
+        "telemetry frames received by the host so far: {}",
+        frames.len()
+    );
 
     Ok(())
 }

@@ -25,8 +25,14 @@ fn main() {
         TrialSetup::new(menu, 7, 0, 55),
     ];
 
-    println!("technique shootout — one practiced user, {menu}-entry menu, {} tasks\n", tasks.len());
-    println!("{:<12} {:>9} {:>8} {:>12}", "technique", "total[s]", "correct", "corrections");
+    println!(
+        "technique shootout — one practiced user, {menu}-entry menu, {} tasks\n",
+        tasks.len()
+    );
+    println!(
+        "{:<12} {:>9} {:>8} {:>12}",
+        "technique", "total[s]", "correct", "corrections"
+    );
     println!("{}", "-".repeat(44));
 
     for tech in all_techniques().iter_mut() {

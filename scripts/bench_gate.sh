@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# CI perf-regression gate for the parallel harness.
+#
+# Runs the full quick-effort suite through `--bench-out` (which also
+# re-asserts serial-vs-parallel report equality in-process), then checks
+# the recorded v2 report:
+#
+#   * on a >= 4-core machine: overall speedup must be >= 1.5x, and no
+#     experiment may be slower in the parallel pass than in the serial
+#     pass (beyond 5% + 5 ms of timer noise — several experiments finish
+#     in under a millisecond);
+#   * below 4 cores the executor grants fewer tokens than `--jobs` asks
+#     for, so parallel == serial is the best possible outcome; only a
+#     pathological-overhead guard applies (>= 0.9x).
+#
+# Usage: scripts/bench_gate.sh [OUT_JSON]   (default BENCH_eval.json)
+# Env:   BENCH_JOBS (default 4) — the parallel pass's --jobs value.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_eval.json}"
+jobs="${BENCH_JOBS:-4}"
+
+cargo run --release -p distscroll-eval -- --quick --jobs "$jobs" --bench-out "$out" all \
+    > /dev/null
+
+python3 - "$out" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+
+schema = bench.get("schema")
+if schema != 2:
+    sys.exit(f"bench gate: expected v2 bench schema, got {schema!r}")
+
+cores = bench["cores"]
+speedup = bench["speedup"]
+stages = {s["stage"]: s for s in bench["stages"]}
+regressed = [
+    e["id"]
+    for e in bench["experiments"]
+    if e["parallel_s"] > e["serial_s"] * 1.05 + 0.005
+]
+
+print(
+    f"bench gate: cores={cores} jobs={bench['jobs']} tokens={bench['tokens']} "
+    f"speedup={speedup:.2f}x "
+    f"(serial {bench['serial_wall_s']:.2f}s, parallel {bench['parallel_wall_s']:.2f}s)"
+)
+for name, stage in stages.items():
+    ex = stage["executor"]
+    print(
+        f"bench gate: stage {name}: {stage['wall_s']:.2f}s wall, "
+        f"{ex['jobs_submitted']} jobs, {ex['tasks_executed']} tasks "
+        f"({ex['inline_claims']} inline / {ex['helper_steals']} stolen), "
+        f"peak {ex['peak_live']} live"
+    )
+
+if cores >= 4:
+    if speedup < 1.5:
+        sys.exit(f"bench gate: FAIL — speedup {speedup:.2f}x < 1.5x on a {cores}-core machine")
+    if regressed:
+        sys.exit(
+            "bench gate: FAIL — experiments slower parallel than serial at "
+            f"--jobs {bench['jobs']}: {', '.join(regressed)}"
+        )
+else:
+    print("bench gate: <4 cores — 1.5x threshold not applicable, overhead guard only")
+    if speedup < 0.90:
+        sys.exit(
+            f"bench gate: FAIL — parallel pass {1.0 / max(speedup, 1e-9):.2f}x slower than "
+            f"serial on a {cores}-core machine; executor overhead regressed"
+        )
+
+print("bench gate: PASS")
+PY

@@ -1,25 +1,39 @@
 #!/usr/bin/env bash
 # Smoke the full experiment suite through the parallel harness.
 #
-# Runs every experiment at quick effort with two worker threads and
-# fails on (a) a nonzero exit — the CLI exits 1 when any experiment
-# stops holding the paper's shape — or (b) a shape regression in the
-# printed summary, checked independently of the exit code so a future
-# CLI bug cannot silently pass the gate.
+# Runs every experiment at quick effort twice — serial (`--jobs 1`) and
+# through the shared pool (`--jobs 4`) — and fails on:
+#   (a) a nonzero exit — the CLI exits 1 when any experiment stops
+#       holding the paper's shape;
+#   (b) a shape regression in the printed summary, checked independently
+#       of the exit code so a future CLI bug cannot silently pass the
+#       gate;
+#   (c) any byte of difference between the serial and parallel report
+#       files — the determinism guarantee, asserted here in CI rather
+#       than only in-process.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="$(mktemp)"
-trap 'rm -f "$out"' EXIT
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
 
-cargo run --release -p distscroll-eval -- --quick --jobs 2 all | tee "$out"
+cargo run --release -p distscroll-eval -- --quick --jobs 1 --out "$workdir/jobs1" all \
+    > "$workdir/stdout_jobs1.txt"
+cargo run --release -p distscroll-eval -- --quick --jobs 4 --out "$workdir/jobs4" all \
+    | tee "$workdir/stdout_jobs4.txt"
 
-grep -q "== summary: 14/14 experiments hold the paper's shape ==" "$out" || {
+grep -q "== summary: 14/14 experiments hold the paper's shape ==" "$workdir/stdout_jobs4.txt" || {
     echo "smoke: shape summary missing or regressed" >&2
     exit 1
 }
-if grep -q "DOES NOT HOLD" "$out"; then
+if grep -q "DOES NOT HOLD" "$workdir/stdout_jobs4.txt"; then
     echo "smoke: at least one experiment no longer holds the paper's shape" >&2
     exit 1
 fi
-echo "smoke: 14/14 experiments hold at --quick --jobs 2"
+
+if ! diff -r "$workdir/jobs1" "$workdir/jobs4"; then
+    echo "smoke: --jobs 4 reports differ from --jobs 1 reports byte-for-byte" >&2
+    exit 1
+fi
+
+echo "smoke: 14/14 experiments hold at --quick; --jobs 4 == --jobs 1 byte-for-byte"

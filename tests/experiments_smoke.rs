@@ -11,8 +11,11 @@ use distscroll::eval::experiments::{run_all, Effort};
 fn every_experiment_holds_the_papers_shape_quick() {
     let reports = run_all(Effort::Quick, 20050607);
     assert_eq!(reports.len(), 14, "F4 F5 T-island S6 E1-E9 L1");
-    let failures: Vec<&str> =
-        reports.iter().filter(|r| !r.shape_holds).map(|r| r.id).collect();
+    let failures: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.shape_holds)
+        .map(|r| r.id)
+        .collect();
     assert!(
         failures.is_empty(),
         "experiments no longer reproduce the paper: {failures:?}\n\n{}",

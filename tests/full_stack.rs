@@ -22,7 +22,9 @@ fn deep_navigation_to_a_leaf_through_the_whole_stack() {
     // Walk Settings -> Tone settings -> Ringing tone by holding each
     // island and clicking, as a careful user would.
     for &idx in &RINGING_TONE_PATH {
-        let cm = dev.island_center_cm(idx).expect("index exists at this level");
+        let cm = dev
+            .island_center_cm(idx)
+            .expect("index exists at this level");
         dev.set_distance(cm);
         dev.run_for_ms(500).expect("battery is fresh");
         assert_eq!(dev.highlighted(), idx, "highlight settles on the island");
@@ -58,7 +60,11 @@ fn telemetry_stream_decodes_on_the_host_side() {
     dev.set_distance(12.0);
     dev.run_for_ms(2_000).expect("battery is fresh");
     let frames = dev.drain_telemetry();
-    assert!(frames.len() > 10, "telemetry flows: {} frames", frames.len());
+    assert!(
+        frames.len() > 10,
+        "telemetry flows: {} frames",
+        frames.len()
+    );
     let mut dec = distscroll::hw::link::FrameDecoder::new();
     let mut decoded = 0;
     for f in frames {
@@ -81,9 +87,15 @@ fn displays_track_the_interaction() {
     dev.set_distance(dev.island_center_cm(4).expect("settings index"));
     dev.run_for_ms(700).expect("battery is fresh");
     let upper = dev.upper_display_art();
-    assert!(upper.contains(">Settings"), "upper display highlights Settings:\n{upper}");
+    assert!(
+        upper.contains(">Settings"),
+        "upper display highlights Settings:\n{upper}"
+    );
     let lower = dev.lower_display_art();
-    assert!(lower.contains("adc"), "lower display shows debug state:\n{lower}");
+    assert!(
+        lower.contains("adc"),
+        "lower display shows debug state:\n{lower}"
+    );
     assert!(lower.contains("lvl 0"));
 }
 
@@ -91,10 +103,17 @@ fn displays_track_the_interaction() {
 fn a_session_runs_for_minutes_without_draining_the_battery() {
     let mut dev = DistScrollDevice::new(DeviceProfile::paper(), phone_menu(), 2);
     dev.set_distance(15.0);
-    dev.run_for_ms(120_000).expect("two minutes on a fresh 9 V block");
-    assert!(dev.board().battery_soc() > 0.95, "a study session barely dents the battery");
+    dev.run_for_ms(120_000)
+        .expect("two minutes on a fresh 9 V block");
+    assert!(
+        dev.board().battery_soc() > 0.95,
+        "a study session barely dents the battery"
+    );
     let util = dev.board().mcu.utilization(dev.now());
-    assert!(util < 0.5, "firmware fits the pic through a long session: {util:.2}");
+    assert!(
+        util < 0.5,
+        "firmware fits the pic through a long session: {util:.2}"
+    );
 }
 
 #[test]
@@ -122,9 +141,14 @@ fn flat_battery_ends_the_session_with_a_brownout_error() {
             break;
         }
     }
-    assert!(died, "a 0.05 mAh cell cannot power the board for 10 minutes");
     assert!(
-        dev.drain_events().iter().any(|e| matches!(e.event, Event::BrownOut)),
+        died,
+        "a 0.05 mAh cell cannot power the board for 10 minutes"
+    );
+    assert!(
+        dev.drain_events()
+            .iter()
+            .any(|e| matches!(e.event, Event::BrownOut)),
         "the firmware logs the brown-out"
     );
 }

@@ -45,7 +45,11 @@ fn run_session(lossy: bool) -> (SessionLog, StreamDecoder) {
 #[test]
 fn host_reconstructs_the_interaction_timeline() {
     let (log, decoder) = run_session(false);
-    assert!(decoder.records_ok() > 20, "records flowed: {}", decoder.records_ok());
+    assert!(
+        decoder.records_ok() > 20,
+        "records flowed: {}",
+        decoder.records_ok()
+    );
     assert_eq!(decoder.crc_failures(), 0, "clean channel");
 
     // The submenu entry and the back step are visible host-side.
@@ -57,7 +61,10 @@ fn host_reconstructs_the_interaction_timeline() {
             _ => None,
         })
         .collect();
-    assert!(kinds.contains(&EventKind::EnteredSubmenu), "kinds: {kinds:?}");
+    assert!(
+        kinds.contains(&EventKind::EnteredSubmenu),
+        "kinds: {kinds:?}"
+    );
     assert!(kinds.contains(&EventKind::WentBack), "kinds: {kinds:?}");
     assert!(kinds.contains(&EventKind::Highlight), "kinds: {kinds:?}");
 
@@ -92,7 +99,11 @@ fn lossy_channel_degrades_but_does_not_corrupt_the_log() {
     assert!(decoder.crc_failures() > 0 || decoder.records_ok() > 0);
     // Whatever arrived parses cleanly; the bad stuff is counted, not
     // silently mixed in.
-    assert_eq!(decoder.records_bad(), 0, "crc should catch corruption before parsing");
+    assert_eq!(
+        decoder.records_bad(),
+        0,
+        "crc should catch corruption before parsing"
+    );
     assert!(log.brownouts() == 0);
 }
 
@@ -111,6 +122,13 @@ fn long_sessions_unwrap_the_16_bit_stamp() {
         }
     }
     let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
-    assert!(ticks.windows(2).all(|w| w[1] >= w[0]), "host ticks must be monotonic");
-    assert!(log.duration_s() > 700.0, "session spans {:.0} s", log.duration_s());
+    assert!(
+        ticks.windows(2).all(|w| w[1] >= w[0]),
+        "host ticks must be monotonic"
+    );
+    assert!(
+        log.duration_s() > 700.0,
+        "session spans {:.0} s",
+        log.duration_s()
+    );
 }
