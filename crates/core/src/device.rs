@@ -112,6 +112,7 @@ impl DistScrollDevice {
     /// Panics if the profile is invalid; use [`DistScrollDevice::try_new`]
     /// to handle that as an error.
     pub fn new(profile: DeviceProfile, menu: Menu, seed: u64) -> Self {
+        // lint:allow(panic-hygiene) documented panicking constructor (# Panics); try_new is the fallible path
         DistScrollDevice::try_new(profile, menu, seed).expect("valid device profile")
     }
 
@@ -125,6 +126,7 @@ impl DistScrollDevice {
     ///
     /// Panics if the profile is invalid.
     pub fn new_with_unit_variation(profile: DeviceProfile, menu: Menu, seed: u64) -> Self {
+        // lint:allow(panic-hygiene) documented panicking constructor (# Panics); try_new is the fallible path
         let mut dev = DistScrollDevice::try_new(profile, menu, seed).expect("valid device profile");
         let mut part_rng = StdRng::seed_from_u64(seed ^ 0x9a27);
         let scene = Rc::clone(&dev.scene);

@@ -165,6 +165,7 @@ impl Navigator {
     pub fn entries(&self) -> &[MenuNode] {
         self.menu
             .node_at(&self.path)
+            // lint:allow(panic-hygiene) the navigator only ever stores paths it has validated while descending
             .expect("navigator path is always valid")
             .children()
     }

@@ -54,6 +54,7 @@ pub fn browse_sweep(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dev = DistScrollDevice::new(profile, Menu::flat(n), rng.gen());
     dev.set_distance(from_cm);
+    // lint:allow(panic-hygiene) battery is sized for the scripted run; Err means the harness broke, not data
     dev.run_for_ms(400).expect("fresh battery");
     dev.drain_events();
 

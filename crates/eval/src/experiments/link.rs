@@ -99,6 +99,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let session_ms = effort.pick(2_000, 10_000);
     let mut elapsed = 0u64;
     while elapsed < session_ms {
+        // lint:allow(panic-hygiene) battery is sized for the scripted run; Err means the harness broke, not data
         dev.run_for_ms(100).expect("fresh battery");
         elapsed += 100;
         for t in dev.drain_telemetry() {
@@ -147,7 +148,9 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
                 "clean channel delivers {:.2}% of frames; at 20% drop + 0.5% BER delivery falls \
                  to {:.1}% with {:.1}% crc-rejected",
                 outcomes[0].delivered * 100.0,
+                // lint:allow(panic-hygiene) outcomes holds one row per condition and conditions are non-empty
                 outcomes.last().expect("conditions exist").delivered * 100.0,
+                // lint:allow(panic-hygiene) outcomes holds one row per condition and conditions are non-empty
                 outcomes.last().expect("conditions exist").crc_rejected * 100.0
             ),
             format!(

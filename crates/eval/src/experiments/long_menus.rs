@@ -133,6 +133,7 @@ pub fn run_chunked_trial(
     let strategy = LongMenuStrategy::paper_chunked();
     let page_size = match strategy {
         LongMenuStrategy::Chunked { page_size, .. } => page_size,
+        // lint:allow(panic-hygiene) paper_chunked() constructs the Chunked variant by definition
         _ => unreachable!(),
     };
     let profile = DeviceProfile {
@@ -418,6 +419,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         // The naive mapping only has to lose where menus are genuinely
         // long (the largest size tested); good filtering keeps it alive
         // at 50 entries, which is itself a finding.
+        // lint:allow(panic-hygiene) the size sweep is a non-empty constant table
         if n == *sizes.last().expect("sizes not empty") {
             chunked_beats_continuous &= chunked_ok > continuous_ok;
         }

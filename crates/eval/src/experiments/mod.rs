@@ -178,8 +178,10 @@ pub fn run_all_timed(effort: Effort, seed: u64) -> Vec<(ExperimentReport, f64)> 
 /// Panics on an unknown id.
 pub fn run_ids_timed(ids: &[&str], effort: Effort, seed: u64) -> Vec<(ExperimentReport, f64)> {
     distscroll_par::par_map(jobs(), ids, |_, id| {
+        // lint:allow(wall-clock) wall-clock here is the measured quantity (bench timings); it never feeds report bytes
         let t0 = std::time::Instant::now();
         let report =
+            // lint:allow(panic-hygiene) documented panic (# Panics); callers validate ids against ALL_IDS first
             run_id(id, effort, seed).unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
         (report, t0.elapsed().as_secs_f64())
     })

@@ -74,16 +74,14 @@ impl Trajectory {
     /// An ASCII strip chart of distance over time, `width` columns wide
     /// and `height` rows tall (nearest at the bottom).
     pub fn strip_chart(&self, width: usize, height: usize) -> String {
-        if self.samples.is_empty() || width == 0 || height == 0 {
+        let (Some(&(t0, _)), Some(&(t_last, _))) = (self.samples.first(), self.samples.last())
+        else {
+            return "(no trajectory samples)".to_string();
+        };
+        if width == 0 || height == 0 {
             return "(no trajectory samples)".to_string();
         }
-        let t0 = self.samples[0].0;
-        let t1 = self
-            .samples
-            .last()
-            .expect("samples not empty")
-            .0
-            .max(t0 + 1e-9);
+        let t1 = t_last.max(t0 + 1e-9);
         let (mut d_lo, mut d_hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &(_, d) in &self.samples {
             d_lo = d_lo.min(d);

@@ -290,6 +290,7 @@ impl Board {
         self.buttons
             .iter()
             .find(|b| b.id() == id)
+            // lint:allow(panic-hygiene) every ButtonId is wired at construction; a miss is a board-construction bug
             .expect("all buttons wired")
     }
 
@@ -297,6 +298,7 @@ impl Board {
         self.buttons
             .iter_mut()
             .find(|b| b.id() == id)
+            // lint:allow(panic-hygiene) every ButtonId is wired at construction; a miss is a board-construction bug
             .expect("all buttons wired")
     }
 
@@ -331,6 +333,7 @@ impl Board {
         self.bus
             .device(addr)
             .and_then(|d| d.as_any().downcast_ref::<Bt96040>())
+            // lint:allow(panic-hygiene) both displays are attached at construction and never removed
             .expect("displays are attached at construction")
     }
 

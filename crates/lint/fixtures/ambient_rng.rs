@@ -1,0 +1,7 @@
+//@ path: crates/core/src/bad_rng.rs
+//@ expect: ambient-rng@5
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.next_u32()
+}

@@ -1,0 +1,21 @@
+//@ path: crates/core/src/good_tests.rs
+
+// Library code with a #[cfg(test)] module: unwraps inside the test
+// module are exempt from panic-hygiene, exactly like `cargo test`
+// code under tests/.
+
+pub fn double(x: u32) -> Option<u32> {
+    x.checked_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::double;
+
+    #[test]
+    fn doubles() {
+        assert_eq!(double(2).unwrap(), 4);
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

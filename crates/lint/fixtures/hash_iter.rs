@@ -1,0 +1,13 @@
+//@ path: crates/eval/src/bad_map.rs
+//@ expect: unordered-iter@5
+//@ expect: unordered-iter@7
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

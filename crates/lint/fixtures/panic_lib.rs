@@ -1,0 +1,15 @@
+//@ path: crates/baselines/src/bad_panic.rs
+//@ expect: panic-hygiene@6
+//@ expect: panic-hygiene@10
+//@ expect: panic-hygiene@14
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    *xs.first().expect("xs is never empty")
+}
+
+pub fn reject() -> ! {
+    panic!("library code must fail through Result instead")
+}

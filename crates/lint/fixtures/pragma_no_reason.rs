@@ -1,0 +1,13 @@
+//@ path: crates/core/src/bad_pragma.rs
+//@ expect: bad-pragma@7
+//@ expect: panic-hygiene@7
+//@ expect: bad-pragma@10
+
+pub fn f() -> u32 {
+    Some(1u32).unwrap() // lint:allow(panic-hygiene)
+}
+
+// lint:allow(no-such-rule) the rule name must be a known rule id
+pub fn g() -> u32 {
+    2
+}

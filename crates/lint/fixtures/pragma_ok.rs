@@ -1,0 +1,14 @@
+//@ path: crates/eval/src/good_pragma.rs
+
+// A correctly justified suppression scans clean: the pragma names a
+// known rule and carries a reason.
+
+pub fn timed() -> f64 {
+    // lint:allow(wall-clock) timing is the measured quantity here, not an input
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn trailing() -> u32 {
+    Some(1u32).unwrap() // lint:allow(panic-hygiene) literal Some can never be None
+}

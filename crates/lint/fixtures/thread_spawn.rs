@@ -1,0 +1,11 @@
+//@ path: crates/host/src/bad_thread.rs
+//@ expect: thread-discipline@6
+//@ expect: thread-discipline@9
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    let out: Vec<i32> = Vec::new();
+    rayon::scope(|_| {});
+    drop(out);
+}

@@ -1,0 +1,7 @@
+//@ path: crates/core/src/bad_unsafe.rs
+//@ expect: unsafe-audit@6
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: a justification does not move a module onto the allowlist.
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/eval/src/bad_clock.rs
+//@ expect: wall-clock@6
+//@ expect: wall-clock@7
+
+pub fn stamp() -> u64 {
+    let _t0 = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    0
+}

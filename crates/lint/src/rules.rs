@@ -1,0 +1,783 @@
+//! The rule set and the per-file line/token scanner.
+//!
+//! The scanner is deliberately *not* a Rust parser: it strips comments
+//! and string literals with a small character-level state machine
+//! (enough to never match a forbidden token inside a doc comment or a
+//! format string), tracks `#[cfg(test)]` module bodies by brace depth,
+//! and then pattern-matches rule tokens against the remaining code
+//! text. That keeps the linter dependency-free, fast, and auditable —
+//! the same trade clippy's `disallowed_methods` makes, but owned by the
+//! repo and scoped by workspace path.
+
+use crate::Diagnostic;
+
+/// Every lint rule the scanner knows, in stable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Threading primitives outside the sanctioned executor crate.
+    ThreadDiscipline,
+    /// Wall-clock reads in deterministic evaluation paths.
+    WallClock,
+    /// Ambient (OS-seeded) randomness in deterministic evaluation paths.
+    AmbientRng,
+    /// Unordered hash collections in report-feeding library code.
+    UnorderedIter,
+    /// `unsafe` outside the allowlisted module or without a SAFETY comment.
+    UnsafeAudit,
+    /// Panicking calls in library code outside tests.
+    PanicHygiene,
+    /// A `lint:allow` pragma that is unusable as written.
+    BadPragma,
+}
+
+/// All rules, in the order they are documented and reported.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::ThreadDiscipline,
+    Rule::WallClock,
+    Rule::AmbientRng,
+    Rule::UnorderedIter,
+    Rule::UnsafeAudit,
+    Rule::PanicHygiene,
+    Rule::BadPragma,
+];
+
+impl Rule {
+    /// The stable kebab-case id used in pragmas, JSON and fixtures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::ThreadDiscipline => "thread-discipline",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::PanicHygiene => "panic-hygiene",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// Resolves a pragma/fixture rule id; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line description, shown by `xtask lint --rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::ThreadDiscipline => {
+                "thread::spawn / thread::scope / thread::Builder / rayon outside crates/par — \
+                 all parallelism must flow through the shared pool's token budget"
+            }
+            Rule::WallClock => {
+                "Instant::now / SystemTime::now in core/eval/baselines/host library code — \
+                 wall-clock reads make eval output machine-dependent"
+            }
+            Rule::AmbientRng => {
+                "thread_rng / rand::random / from_entropy / OsRng in core/eval/baselines/host \
+                 library code — all stochasticity must flow from the experiment seed"
+            }
+            Rule::UnorderedIter => {
+                "HashMap / HashSet in first-party library code — iteration order feeds reports; \
+                 use BTreeMap / BTreeSet or a sorted Vec"
+            }
+            Rule::UnsafeAudit => {
+                "unsafe outside par::pool, or without a `// SAFETY:` comment justifying it"
+            }
+            Rule::PanicHygiene => {
+                "unwrap / expect / panic! / unreachable! / todo! / unimplemented! in library \
+                 code outside tests — fail through Result like summarize()"
+            }
+            Rule::BadPragma => "a lint:allow pragma naming an unknown rule or carrying no reason",
+        }
+    }
+}
+
+/// What kind of source a file is, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code — the strictest scope.
+    Lib,
+    /// A binary entry point (`main.rs`, `src/bin/…`, `build.rs`).
+    Bin,
+    /// Integration tests, benches or examples.
+    TestLike,
+}
+
+/// Path-derived facts the rules scope themselves by.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate directory name under `crates/`, or `"distscroll"` for the
+    /// root package.
+    pub crate_name: String,
+    /// Library / binary / test-like classification.
+    pub kind: FileKind,
+}
+
+/// Crates whose library code must be free of wall-clock and ambient
+/// randomness: everything on the path from a seed to a report.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "eval", "baselines", "host"];
+
+/// The only module allowed to contain `unsafe` (and every block there
+/// must carry a SAFETY comment).
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/par/src/pool.rs"];
+
+impl FileContext {
+    /// Classifies a workspace-relative path (`/`-separated).
+    pub fn classify(path: &str) -> FileContext {
+        let parts: Vec<&str> = path.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+            parts[1].to_string()
+        } else {
+            "distscroll".to_string()
+        };
+        let file_name = parts.last().copied().unwrap_or_default();
+        let test_like = parts
+            .iter()
+            .any(|p| matches!(*p, "tests" | "benches" | "examples"));
+        let kind = if test_like {
+            FileKind::TestLike
+        } else if file_name == "main.rs" || file_name == "build.rs" || parts.contains(&"bin") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        FileContext {
+            path: path.to_string(),
+            crate_name,
+            kind,
+        }
+    }
+
+    fn is_deterministic_crate(&self) -> bool {
+        DETERMINISTIC_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn unsafe_allowlisted(&self) -> bool {
+        UNSAFE_ALLOWLIST.contains(&self.path.as_str())
+    }
+}
+
+/// One line split into its code and comment parts.
+struct SplitLine {
+    /// The line with comments and string-literal *contents* blanked.
+    code: String,
+    /// Concatenated comment text on the line (line + block comments).
+    comment: String,
+}
+
+/// Character-level state carried across lines: block comments and
+/// multi-line string literals.
+#[derive(Default)]
+struct LexState {
+    in_block_comment: bool,
+    /// `Some(hashes)` inside a (raw) string literal; `hashes` is the
+    /// `#` count of a raw string, 0 for a normal `"…"` literal.
+    in_string: Option<usize>,
+}
+
+impl LexState {
+    /// Splits one physical line, updating the cross-line state.
+    fn split(&mut self, line: &str) -> SplitLine {
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if self.in_block_comment {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = self.in_string {
+                // Inside a string literal: blank the contents so code
+                // patterns never match inside text.
+                if chars[i] == '\\' && hashes == 0 {
+                    i += 2; // skip the escaped character
+                    continue;
+                }
+                if chars[i] == '"' {
+                    let closes = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closes {
+                        self.in_string = None;
+                        code.push('"');
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            match chars[i] {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                    break;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    self.in_string = Some(0);
+                    i += 1;
+                }
+                'r' if chars.get(i + 1) == Some(&'"')
+                    || (chars.get(i + 1) == Some(&'#')
+                        && matches!(chars.get(i + 2), Some(&'#') | Some(&'"'))) =>
+                {
+                    // Raw string: r"…" or r#"…"# (any hash depth).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        code.push('"');
+                        self.in_string = Some(hashes);
+                        i = j + 1;
+                    } else {
+                        code.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime. A char literal closes
+                    // within a few characters ('x', '\n', '\u{..}');
+                    // a lifetime has no closing quote before a
+                    // non-ident char — pass it through unchanged.
+                    if let Some(close) = close_of_char_literal(&chars, i) {
+                        code.push('\'');
+                        i = close + 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        SplitLine { code, comment }
+    }
+}
+
+/// If `chars[start]` opens a char literal, returns the index of its
+/// closing quote; `None` for lifetimes.
+fn close_of_char_literal(chars: &[char], start: usize) -> Option<usize> {
+    let mut j = start + 1;
+    if chars.get(j) == Some(&'\\') {
+        // Escaped char: find the next unescaped quote within a short
+        // window (covers \n, \', \u{1F600}).
+        let limit = (start + 12).min(chars.len());
+        j += 1;
+        while j < limit {
+            if chars[j] == '\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // 'x' — exactly one character then a quote; anything else is a
+    // lifetime like 'static or 'a.
+    if chars.get(j).is_some() && chars.get(j + 1) == Some(&'\'') {
+        return Some(j + 1);
+    }
+    None
+}
+
+/// Is `text[pos..pos+len]` a standalone token (not part of a larger
+/// identifier)?
+fn word_bounded(text: &str, pos: usize, len: usize) -> bool {
+    let is_word = |c: char| c.is_alphanumeric() || c == '_';
+    let before = text[..pos].chars().next_back();
+    let after = text[pos + len..].chars().next();
+    !before.is_some_and(is_word) && !after.is_some_and(is_word)
+}
+
+/// Does `code` contain `pat` as a word-bounded token?
+fn has_token(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pat) {
+        let pos = from + rel;
+        if word_bounded(code, pos, pat.len()) {
+            return true;
+        }
+        from = pos + pat.len();
+    }
+    false
+}
+
+/// A parsed allow pragma: the named rules plus the reason's length.
+struct Pragma {
+    rules: Vec<Result<Rule, String>>,
+    reason_len: usize,
+}
+
+/// Extracts a pragma from a line's comment text, if any.
+fn parse_pragma(comment: &str) -> Option<Pragma> {
+    let start = comment.find("lint:allow(")?;
+    let rest = &comment[start + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rules = rest[..close]
+        .split(',')
+        .map(|name| {
+            let name = name.trim();
+            Rule::from_name(name).ok_or_else(|| name.to_string())
+        })
+        .collect();
+    let reason = rest[close + 1..].trim();
+    Some(Pragma {
+        rules,
+        reason_len: reason.len(),
+    })
+}
+
+/// Minimum pragma-reason length: long enough to force a real sentence
+/// fragment, short enough to never be the obstacle.
+const MIN_REASON: usize = 8;
+
+/// Scans one file's source text under the given path-derived context.
+///
+/// This is the single entry point both the workspace scan and the
+/// fixture self-test use, so the two can never drift apart.
+pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut lex = LexState::default();
+
+    // Pre-split every line once; rules then look at (code, comment)
+    // pairs plus a little vertical context (SAFETY search, pragmas).
+    let lines: Vec<&str> = text.lines().collect();
+    let mut split: Vec<SplitLine> = Vec::with_capacity(lines.len());
+    for line in &lines {
+        split.push(lex.split(line));
+    }
+
+    // `#[cfg(test)]` module tracking: after the attribute, the next
+    // brace-opening item starts a region that ends when the brace depth
+    // returns to its entry value.
+    let mut brace_depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_region_floor: Option<i64> = None;
+
+    // A pragma on a comment-only line suppresses the next code line.
+    let mut carried_allows: Vec<Rule> = Vec::new();
+
+    for (idx, sl) in split.iter().enumerate() {
+        let line_no = idx + 1;
+        let code = sl.code.as_str();
+        let code_trim = code.trim();
+        let in_test_module = test_region_floor.is_some();
+
+        // --- pragma handling -------------------------------------------------
+        let mut allows: Vec<Rule> = std::mem::take(&mut carried_allows);
+        if let Some(pragma) = parse_pragma(&sl.comment) {
+            let mut valid = true;
+            for r in &pragma.rules {
+                match r {
+                    Ok(rule) => allows.push(*rule),
+                    Err(name) => {
+                        valid = false;
+                        diags.push(Diagnostic {
+                            file: ctx.path.clone(),
+                            line: line_no,
+                            rule: Rule::BadPragma,
+                            message: format!(
+                                "pragma names unknown rule `{name}` — known rules: {}",
+                                ALL_RULES
+                                    .iter()
+                                    .map(|r| r.name())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                            snippet: lines[idx].trim().to_string(),
+                        });
+                    }
+                }
+            }
+            if pragma.reason_len < MIN_REASON {
+                valid = false;
+                diags.push(Diagnostic {
+                    file: ctx.path.clone(),
+                    line: line_no,
+                    rule: Rule::BadPragma,
+                    message: "pragma carries no reason — write `// lint:allow(rule) why this \
+                              is sound`"
+                        .to_string(),
+                    snippet: lines[idx].trim().to_string(),
+                });
+            }
+            if !valid {
+                allows.clear();
+            } else if code_trim.is_empty() {
+                // Comment-only pragma line: applies to the next line.
+                carried_allows = allows;
+                allows = Vec::new();
+            }
+        }
+
+        // --- cfg(test) region tracking --------------------------------------
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            pending_cfg_test = true;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if pending_cfg_test && opens > 0 {
+            test_region_floor = Some(brace_depth);
+            pending_cfg_test = false;
+        } else if pending_cfg_test && code.contains(';') {
+            // `#[cfg(test)] mod x;` — out-of-line; nothing to skip here.
+            pending_cfg_test = false;
+        }
+        brace_depth += opens - closes;
+        if let Some(floor) = test_region_floor {
+            if brace_depth <= floor && closes > 0 {
+                test_region_floor = None;
+            }
+        }
+
+        // --- rule checks -----------------------------------------------------
+        let mut hits: Vec<(Rule, String)> = Vec::new();
+
+        if ctx.crate_name != "par"
+            && (has_token(code, "thread::spawn")
+                || has_token(code, "thread::scope")
+                || has_token(code, "thread::Builder")
+                || has_token(code, "rayon"))
+        {
+            hits.push((
+                Rule::ThreadDiscipline,
+                "threading outside crates/par — route this through distscroll_par so the \
+                 global --jobs token budget holds"
+                    .to_string(),
+            ));
+        }
+
+        let lib_line = ctx.kind == FileKind::Lib && !in_test_module;
+
+        if lib_line && ctx.is_deterministic_crate() {
+            if has_token(code, "Instant::now") || has_token(code, "SystemTime::now") {
+                hits.push((
+                    Rule::WallClock,
+                    "wall-clock read in a deterministic eval path — results must be a pure \
+                     function of the seed"
+                        .to_string(),
+                ));
+            }
+            if has_token(code, "thread_rng")
+                || has_token(code, "rand::random")
+                || has_token(code, "from_entropy")
+                || has_token(code, "OsRng")
+            {
+                hits.push((
+                    Rule::AmbientRng,
+                    "ambient randomness in a deterministic eval path — derive every RNG from \
+                     the experiment seed"
+                        .to_string(),
+                ));
+            }
+        }
+
+        if lib_line && (has_token(code, "HashMap") || has_token(code, "HashSet")) {
+            hits.push((
+                Rule::UnorderedIter,
+                "unordered hash collection in report-feeding library code — iteration order \
+                 is nondeterministic; use BTreeMap/BTreeSet or sort before iterating"
+                    .to_string(),
+            ));
+        }
+
+        if has_token(code, "unsafe") {
+            if !ctx.unsafe_allowlisted() {
+                hits.push((
+                    Rule::UnsafeAudit,
+                    format!(
+                        "`unsafe` outside the audited allowlist ({}) — extend the allowlist \
+                         only with a reviewed justification",
+                        UNSAFE_ALLOWLIST.join(", ")
+                    ),
+                ));
+            } else if !safety_comment_nearby(&split, lines.as_slice(), idx) {
+                hits.push((
+                    Rule::UnsafeAudit,
+                    "`unsafe` without a `// SAFETY:` comment — state the invariant that makes \
+                     this sound"
+                        .to_string(),
+                ));
+            }
+        }
+
+        if lib_line {
+            for pat in [
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+            ] {
+                if code.contains(pat) {
+                    hits.push((
+                        Rule::PanicHygiene,
+                        format!(
+                            "`{}` in library code — return Result (the summarize() style) or \
+                             justify the invariant with a pragma",
+                            pat.trim_matches(|c| c == '.' || c == '(')
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        for (rule, message) in hits {
+            if allows.contains(&rule) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: line_no,
+                rule,
+                message,
+                snippet: lines[idx].trim().to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// Is there a `SAFETY:` comment on this line or in the contiguous
+/// comment/attribute block immediately above it?
+fn safety_comment_nearby(split: &[SplitLine], lines: &[&str], idx: usize) -> bool {
+    if split[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let code_trim = split[j].code.trim();
+        let is_attr = code_trim.starts_with("#[") || code_trim.starts_with("#![");
+        if !(code_trim.is_empty() || is_attr) {
+            // Hit real code: the comment block above the unsafe ends.
+            return false;
+        }
+        if split[j].comment.contains("SAFETY:") {
+            return true;
+        }
+        // Allow the search to continue through attributes and comment
+        // lines, but not past a blank separator *with no comment*.
+        if code_trim.is_empty() && split[j].comment.is_empty() && lines[j].trim().is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(path: &str) -> FileContext {
+        FileContext::classify(path)
+    }
+
+    fn rules_at(text: &str, path: &str) -> Vec<(Rule, usize)> {
+        scan_source(text, &lib_ctx(path))
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(
+            FileContext::classify("crates/eval/src/report.rs").kind,
+            FileKind::Lib
+        );
+        assert_eq!(
+            FileContext::classify("crates/eval/src/main.rs").kind,
+            FileKind::Bin
+        );
+        assert_eq!(
+            FileContext::classify("crates/par/tests/nesting.rs").kind,
+            FileKind::TestLike
+        );
+        assert_eq!(FileContext::classify("src/lib.rs").crate_name, "distscroll");
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_par_only() {
+        let text = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            rules_at(text, "crates/eval/src/runner.rs"),
+            vec![(Rule::ThreadDiscipline, 1)]
+        );
+        assert!(rules_at(text, "crates/par/src/pool.rs")
+            .iter()
+            .all(|(r, _)| *r != Rule::ThreadDiscipline));
+    }
+
+    #[test]
+    fn wall_clock_scoped_to_deterministic_crates_lib_code() {
+        let text = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_at(text, "crates/eval/src/stats.rs"),
+            vec![(Rule::WallClock, 1)]
+        );
+        assert!(rules_at(text, "crates/eval/src/main.rs").is_empty());
+        assert!(rules_at(text, "crates/sensors/src/noise.rs").is_empty());
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_fire() {
+        let text = concat!(
+            "// mentions thread::spawn and HashMap in prose\n",
+            "fn f() -> &'static str { \"Instant::now() .unwrap() HashMap\" }\n",
+        );
+        assert!(rules_at(text, "crates/eval/src/stats.rs").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_exempt() {
+        let text = concat!(
+            "pub fn ok() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { Some(1).unwrap(); }\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/core/src/menu.rs").is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_cfg_test_module_closes_is_flagged_again() {
+        let text = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { Some(1).unwrap(); }\n",
+            "}\n",
+            "pub fn bad() { Some(1).unwrap(); }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::PanicHygiene, 5)]
+        );
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line_and_next_line() {
+        let trailing =
+            "pub fn f() { Some(1).unwrap(); } // lint:allow(panic-hygiene) startup invariant\n";
+        assert!(rules_at(trailing, "crates/core/src/menu.rs").is_empty());
+        let preceding = concat!(
+            "// lint:allow(panic-hygiene) startup invariant holds\n",
+            "pub fn f() { Some(1).unwrap(); }\n",
+        );
+        assert!(rules_at(preceding, "crates/core/src/menu.rs").is_empty());
+    }
+
+    #[test]
+    fn pragma_does_not_leak_past_its_target_line() {
+        let text = concat!(
+            "// lint:allow(panic-hygiene) only the next line\n",
+            "pub fn f() { Some(1).unwrap(); }\n",
+            "pub fn g() { Some(1).unwrap(); }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::PanicHygiene, 3)]
+        );
+    }
+
+    #[test]
+    fn pragma_without_reason_is_bad_and_does_not_suppress() {
+        let text = concat!(
+            "// lint:allow(panic-hygiene)\n",
+            "pub fn f() { Some(1).unwrap(); }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::BadPragma, 1), (Rule::PanicHygiene, 2)]
+        );
+    }
+
+    #[test]
+    fn unsafe_needs_allowlist_and_safety_comment() {
+        let outside = "pub fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert_eq!(
+            rules_at(outside, "crates/core/src/menu.rs"),
+            vec![(Rule::UnsafeAudit, 1)]
+        );
+        let unaudited = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(
+            rules_at(unaudited, "crates/par/src/pool.rs"),
+            vec![(Rule::UnsafeAudit, 1)]
+        );
+        let audited = concat!(
+            "// SAFETY: caller guarantees p is valid for reads\n",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert!(rules_at(audited, "crates/par/src/pool.rs").is_empty());
+    }
+
+    #[test]
+    fn attribute_between_safety_comment_and_unsafe_is_fine() {
+        let text = concat!(
+            "// SAFETY: justified above the attribute\n",
+            "#[allow(unsafe_code)]\n",
+            "unsafe impl Send for X {}\n",
+        );
+        assert!(rules_at(text, "crates/par/src/pool.rs").is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attribute_does_not_fire() {
+        let text = "#![forbid(unsafe_code)]\n";
+        assert!(rules_at(text, "crates/core/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_lib_code() {
+        let text = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_at(text, "crates/host/src/telemetry.rs"),
+            vec![(Rule::UnorderedIter, 1)]
+        );
+        assert!(rules_at(text, "crates/host/tests/t.rs").is_empty());
+    }
+
+    #[test]
+    fn multiline_raw_strings_are_blanked() {
+        let text = concat!(
+            "pub fn f() -> &'static str {\n",
+            "    r#\"first line .unwrap()\n",
+            "    Instant::now() still inside the raw string\n",
+            "    \"#\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/eval/src/report.rs").is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_lexer() {
+        let text = concat!(
+            "pub fn f(c: char) -> bool { c == '\"' }\n",
+            "pub fn g<'a>(s: &'a str) -> &'a str { s }\n",
+            "pub fn bad() { Option::<u8>::None.unwrap(); }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::PanicHygiene, 3)]
+        );
+    }
+}

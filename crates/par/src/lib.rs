@@ -41,7 +41,8 @@
 //! snapshot per timing stage.
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(missing_docs)]
 
 mod pool;
 mod stats;

@@ -37,9 +37,22 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::stats;
+
+/// Locks a pool mutex, recovering from poisoning instead of panicking.
+///
+/// Sound here because no pool lock is ever held across user code — the
+/// mapped closure runs under `catch_unwind` *outside* every critical
+/// section — so a poisoned mutex can only mean a panic inside one of
+/// our own short, assignment-only sections, after which the protected
+/// state is still consistent. Recovering keeps the executor itself free
+/// of panic paths (the workspace panic-hygiene lint) and stops one
+/// worker's panic from cascading into unrelated jobs.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     /// Depth of chunk executions live on this thread: 0 outside the
@@ -86,7 +99,7 @@ impl Latch {
     }
 
     fn chunk_done(&self) {
-        let mut s = self.state.lock().expect("latch poisoned");
+        let mut s = lock_unpoisoned(&self.state);
         s.chunks_done += 1;
         drop(s);
         self.cv.notify_all();
@@ -95,16 +108,16 @@ impl Latch {
     /// A helper's very last action for a job. Touches only this `Arc`,
     /// never the job itself — see the module docs.
     fn helper_exit(&self) {
-        let mut s = self.state.lock().expect("latch poisoned");
+        let mut s = lock_unpoisoned(&self.state);
         s.helpers_out -= 1;
         drop(s);
         self.cv.notify_all();
     }
 
     fn wait(&self, total_chunks: usize) {
-        let mut s = self.state.lock().expect("latch poisoned");
+        let mut s = lock_unpoisoned(&self.state);
         while s.chunks_done < total_chunks || s.helpers_out > 0 {
-            s = self.cv.wait(s).expect("latch poisoned");
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -162,12 +175,12 @@ fn idle_helpers() -> &'static Mutex<Vec<Arc<Helper>>> {
 fn helper_loop(me: Arc<Helper>) {
     loop {
         let Assignment { job, latch } = {
-            let mut slot = me.slot.lock().expect("helper slot poisoned");
+            let mut slot = lock_unpoisoned(&me.slot);
             loop {
                 if let Some(a) = slot.take() {
                     break a;
                 }
-                slot = me.cv.wait(slot).expect("helper slot poisoned");
+                slot = me.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
             }
         };
         #[allow(unsafe_code)]
@@ -178,10 +191,7 @@ fn helper_loop(me: Arc<Helper>) {
         // Re-park first (the idle list is a process-wide static), then
         // release the submitter. Nothing after this line touches the
         // job.
-        idle_helpers()
-            .lock()
-            .expect("idle list poisoned")
-            .push(Arc::clone(&me));
+        lock_unpoisoned(idle_helpers()).push(Arc::clone(&me));
         latch.helper_exit();
     }
 }
@@ -206,14 +216,17 @@ fn ensure_helpers(target: usize) {
             cv: Condvar::new(),
         });
         let for_thread = Arc::clone(&helper);
-        std::thread::Builder::new()
+        let spawn_result = std::thread::Builder::new()
             .name(format!("distscroll-par-{spawned}"))
-            .spawn(move || helper_loop(for_thread))
-            .expect("spawn pool helper thread");
-        idle_helpers()
-            .lock()
-            .expect("idle list poisoned")
-            .push(helper);
+            .spawn(move || helper_loop(for_thread));
+        if spawn_result.is_err() {
+            // Thread exhaustion is not fatal: hand the token back and
+            // run with the helpers that exist — the submitter drains
+            // every chunk inline in the worst case.
+            stats::WORKERS_SPAWNED.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        lock_unpoisoned(idle_helpers()).push(helper);
     }
 }
 
@@ -233,14 +246,14 @@ fn grab_helpers(tokens: usize, chunks: usize) -> Vec<Arc<Helper>> {
     if want == 0 {
         return Vec::new();
     }
-    let mut idle = idle_helpers().lock().expect("idle list poisoned");
+    let mut idle = lock_unpoisoned(idle_helpers());
     let take = want.min(idle.len());
     let keep = idle.len() - take;
     idle.split_off(keep)
 }
 
 fn assign(helper: &Helper, assignment: Assignment) {
-    *helper.slot.lock().expect("helper slot poisoned") = Some(assignment);
+    *lock_unpoisoned(&helper.slot) = Some(assignment);
     helper.cv.notify_one();
 }
 
@@ -303,7 +316,7 @@ where
             exit_task();
             stats::task_executed(by_helper);
             {
-                let mut out = self.out.lock().expect("job output poisoned");
+                let mut out = lock_unpoisoned(&self.out);
                 match result {
                     Ok(values) => out.chunks[c] = Some(values),
                     Err(payload) => {
@@ -379,7 +392,7 @@ where
         Vec::new()
     };
     if !helpers.is_empty() {
-        job.latch.state.lock().expect("latch poisoned").helpers_out = helpers.len();
+        lock_unpoisoned(&job.latch.state).helpers_out = helpers.len();
         for helper in &helpers {
             assign(
                 helper,
@@ -406,12 +419,13 @@ where
     }
 
     let ChunkJob { out, .. } = job;
-    let out = out.into_inner().expect("job output poisoned");
+    let out = out.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(payload) = out.panic {
         resume_unwind(payload);
     }
     let mut result = Vec::with_capacity(n);
     for chunk in out.chunks {
+        // lint:allow(panic-hygiene) latch.wait returned, so the cursor protocol filled every slot
         result.extend(chunk.expect("every chunk claimed exactly once"));
     }
     result

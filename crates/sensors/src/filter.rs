@@ -54,7 +54,7 @@ impl MedianFilter {
         }
         self.window.push_back(x);
         let mut sorted: Vec<f64> = self.window.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sensor values are never nan"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted[sorted.len() / 2]
     }
 

@@ -1,0 +1,132 @@
+//! Repo task driver, `cargo xtask` style: plain Rust instead of shell
+//! for anything that must behave identically on every machine.
+//!
+//! ```text
+//! cargo run -p xtask -- lint              # scan the workspace; exit 1 on findings
+//! cargo run -p xtask -- lint --json F     # also write machine-readable diagnostics
+//! cargo run -p xtask -- lint --self-test  # prove the scanner catches its fixtures
+//! cargo run -p xtask -- lint --rules      # list the rule set
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found (or a fixture the
+//! scanner failed to flag), `2` usage / I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use distscroll_lint::{diagnostics_to_json, scan_workspace, self_test, ALL_RULES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--json FILE] [--self-test] [--rules] [--root DIR]"
+    );
+    ExitCode::from(2)
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(args.collect()),
+        _ => usage(),
+    }
+}
+
+fn lint(args: Vec<String>) -> ExitCode {
+    let mut json_out: Option<String> = None;
+    let mut run_self_test = false;
+    let mut list_rules = false;
+    let mut root = default_root();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_out = Some(path),
+                None => return usage(),
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--self-test" => run_self_test = true,
+            "--rules" => list_rules = true,
+            _ => return usage(),
+        }
+    }
+
+    if list_rules {
+        for rule in ALL_RULES {
+            println!("{:18} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if run_self_test {
+        let fixtures = root.join("crates").join("lint").join("fixtures");
+        return match self_test(&fixtures) {
+            Ok(summaries) => {
+                for s in &summaries {
+                    println!("self-test: {s}");
+                }
+                println!(
+                    "self-test: PASS — {} fixtures, every rule exercised",
+                    summaries.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(distscroll_lint::LintError::Fixture(msg)) => {
+                eprintln!("self-test: FAIL — {msg}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("self-test: error — {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: error — {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        let json = diagnostics_to_json(&report.diagnostics, report.files_scanned);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("lint: wrote {path}");
+    }
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "lint: PASS — {} files scanned, 0 violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lint: FAIL — {} violation(s) across {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

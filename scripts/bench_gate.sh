@@ -21,8 +21,20 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_eval.json}"
 jobs="${BENCH_JOBS:-4}"
 
+command -v python3 > /dev/null || {
+    echo "bench gate: python3 not found — cannot check the report" >&2
+    exit 1
+}
+
 cargo run --release -p distscroll-eval -- --quick --jobs "$jobs" --bench-out "$out" all \
     > /dev/null
+
+# Fail loudly if the report never materialized: a gate that silently
+# checks nothing is worse than no gate.
+[ -s "$out" ] || {
+    echo "bench gate: $out missing or empty after the bench run" >&2
+    exit 1
+}
 
 python3 - "$out" <<'PY'
 import json

@@ -31,6 +31,16 @@ if grep -q "DOES NOT HOLD" "$workdir/stdout_jobs4.txt"; then
     exit 1
 fi
 
+# Guard the determinism diff against vacuity: two missing/empty report
+# dirs would byte-compare equal, so require the full report set first.
+for d in "$workdir/jobs1" "$workdir/jobs4"; do
+    n="$(find "$d" -name '*.txt' 2> /dev/null | wc -l)"
+    if [ "$n" -ne 14 ]; then
+        echo "smoke: expected 14 report files in $d, found $n" >&2
+        exit 1
+    fi
+done
+
 if ! diff -r "$workdir/jobs1" "$workdir/jobs4"; then
     echo "smoke: --jobs 4 reports differ from --jobs 1 reports byte-for-byte" >&2
     exit 1
