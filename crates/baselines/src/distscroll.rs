@@ -8,7 +8,7 @@
 //! times and errors emerge from physics + firmware + motor control.
 
 use distscroll_core::device::DistScrollDevice;
-use distscroll_core::events::Event;
+use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::{DeviceProfile, DirectionMapping};
 use distscroll_user::population::UserParams;
@@ -112,7 +112,7 @@ impl ScrollTechnique for DistScrollTechnique {
         if dev.run_for_ms(500).is_err() {
             return TrialResult::timeout(0.0, 0);
         }
-        dev.drain_events();
+        dev.poll_events(&mut |_: &TimedEvent| {}); // settle events are not the trial's
 
         let mut aim = PositionAim::new(
             *user,
@@ -138,15 +138,15 @@ impl ScrollTechnique for DistScrollTechnique {
             if dev.tick().is_err() {
                 break; // brown-out mid-trial
             }
-            for ev in dev.drain_events() {
-                if let Event::Activated { path } = ev.event {
+            dev.poll_events(&mut |ev: &TimedEvent| {
+                if let Event::Activated { path } = &ev.event {
                     // Flat menu: the activated label is "Item NN".
                     let idx = path
                         .last()
                         .and_then(|l| l.trim_start_matches("Item ").parse::<usize>().ok());
                     selected = idx;
                 }
-            }
+            });
             if selected.is_some() && aim.is_done() {
                 break;
             }

@@ -1,55 +1,46 @@
-//! One Criterion group per reproduced figure and experiment.
+//! One Criterion bench per registered experiment.
 //!
 //! Each bench runs the exact experiment code from `distscroll-eval` at
 //! quick effort: the measured time is "how long it takes to regenerate
 //! this figure", and regressions here mean the simulation stack got
-//! slower. Run with `cargo bench -p distscroll-bench`.
+//! slower. The benches enumerate `experiments::REGISTRY`, so a newly
+//! registered experiment is benched without touching this file. Run
+//! with `cargo bench -p distscroll-bench`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use distscroll_bench::BENCH_SEED;
-use distscroll_eval::experiments::{self, Effort};
+use distscroll_eval::experiments::{Effort, REGISTRY};
 
-macro_rules! experiment_bench {
-    ($fn_name:ident, $module:ident, $label:literal) => {
-        fn $fn_name(c: &mut Criterion) {
-            c.bench_function($label, |b| {
-                b.iter(|| {
-                    let report = experiments::$module::run(Effort::Quick, BENCH_SEED);
-                    assert!(report.shape_holds, "bench must keep reproducing the paper");
-                    report
-                })
-            });
-        }
-    };
+fn bench_registry(c: &mut Criterion, cheap: bool) {
+    for e in REGISTRY.iter().filter(|e| e.cheap() == cheap) {
+        c.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let report = e.run(Effort::Quick, BENCH_SEED);
+                assert!(report.shape_holds, "bench must keep reproducing the paper");
+                report
+            })
+        });
+    }
 }
 
-experiment_bench!(bench_fig4, fig4, "fig4_sensor_curve");
-experiment_bench!(bench_fig5, fig5, "fig5_loglog_fit");
-experiment_bench!(bench_islands, islands, "island_mapping");
-experiment_bench!(bench_study, study, "user_study");
-experiment_bench!(bench_shootout, shootout, "technique_shootout");
-experiment_bench!(bench_range, range_sweep, "range_sweep");
-experiment_bench!(bench_direction, direction, "direction_mapping");
-experiment_bench!(bench_long_menus, long_menus, "long_menus");
-experiment_bench!(bench_fastscroll, fastscroll, "fastscroll");
-experiment_bench!(bench_robustness, robustness, "robustness");
-experiment_bench!(bench_ablation, ablation, "ablation");
-experiment_bench!(bench_buttons, button_layout, "button_layout");
-experiment_bench!(bench_pda, pda, "pda_addon");
-experiment_bench!(bench_link, link, "link_reliability");
+fn cheap_experiments(c: &mut Criterion) {
+    bench_registry(c, true);
+}
+
+fn heavy_experiments(c: &mut Criterion) {
+    bench_registry(c, false);
+}
 
 criterion_group! {
     name = cheap;
     config = Criterion::default().sample_size(20);
-    targets = bench_fig4, bench_fig5, bench_islands, bench_link
+    targets = cheap_experiments
 }
 
 criterion_group! {
     name = heavy;
     config = Criterion::default().sample_size(10);
-    targets = bench_study, bench_shootout, bench_range, bench_direction,
-              bench_long_menus, bench_fastscroll, bench_robustness, bench_ablation,
-              bench_buttons, bench_pda
+    targets = heavy_experiments
 }
 
 criterion_main!(cheap, heavy);

@@ -74,6 +74,26 @@ fn bench_device_tick(c: &mut Criterion) {
     });
 }
 
+fn bench_tick_and_poll(c: &mut Criterion) {
+    // The steady-state loop every experiment trial spins: one firmware
+    // tick plus a sink-based drain of both streams. With the borrow-based
+    // poll API this path is allocation-free (crates/core/tests/zero_alloc.rs
+    // proves it); the bench watches that it stays cheap too.
+    let mut dev = DistScrollDevice::new(DeviceProfile::pda_addon(), Menu::flat(8), BENCH_SEED);
+    dev.set_battery(distscroll_hw::power::Battery::with_capacity(1e12));
+    dev.set_distance(15.0);
+    c.bench_function("device_tick_and_poll", |b| {
+        b.iter(|| {
+            dev.tick().expect("healthy device");
+            let mut events = 0u32;
+            let mut frames = 0u32;
+            dev.poll_events(&mut |_: &distscroll_core::events::TimedEvent| events += 1);
+            dev.poll_telemetry(&mut |_: &distscroll_hw::board::Telemetry| frames += 1);
+            black_box((events, frames))
+        })
+    });
+}
+
 fn bench_curve_fit(c: &mut Criterion) {
     let points: Vec<(f64, f64)> = (4..=30)
         .map(|d| {
@@ -95,6 +115,7 @@ criterion_group!(
     bench_island_lookup,
     bench_frame_codec,
     bench_device_tick,
+    bench_tick_and_poll,
     bench_curve_fit
 );
 criterion_main!(micro);

@@ -21,11 +21,12 @@ use distscroll_hw::display::DisplayRole;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::events::TimedEvent;
+use crate::events::{EventSink, TimedEvent};
 use crate::firmware::Firmware;
 use crate::menu::Menu;
 use crate::profile::DeviceProfile;
 use crate::CoreError;
+use distscroll_hw::board::TelemetrySink;
 use distscroll_sensors::adxl311::{Adxl311, Orientation};
 use distscroll_sensors::environment::{AmbientLight, Scene, Surface};
 use distscroll_sensors::gp2d120::Gp2d120;
@@ -418,12 +419,47 @@ impl DistScrollDevice {
         self.fw.navigator().len()
     }
 
+    /// Visits and clears the firmware's pending interaction events, in
+    /// emission order — the zero-allocation poll. Any
+    /// `FnMut(&TimedEvent)` closure is a sink.
+    pub fn poll_events<S: EventSink + ?Sized>(&mut self, sink: &mut S) {
+        self.fw.poll_events(sink);
+    }
+
+    /// Visits telemetry frames that have reached the host by now, in
+    /// arrival order, recycling the frame buffers afterwards — the
+    /// zero-allocation poll. Any `FnMut(&Telemetry)` closure is a sink.
+    pub fn poll_telemetry<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S) {
+        self.board.poll_received(sink);
+    }
+
+    /// Appends the firmware's pending interaction events to `out`,
+    /// reusing the caller's buffer across polls.
+    pub fn drain_events_into(&mut self, out: &mut Vec<TimedEvent>) {
+        self.fw.drain_events_into(out);
+    }
+
+    /// Appends telemetry frames that have reached the host to `out`,
+    /// transferring buffer ownership to the caller.
+    pub fn drain_telemetry_into(&mut self, out: &mut Vec<Telemetry>) {
+        self.board.drain_received_into(out);
+    }
+
     /// Drains the firmware's interaction events.
+    ///
+    /// Owned-`Vec` convenience over
+    /// [`DistScrollDevice::drain_events_into`]; poll loops should prefer
+    /// [`DistScrollDevice::poll_events`], which does not allocate.
     pub fn drain_events(&mut self) -> Vec<TimedEvent> {
         self.fw.drain_events()
     }
 
     /// Drains telemetry frames that have reached the host.
+    ///
+    /// Owned-`Vec` convenience over
+    /// [`DistScrollDevice::drain_telemetry_into`]; poll loops should
+    /// prefer [`DistScrollDevice::poll_telemetry`], which does not
+    /// allocate.
     pub fn drain_telemetry(&mut self) -> Vec<Telemetry> {
         self.board.drain_received()
     }
@@ -495,6 +531,37 @@ mod tests {
         };
         let codes: std::collections::BTreeSet<u16> = (0..8).map(code).collect();
         assert!(codes.len() > 1, "noise must vary across seeds");
+    }
+
+    #[test]
+    fn poll_forms_match_the_owned_drains() {
+        let run = |mode: usize| {
+            let mut dev = DistScrollDevice::new(DeviceProfile::paper(), Menu::flat(8), 21);
+            dev.set_distance(dev.island_center_cm(3).unwrap());
+            dev.run_for_ms(500).unwrap();
+            dev.click_select().unwrap();
+            let mut events: Vec<TimedEvent> = Vec::new();
+            let mut frames: Vec<Telemetry> = Vec::new();
+            match mode {
+                0 => {
+                    events = dev.drain_events();
+                    frames = dev.drain_telemetry();
+                }
+                1 => {
+                    dev.drain_events_into(&mut events);
+                    dev.drain_telemetry_into(&mut frames);
+                }
+                _ => {
+                    dev.poll_events(&mut |e: &TimedEvent| events.push(e.clone()));
+                    dev.poll_telemetry(&mut |t: &Telemetry| frames.push(t.clone()));
+                }
+            }
+            (events, frames)
+        };
+        let owned = run(0);
+        assert_eq!(owned, run(1), "drain_into must match the owned drain");
+        assert_eq!(owned, run(2), "poll must match the owned drain");
+        assert!(!owned.0.is_empty() && !owned.1.is_empty());
     }
 
     #[test]

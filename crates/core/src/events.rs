@@ -63,6 +63,23 @@ pub struct TimedEvent {
     pub event: Event,
 }
 
+/// Visitor for interaction events delivered by a poll.
+///
+/// [`EventLog::poll`] (and `Device::poll_events` above it) hands each
+/// pending event to the sink by reference and keeps the log's buffer
+/// for reuse, so a steady-state poll loop performs no heap allocation.
+/// Any `FnMut(&TimedEvent)` closure is a sink.
+pub trait EventSink {
+    /// Called once per pending event, in emission order.
+    fn event(&mut self, event: &TimedEvent);
+}
+
+impl<F: FnMut(&TimedEvent)> EventSink for F {
+    fn event(&mut self, event: &TimedEvent) {
+        self(event)
+    }
+}
+
 /// A bounded event log: the firmware appends, the harness drains.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventLog {
@@ -85,7 +102,26 @@ impl EventLog {
         &self.events
     }
 
+    /// Visits every pending event in emission order, then clears the
+    /// log while keeping its buffer — the zero-allocation drain.
+    pub fn poll<S: EventSink + ?Sized>(&mut self, sink: &mut S) {
+        for e in &self.events {
+            sink.event(e);
+        }
+        self.events.clear();
+    }
+
+    /// Appends every pending event to `out` (in emission order),
+    /// leaving the log empty but with its buffer intact.
+    pub fn drain_into(&mut self, out: &mut Vec<TimedEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// Removes and returns all events.
+    ///
+    /// Owned-`Vec` convenience; poll loops should prefer
+    /// [`EventLog::poll`] or [`EventLog::drain_into`], which reuse
+    /// buffers.
     pub fn drain(&mut self) -> Vec<TimedEvent> {
         std::mem::take(&mut self.events)
     }
@@ -130,6 +166,39 @@ mod tests {
         let drained = log.drain();
         assert_eq!(drained.len(), 2);
         assert!(drained[0].at < drained[1].at);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn poll_visits_in_order_and_keeps_the_buffer() {
+        let mut log = EventLog::new();
+        for i in 0..4 {
+            log.push(t(i), Event::WentBack);
+        }
+        let cap = {
+            let mut seen = Vec::new();
+            log.poll(&mut |e: &TimedEvent| seen.push(e.at));
+            assert_eq!(seen, vec![t(0), t(1), t(2), t(3)]);
+            log.events.capacity()
+        };
+        assert!(log.is_empty());
+        assert!(cap >= 4, "poll must keep the buffer for reuse");
+        log.push(t(9), Event::PageBack);
+        assert_eq!(log.events.capacity(), cap, "no reallocation after poll");
+    }
+
+    #[test]
+    fn drain_into_appends_and_empties() {
+        let mut log = EventLog::new();
+        log.push(t(1), Event::WentBack);
+        log.push(t(2), Event::PageForward);
+        let mut out = vec![TimedEvent {
+            at: t(0),
+            event: Event::BrownOut,
+        }];
+        log.drain_into(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1].at, t(1));
         assert!(log.is_empty());
     }
 

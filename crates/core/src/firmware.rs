@@ -29,7 +29,7 @@ use distscroll_sensors::calibrate::InverseCurveFit;
 use distscroll_sensors::filter::{Debouncer, Ema, MedianFilter, SlewGate};
 use rand::Rng;
 
-use crate::events::{Event, EventLog};
+use crate::events::{Event, EventLog, EventSink, TimedEvent};
 use crate::long_menu::{LongMenuAction, LongMenuController, LongMenuStrategy};
 use crate::mapping::{paper_curve, IslandHit, IslandMap, MappingState};
 use crate::menu::{Menu, Navigator, Selection};
@@ -57,6 +57,9 @@ pub struct Firmware {
     back_db: Debouncer,
     log: EventLog,
     ticks: u64,
+    /// `true` when (entries, highlight) changed since the last upper
+    /// redraw — the render is only built (and allocated) then.
+    upper_dirty: bool,
     last_upper: Vec<String>,
     last_lower: Vec<String>,
     last_code: u16,
@@ -100,6 +103,7 @@ impl Firmware {
             long: None,
             log: EventLog::new(),
             ticks: 0,
+            upper_dirty: true,
             last_upper: Vec::new(),
             last_lower: Vec::new(),
             last_code: 0,
@@ -157,8 +161,20 @@ impl Firmware {
     }
 
     /// Drains the interaction event log.
-    pub fn drain_events(&mut self) -> Vec<crate::events::TimedEvent> {
+    pub fn drain_events(&mut self) -> Vec<TimedEvent> {
         self.log.drain()
+    }
+
+    /// Visits and clears the pending interaction events — the
+    /// zero-allocation drain.
+    pub fn poll_events<S: EventSink + ?Sized>(&mut self, sink: &mut S) {
+        self.log.poll(sink);
+    }
+
+    /// Appends the pending interaction events to `out`, reusing the
+    /// caller's buffer.
+    pub fn drain_events_into(&mut self, out: &mut Vec<TimedEvent>) {
+        self.log.drain_into(out);
     }
 
     /// The firmware's latest distance estimate, cm (None while out of
@@ -280,6 +296,7 @@ impl Firmware {
             self.long = Some(ctl);
         }
         self.last_upper.clear(); // force a redraw
+        self.upper_dirty = true;
         Ok(())
     }
 
@@ -348,6 +365,7 @@ impl Firmware {
                     &[distscroll_hw::display::cmd::SET_POWER, 1],
                 )?;
                 self.last_upper.clear(); // force redraw on wake
+                self.upper_dirty = true;
                 self.last_lower.clear();
             }
         } else if flat && range < STILL_RANGE_CODES {
@@ -456,6 +474,7 @@ impl Firmware {
         if let Some(idx) = target {
             if idx != self.nav.highlighted() && idx < self.nav.len() {
                 self.nav.highlight(idx)?;
+                self.upper_dirty = true;
                 self.log.push(
                     now,
                     Event::Highlight {
@@ -531,12 +550,17 @@ impl Firmware {
             }
             return self.emit_telemetry(board, rng, code, events_at_tick_start);
         }
-        let upper = ui::render_menu(self.nav.entries(), self.nav.highlighted());
-        if upper != self.last_upper {
-            for c in ui::encode_redraw(&upper) {
-                board.write_display(DisplayRole::Upper, &c)?;
+        // Render only when the menu or highlight changed: the render
+        // itself allocates, so the steady-state tick must skip it.
+        if self.upper_dirty {
+            let upper = ui::render_menu(self.nav.entries(), self.nav.highlighted());
+            if upper != self.last_upper {
+                for c in ui::encode_redraw(&upper) {
+                    board.write_display(DisplayRole::Upper, &c)?;
+                }
+                self.last_upper = upper;
             }
-            self.last_upper = upper;
+            self.upper_dirty = false;
         }
         if self.ticks.is_multiple_of(25) {
             let lower = match &self.instruction {
@@ -590,22 +614,20 @@ impl Firmware {
             ];
             board.send_telemetry(&payload, rng);
         }
-        if self.log.len() > events_at_tick_start {
-            let new_events: Vec<(u8, u8)> = self.log.events()[events_at_tick_start..]
-                .iter()
-                .map(|te| {
-                    let aux = match &te.event {
-                        Event::Highlight { index, .. } => *index as u8,
-                        Event::Activated { path } => path.len() as u8,
-                        _ => self.nav.level() as u8,
-                    };
-                    (te.event.wire_tag(), aux)
-                })
-                .collect();
-            for (tag, aux) in new_events {
-                let payload = [b'E', (stamp >> 8) as u8, (stamp & 0xff) as u8, tag, aux];
-                board.send_telemetry(&payload, rng);
-            }
+        for te in &self.log.events()[events_at_tick_start..] {
+            let aux = match &te.event {
+                Event::Highlight { index, .. } => *index as u8,
+                Event::Activated { path } => path.len() as u8,
+                _ => self.nav.level() as u8,
+            };
+            let payload = [
+                b'E',
+                (stamp >> 8) as u8,
+                (stamp & 0xff) as u8,
+                te.event.wire_tag(),
+                aux,
+            ];
+            board.send_telemetry(&payload, rng);
         }
         Ok(())
     }

@@ -85,17 +85,17 @@ pub fn dwell_flicker(
     dev.set_distance(cm);
     // lint:allow(panic-hygiene) battery is sized for the scripted run; Err means the harness broke, not data
     dev.run_for_ms(500).expect("fresh battery");
-    dev.drain_events();
+    dev.poll_events(&mut |_: &distscroll_core::events::TimedEvent| {});
     let t0 = dev.now();
     let mut changes = 0u32;
     while (dev.now() - t0).as_secs_f64() < secs {
         // lint:allow(panic-hygiene) battery is sized for the scripted run; Err means the harness broke, not data
         dev.run_for_ms(50).expect("fresh battery");
-        changes += dev
-            .drain_events()
-            .iter()
-            .filter(|e| matches!(e.event, distscroll_core::events::Event::Highlight { .. }))
-            .count() as u32;
+        dev.poll_events(&mut |e: &distscroll_core::events::TimedEvent| {
+            if matches!(e.event, distscroll_core::events::Event::Highlight { .. }) {
+                changes += 1;
+            }
+        });
     }
     f64::from(changes) / secs
 }

@@ -16,7 +16,7 @@
 //! "back" early (an accidental select).
 
 use distscroll_core::device::DistScrollDevice;
-use distscroll_core::events::Event;
+use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::menu::{Menu, MenuNode};
 use distscroll_core::profile::{ButtonLayout, DeviceProfile, Handedness};
 use distscroll_user::population::UserParams;
@@ -174,10 +174,10 @@ pub fn run_round(
                     completed: false,
                 };
             }
-            let leaf_selected = dev
-                .drain_events()
-                .iter()
-                .any(|e| matches!(e.event, Event::Activated { .. }));
+            let mut leaf_selected = false;
+            dev.poll_events(&mut |e: &TimedEvent| {
+                leaf_selected |= matches!(e.event, Event::Activated { .. });
+            });
             let went_deeper = dev.level() > level_before;
             let went_back = dev.level() < level_before;
             let intended = if want_back {

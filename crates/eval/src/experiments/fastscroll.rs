@@ -17,7 +17,7 @@
 //!   `expert_foldback` profile).
 
 use distscroll_core::device::DistScrollDevice;
-use distscroll_core::events::Event;
+use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::DeviceProfile;
 use rand::rngs::StdRng;
@@ -56,7 +56,7 @@ pub fn browse_sweep(
     dev.set_distance(from_cm);
     // lint:allow(panic-hygiene) battery is sized for the scripted run; Err means the harness broke, not data
     dev.run_for_ms(400).expect("fresh battery");
-    dev.drain_events();
+    dev.poll_events(&mut |_: &TimedEvent| {});
 
     let t0 = dev.now();
     let mut visited = vec![false; n];
@@ -71,7 +71,7 @@ pub fn browse_sweep(
         if dev.tick().is_err() {
             break;
         }
-        for ev in dev.drain_events() {
+        dev.poll_events(&mut |ev: &TimedEvent| {
             if let Event::Highlight { index, .. } = ev.event {
                 if index < n {
                     visited[index] = true;
@@ -82,7 +82,7 @@ pub fn browse_sweep(
                     last = index as i64;
                 }
             }
-        }
+        });
         t = (dev.now() - t0).as_secs_f64();
         if visited.iter().all(|&v| v) {
             break;

@@ -10,6 +10,7 @@
 use distscroll_core::device::DistScrollDevice;
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::DeviceProfile;
+use distscroll_hw::board::Telemetry;
 use distscroll_hw::link::{FrameDecoder, RadioChannel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,7 +103,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         // lint:allow(panic-hygiene) battery is sized for the scripted run; Err means the harness broke, not data
         dev.run_for_ms(100).expect("fresh battery");
         elapsed += 100;
-        for t in dev.drain_telemetry() {
+        dev.poll_telemetry(&mut |t: &Telemetry| {
             // Latency = time on air + base channel latency; the clean
             // channel adds no jitter, so it is reconstructable from the
             // frame length.
@@ -110,7 +111,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             latencies.push(
                 channel.airtime(t.bytes.len()).as_secs_f64() + channel.base_latency.as_secs_f64(),
             );
-        }
+        });
     }
     let lat = Summary::of(&latencies);
     let mut lat_table = Table::new(

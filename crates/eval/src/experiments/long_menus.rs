@@ -14,7 +14,7 @@
 //!   centre.
 
 use distscroll_core::device::DistScrollDevice;
-use distscroll_core::events::Event;
+use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::long_menu::LongMenuStrategy;
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::DeviceProfile;
@@ -49,13 +49,13 @@ pub struct LongTrial {
 
 fn drain_selected(dev: &mut DistScrollDevice) -> Option<usize> {
     let mut selected = None;
-    for ev in dev.drain_events() {
-        if let Event::Activated { path } = ev.event {
+    dev.poll_events(&mut |ev: &TimedEvent| {
+        if let Event::Activated { path } = &ev.event {
             selected = path
                 .last()
                 .and_then(|l| l.trim_start_matches("Item ").parse().ok());
         }
-    }
+    });
     selected
 }
 
@@ -89,7 +89,7 @@ pub fn run_continuous_trial(
             timed_out: true,
         };
     }
-    dev.drain_events();
+    dev.poll_events(&mut |_: &TimedEvent| {});
     let mut aim = PositionAim::new(*user, geometry, target, start_cm, 100, &mut rng);
     let t0 = dev.now();
     let mut t = 0.0;
@@ -160,7 +160,7 @@ pub fn run_chunked_trial(
             timed_out: true,
         };
     }
-    dev.drain_events();
+    dev.poll_events(&mut |_: &TimedEvent| {});
 
     let t0 = dev.now();
     let mut t;
@@ -206,7 +206,7 @@ pub fn run_chunked_trial(
             timed_out: true,
         };
     }
-    dev.drain_events();
+    dev.poll_events(&mut |_: &TimedEvent| {});
 
     // Phase 2: local aim inside the page.
     let t1 = dev.now();
@@ -278,7 +278,7 @@ pub fn run_sdaz_trial(
     // (The firmware's controller starts at 0; scroll to `start` first is
     // part of the task for sdaz, so start the clock after reaching it.)
     let _ = start;
-    dev.drain_events();
+    dev.poll_events(&mut |_: &TimedEvent| {});
 
     let t0 = dev.now();
     let mut t = 0.0;

@@ -18,11 +18,12 @@
 //! [`PdaScreen`]: distscroll_host::pda::PdaScreen
 
 use distscroll_core::device::DistScrollDevice;
-use distscroll_core::events::Event;
+use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::DeviceProfile;
 use distscroll_host::pda::PdaScreen;
 use distscroll_host::telemetry::StreamDecoder;
+use distscroll_hw::board::Telemetry;
 use distscroll_user::population::UserParams;
 use distscroll_user::strategy::{DeviceGeometry, PositionAim, UserCommand};
 use rand::rngs::StdRng;
@@ -58,10 +59,10 @@ pub fn run_pda_trial(
     if dev.run_for_ms(500).is_err() {
         return (0.0, false);
     }
-    for t in dev.drain_telemetry() {
+    dev.poll_telemetry(&mut |t: &Telemetry| {
         screen.ingest_all(decoder.push_bytes(&t.bytes).iter());
-    }
-    dev.drain_events();
+    });
+    dev.poll_events(&mut |_: &TimedEvent| {});
 
     let mut aim = PositionAim::new(*user, geometry, target, start_cm, 100, &mut rng);
     let t0 = dev.now();
@@ -80,16 +81,16 @@ pub fn run_pda_trial(
             break;
         }
         // Telemetry arrives at the PDA with real channel latency.
-        for frame in dev.drain_telemetry() {
+        dev.poll_telemetry(&mut |frame: &Telemetry| {
             screen.ingest_all(decoder.push_bytes(&frame.bytes).iter());
-        }
-        for ev in dev.drain_events() {
-            if let Event::Activated { path } = ev.event {
+        });
+        dev.poll_events(&mut |ev: &TimedEvent| {
+            if let Event::Activated { path } = &ev.event {
                 selected = path
                     .last()
                     .and_then(|l| l.trim_start_matches("Item ").parse().ok());
             }
-        }
+        });
         if selected.is_some() && aim.is_done() {
             break;
         }
@@ -120,7 +121,7 @@ pub fn run_onboard_trial(
     if dev.run_for_ms(500).is_err() {
         return (0.0, false);
     }
-    dev.drain_events();
+    dev.poll_events(&mut |_: &TimedEvent| {});
     let mut aim = PositionAim::new(*user, geometry, target, start_cm, 100, &mut rng);
     let t0 = dev.now();
     let mut t = 0.0;
@@ -136,13 +137,13 @@ pub fn run_onboard_trial(
         if dev.tick().is_err() {
             break;
         }
-        for ev in dev.drain_events() {
-            if let Event::Activated { path } = ev.event {
+        dev.poll_events(&mut |ev: &TimedEvent| {
+            if let Event::Activated { path } = &ev.event {
                 selected = path
                     .last()
                     .and_then(|l| l.trim_start_matches("Item ").parse().ok());
             }
-        }
+        });
         if selected.is_some() && aim.is_done() {
             break;
         }

@@ -14,6 +14,7 @@
 //!   condition.
 
 use distscroll_core::device::DistScrollDevice;
+use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::DeviceProfile;
 use distscroll_sensors::calibrate::fit_inverse_curve;
@@ -80,7 +81,7 @@ pub fn error_rate_under(surface: Surface, ambient: AmbientLight, trials: usize, 
             errors += 1;
             continue;
         }
-        dev.drain_events();
+        dev.poll_events(&mut |_: &TimedEvent| {});
         let mut aim = PositionAim::new(user, geometry, target, start_cm, 100, &mut rng);
         let t0 = dev.now();
         let mut selected = None;
@@ -96,13 +97,13 @@ pub fn error_rate_under(surface: Surface, ambient: AmbientLight, trials: usize, 
             if dev.tick().is_err() {
                 break;
             }
-            for ev in dev.drain_events() {
-                if let distscroll_core::events::Event::Activated { path } = ev.event {
+            dev.poll_events(&mut |ev: &TimedEvent| {
+                if let Event::Activated { path } = &ev.event {
                     selected = path
                         .last()
                         .and_then(|l| l.trim_start_matches("Item ").parse().ok());
                 }
-            }
+            });
             if selected.is_some() && aim.is_done() {
                 break;
             }

@@ -1,13 +1,16 @@
 //! Command-line harness: regenerate any figure or experiment.
 //!
 //! ```text
-//! distscroll-eval [--quick] [--seed N] [--jobs N] [--out DIR] [--bench-out FILE] <id>|all
+//! distscroll-eval [--effort quick|full] [--seed N] [--jobs N] [--out DIR] \
+//!                 [--bench-out FILE] [--list] [--only ID] <id>... | all
 //! ```
 //!
-//! where `<id>` is one of `fig4 fig5 islands study shootout range
-//! direction longmenus fastscroll robustness ablation buttons pda
-//! link`. Reports print to stdout; with `--out` each is also written to
-//! `DIR/<id>.txt`.
+//! The experiment set comes from the registry in
+//! `distscroll_eval::experiments` — `--list` prints every id with its
+//! report id and title. `--only ID` (or a positional id) selects one
+//! experiment; both the CLI id (`fig4`) and the report id (`F4`) are
+//! accepted, case-insensitively. Reports print to stdout; with `--out`
+//! each is also written to `DIR/<id>.txt`.
 //!
 //! `--jobs N` caps the worker threads (`1` forces the serial path, `0`
 //! or absent means auto). Reports are byte-for-byte identical at any
@@ -17,15 +20,25 @@
 
 use std::io::Write as _;
 
-use distscroll_eval::experiments::{self, Effort};
+use distscroll_eval::experiments::{self, Effort, REGISTRY};
 use distscroll_host::telemetry::ExecutorStage;
 
 fn usage() -> ! {
+    let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id()).collect();
     eprintln!(
-        "usage: distscroll-eval [--quick] [--seed N] [--jobs N] [--out DIR] [--bench-out FILE] \
-         <fig4|fig5|islands|study|shootout|range|direction|longmenus|fastscroll|robustness|ablation|buttons|pda|link|all>"
+        "usage: distscroll-eval [--quick | --effort quick|full] [--seed N] [--jobs N] \
+         [--out DIR] [--bench-out FILE] [--list] [--only ID] <{}|all>",
+        ids.join("|")
     );
     std::process::exit(2);
+}
+
+/// Prints the registry as an aligned `id / report / title` listing.
+fn list_experiments() {
+    println!("{:<12} {:<9} title", "id", "report");
+    for e in REGISTRY {
+        println!("{:<12} {:<9} {}", e.id(), e.report_id(), e.title());
+    }
 }
 
 /// One experiment's serial-vs-parallel wall-clock comparison.
@@ -102,6 +115,13 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
+            "--effort" => {
+                effort = match args.next().as_deref() {
+                    Some("quick") => Effort::Quick,
+                    Some("full") => Effort::Full,
+                    _ => usage(),
+                };
+            }
             "--seed" => {
                 seed = args
                     .next()
@@ -120,6 +140,13 @@ fn main() {
             "--bench-out" => {
                 bench_out = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--list" => {
+                list_experiments();
+                return;
+            }
+            "--only" => {
+                targets.push(args.next().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }
@@ -129,13 +156,18 @@ fn main() {
     }
 
     let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
-        experiments::ALL_IDS.to_vec()
+        REGISTRY.iter().map(|e| e.id()).collect()
     } else {
-        let ids: Vec<&str> = targets.iter().map(String::as_str).collect();
-        if ids.iter().any(|id| !experiments::ALL_IDS.contains(id)) {
-            usage();
-        }
-        ids
+        targets
+            .iter()
+            .map(|t| match experiments::find(t) {
+                Some(e) => e.id(),
+                None => {
+                    eprintln!("error: unknown experiment id {t:?} (try --list)");
+                    usage();
+                }
+            })
+            .collect()
     };
 
     experiments::set_jobs(jobs);

@@ -13,6 +13,27 @@ pub struct Table {
     rows: Vec<Vec<String>>,
 }
 
+/// A row whose cell count does not match its table's header count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowWidthError {
+    /// Cells the rejected row supplied.
+    pub got: usize,
+    /// Header count the table was built with.
+    pub want: usize,
+}
+
+impl std::fmt::Display for RowWidthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row has {} cells but the table has {} headers",
+            self.got, self.want
+        )
+    }
+}
+
+impl std::error::Error for RowWidthError {}
+
 impl Table {
     /// A table with the given title and column headers.
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
@@ -23,19 +44,36 @@ impl Table {
         }
     }
 
+    /// Appends a row, rejecting a width mismatch as an error instead of
+    /// panicking — for callers assembling rows from non-literal data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowWidthError`] when the row's length differs from the
+    /// header count; the table is left unchanged.
+    pub fn try_row(&mut self, cells: &[String]) -> Result<&mut Self, RowWidthError> {
+        if cells.len() != self.headers.len() {
+            return Err(RowWidthError {
+                got: cells.len(),
+                want: self.headers.len(),
+            });
+        }
+        self.rows.push(cells.to_vec());
+        Ok(self)
+    }
+
     /// Appends a row.
     ///
     /// # Panics
     ///
-    /// Panics if the row's length differs from the header count.
+    /// Panics if the row's length differs from the header count. Every
+    /// experiment builds its rows against a header list two lines above,
+    /// so a mismatch is a bug in that experiment, never runtime data;
+    /// use [`Table::try_row`] where the width is not statically evident.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match headers"
-        );
-        self.rows.push(cells.to_vec());
-        self
+        self.try_row(cells)
+            // lint:allow(panic-hygiene) documented panic (# Panics): ragged rows are caller bugs caught in tests, not data
+            .unwrap_or_else(|e| panic!("row width must match headers: {e}"))
     }
 
     /// Number of data rows.
@@ -244,6 +282,17 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn try_row_reports_the_mismatch_without_panicking() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        let err = t.try_row(&["only one".into()]).unwrap_err();
+        assert_eq!(err, RowWidthError { got: 1, want: 2 });
+        assert!(err.to_string().contains("1 cells"));
+        assert!(t.is_empty(), "the ragged row is not kept");
+        t.try_row(&["x".into(), "y".into()]).unwrap();
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use distscroll_baselines::buttons::ButtonsTechnique;
 use distscroll_baselines::distscroll::DistScrollTechnique;
 use distscroll_baselines::ScrollTechnique;
-use distscroll_eval::experiments::{run_all, set_jobs, Effort};
+use distscroll_eval::experiments::{run_all, set_jobs, Effort, REGISTRY};
 use distscroll_eval::runner::{run_cohort, TechniqueFactory};
 use distscroll_user::population::sample_cohort;
 use rand::rngs::StdRng;
@@ -49,11 +49,18 @@ fn cohort_records_identical_at_jobs_1_2_4_and_8() {
 }
 
 #[test]
-fn run_all_reports_identical_at_jobs_1_2_4() {
+fn registry_reports_identical_at_jobs_1_2_4_and_8() {
     oversubscribe();
     set_jobs(1);
     let serial = run_all(Effort::Quick, 20050607);
-    for jobs in [2, 4] {
+
+    // The serial pass must cover the registry exactly, in order — a
+    // hand-written experiment list that drifted from REGISTRY fails here.
+    let expected: Vec<&str> = REGISTRY.iter().map(|e| e.report_id()).collect();
+    let got: Vec<&str> = serial.iter().map(|r| r.id).collect();
+    assert_eq!(got, expected, "run_all must enumerate the registry");
+
+    for jobs in [2, 4, 8] {
         set_jobs(jobs);
         let parallel = run_all(Effort::Quick, 20050607);
         assert_eq!(serial.len(), parallel.len());

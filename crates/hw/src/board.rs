@@ -28,7 +28,7 @@ use crate::clock::{SimClock, SimDuration, SimInstant};
 use crate::display::{Bt96040, DisplayRole};
 use crate::gpio::{Button, ButtonId, PinLevel};
 use crate::i2c::I2cBus;
-use crate::link::{encode_frame, RadioChannel};
+use crate::link::{encode_frame_into, RadioChannel};
 use crate::mcu::Mcu;
 use crate::pot::Potentiometer;
 use crate::power::{Battery, LoadProfile};
@@ -94,6 +94,23 @@ pub struct Telemetry {
     pub bytes: Vec<u8>,
 }
 
+/// Visitor for telemetry frames arriving at the host.
+///
+/// [`Board::poll_received`] hands each arrived frame to the sink by
+/// reference and recycles the byte buffer afterwards, so a steady-state
+/// poll loop performs no heap allocation. Any `FnMut(&Telemetry)`
+/// closure is a sink.
+pub trait TelemetrySink {
+    /// Called once per arrived frame, in arrival order.
+    fn frame(&mut self, telemetry: &Telemetry);
+}
+
+impl<F: FnMut(&Telemetry)> TelemetrySink for F {
+    fn frame(&mut self, telemetry: &Telemetry) {
+        self(telemetry)
+    }
+}
+
 /// The fully-wired DistScroll prototype.
 pub struct Board {
     clock: SimClock,
@@ -112,6 +129,11 @@ pub struct Board {
     load: LoadProfile,
     radio: RadioChannel,
     air: Vec<Telemetry>,
+    /// Scratch for frames that have arrived, reused across polls.
+    arrived: Vec<Telemetry>,
+    /// Recycled wire-frame byte buffers, so steady-state telemetry
+    /// traffic stops allocating once capacities have warmed up.
+    spare: Vec<Vec<u8>>,
     frames_sent: u64,
     frames_dropped: u64,
     browned_out: bool,
@@ -159,6 +181,8 @@ impl Board {
             load: LoadProfile::distscroll(),
             radio: RadioChannel::clean(),
             air: Vec::new(),
+            arrived: Vec::new(),
+            spare: Vec::new(),
             frames_sent: 0,
             frames_dropped: 0,
             browned_out: false,
@@ -340,33 +364,96 @@ impl Board {
     /// Queues a telemetry payload for the host over the radio.
     ///
     /// The frame may be dropped or corrupted by the channel model;
-    /// arrivals are collected with [`Board::drain_received`].
+    /// arrivals are visited with [`Board::poll_received`] (or collected
+    /// with [`Board::drain_received_into`]). Wire-frame buffers are
+    /// recycled from previous polls, so steady-state traffic allocates
+    /// nothing once capacities have warmed up.
     pub fn send_telemetry<R: Rng + ?Sized>(&mut self, payload: &[u8], rng: &mut R) {
-        let frame = encode_frame(payload);
+        let mut frame = self.spare.pop().unwrap_or_default();
+        encode_frame_into(payload, &mut frame);
         self.frames_sent += 1;
         // Encoding + handing to the radio: ~8 cycles per byte.
         self.mcu.charge(8 * frame.len() as u64);
-        match self.radio.transmit(&frame, self.clock.now(), rng) {
-            Some((arrival, bytes)) => self.air.push(Telemetry { arrival, bytes }),
-            None => self.frames_dropped += 1,
+        match self
+            .radio
+            .transmit_in_place(&mut frame, self.clock.now(), rng)
+        {
+            Some(arrival) => self.air.push(Telemetry {
+                arrival,
+                bytes: frame,
+            }),
+            None => {
+                self.frames_dropped += 1;
+                self.spare.push(frame);
+            }
         }
     }
 
-    /// Frames that have arrived at the host by now, in arrival order.
-    pub fn drain_received(&mut self) -> Vec<Telemetry> {
+    /// Moves every frame whose arrival time has passed from `air` into
+    /// the `arrived` scratch, in arrival order (stable for ties), without
+    /// allocating.
+    fn collect_arrived(&mut self) {
         let now = self.clock.now();
-        let mut arrived: Vec<Telemetry> = Vec::new();
-        let mut still_flying = Vec::new();
-        for t in self.air.drain(..) {
-            if t.arrival <= now {
-                arrived.push(t);
+        let mut keep = 0;
+        for i in 0..self.air.len() {
+            if self.air[i].arrival <= now {
+                let t = std::mem::replace(
+                    &mut self.air[i],
+                    Telemetry {
+                        arrival: SimInstant::BOOT,
+                        bytes: Vec::new(),
+                    },
+                );
+                self.arrived.push(t);
             } else {
-                still_flying.push(t);
+                self.air.swap(keep, i);
+                keep += 1;
             }
         }
-        self.air = still_flying;
-        arrived.sort_by_key(|t| t.arrival);
-        arrived
+        self.air.truncate(keep);
+        // Stable insertion sort by arrival: queues are a handful of
+        // frames deep, and `sort_by_key` would allocate.
+        for i in 1..self.arrived.len() {
+            let mut j = i;
+            while j > 0 && self.arrived[j - 1].arrival > self.arrived[j].arrival {
+                self.arrived.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+    }
+
+    /// Visits every frame that has arrived at the host by now, in
+    /// arrival order, recycling the byte buffers afterwards.
+    ///
+    /// This is the zero-allocation poll: in steady state neither the
+    /// partition, the ordering, nor the visit allocates.
+    pub fn poll_received<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S) {
+        self.collect_arrived();
+        for t in &self.arrived {
+            sink.frame(t);
+        }
+        for mut t in self.arrived.drain(..) {
+            t.bytes.clear();
+            self.spare.push(t.bytes);
+        }
+    }
+
+    /// Appends every frame that has arrived at the host by now to `out`,
+    /// in arrival order, transferring buffer ownership to the caller.
+    pub fn drain_received_into(&mut self, out: &mut Vec<Telemetry>) {
+        self.collect_arrived();
+        out.append(&mut self.arrived);
+    }
+
+    /// Frames that have arrived at the host by now, in arrival order.
+    ///
+    /// Owned-`Vec` convenience over [`Board::drain_received_into`]; poll
+    /// loops should prefer [`Board::poll_received`], which does not
+    /// allocate.
+    pub fn drain_received(&mut self) -> Vec<Telemetry> {
+        let mut out = Vec::new();
+        self.drain_received_into(&mut out);
+        out
     }
 
     /// Frames handed to the radio since boot.
@@ -490,6 +577,44 @@ mod tests {
         let mut dec = crate::link::FrameDecoder::new();
         let frames = dec.push_all(&got[0].bytes);
         assert_eq!(frames, vec![Ok(b"adc=512".to_vec())]);
+    }
+
+    #[test]
+    fn poll_received_visits_in_arrival_order_and_recycles_buffers() {
+        let mut board = Board::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        board.send_telemetry(b"first", &mut rng);
+        board.send_telemetry(b"second", &mut rng);
+        board.step(SimDuration::from_millis(50));
+        let mut seen: Vec<(SimInstant, Vec<u8>)> = Vec::new();
+        board.poll_received(&mut |t: &Telemetry| seen.push((t.arrival, t.bytes.clone())));
+        assert_eq!(seen.len(), 2);
+        assert!(seen[0].0 <= seen[1].0, "visited in arrival order");
+        let mut dec = crate::link::FrameDecoder::new();
+        assert_eq!(dec.push_all(&seen[0].1), vec![Ok(b"first".to_vec())]);
+        // The visited buffers were recycled into the spare pool.
+        assert_eq!(board.spare.len(), 2);
+        board.send_telemetry(b"third", &mut rng);
+        assert_eq!(board.spare.len(), 1, "send reuses a recycled buffer");
+    }
+
+    #[test]
+    fn drain_received_into_matches_legacy_drain() {
+        let make = || {
+            let mut board = Board::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            for i in 0..5u8 {
+                board.send_telemetry(&[i; 4], &mut rng);
+                board.step(SimDuration::from_millis(3));
+            }
+            board.step(SimDuration::from_millis(40));
+            board
+        };
+        let legacy = make().drain_received();
+        let mut into = Vec::new();
+        make().drain_received_into(&mut into);
+        assert_eq!(legacy, into);
+        assert!(!legacy.is_empty());
     }
 
     #[test]

@@ -50,19 +50,33 @@ pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
 /// Panics if the payload exceeds [`MAX_PAYLOAD`] bytes; split longer
 /// telemetry across frames instead.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 5);
+    encode_frame_into(payload, &mut frame);
+    frame
+}
+
+/// Encodes one payload into a wire frame, appending to `out`.
+///
+/// `out` is cleared first; with a recycled buffer of sufficient capacity
+/// this performs no heap allocation.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] bytes; split longer
+/// telemetry across frames instead.
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
     assert!(
         payload.len() <= MAX_PAYLOAD,
         "payload too long for one frame"
     );
-    let mut frame = Vec::with_capacity(payload.len() + 5);
-    frame.push(SYNC1);
-    frame.push(SYNC2);
-    frame.push(payload.len() as u8);
-    frame.extend_from_slice(payload);
+    out.clear();
+    out.push(SYNC1);
+    out.push(SYNC2);
+    out.push(payload.len() as u8);
+    out.extend_from_slice(payload);
     let crc = crc16_ccitt(payload);
-    frame.push((crc >> 8) as u8);
-    frame.push((crc & 0xff) as u8);
-    frame
+    out.push((crc >> 8) as u8);
+    out.push((crc & 0xff) as u8);
 }
 
 /// Host-side frame decoder: feed it bytes, get frames (or CRC errors) out.
@@ -249,12 +263,29 @@ impl RadioChannel {
         now: SimInstant,
         rng: &mut R,
     ) -> Option<(SimInstant, Vec<u8>)> {
+        let mut bytes = frame.to_vec();
+        self.transmit_in_place(&mut bytes, now, rng)
+            .map(|arrival| (arrival, bytes))
+    }
+
+    /// Transmits the wire frame in `buf` at `now`, mutating it in place.
+    ///
+    /// Same channel model as [`RadioChannel::transmit`] — identical RNG
+    /// draw order, so seeded runs produce identical streams — but bit
+    /// errors are applied to `buf` directly and no buffer is allocated.
+    /// Returns `None` if the frame was dropped, otherwise the arrival
+    /// time; `buf` then holds the (possibly corrupted) received bytes.
+    pub fn transmit_in_place<R: Rng + ?Sized>(
+        &self,
+        buf: &mut [u8],
+        now: SimInstant,
+        rng: &mut R,
+    ) -> Option<SimInstant> {
         if self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability) {
             return None;
         }
-        let mut bytes = frame.to_vec();
         if self.bit_error_rate > 0.0 {
-            for b in &mut bytes {
+            for b in buf.iter_mut() {
                 for bit in 0..8 {
                     if rng.gen_bool(self.bit_error_rate) {
                         *b ^= 1 << bit;
@@ -267,8 +298,7 @@ impl RadioChannel {
         } else {
             SimDuration::from_micros(rng.gen_range(0..self.jitter.as_micros()))
         };
-        let arrival = now + self.airtime(frame.len()) + self.base_latency + jitter;
-        Some((arrival, bytes))
+        Some(now + self.airtime(buf.len()) + self.base_latency + jitter)
     }
 }
 
@@ -407,6 +437,37 @@ mod tests {
             dec.frames_bad() > 0,
             "some frames should fail crc at 0.2 % ber"
         );
+    }
+
+    #[test]
+    fn encode_frame_into_matches_owned_form() {
+        let mut buf = vec![0xffu8; 64]; // stale contents must be cleared
+        encode_frame_into(b"hello distscroll", &mut buf);
+        assert_eq!(buf, encode_frame(b"hello distscroll"));
+    }
+
+    #[test]
+    fn transmit_in_place_matches_transmit_draw_for_draw() {
+        let ch = RadioChannel {
+            jitter: SimDuration::from_millis(5),
+            ..RadioChannel::lossy(0.2, 0.01)
+        };
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let frame = encode_frame(b"same rng stream either way");
+        for _ in 0..200 {
+            let owned = ch.transmit(&frame, SimInstant::BOOT, &mut rng_a);
+            let mut buf = frame.clone();
+            let in_place = ch.transmit_in_place(&mut buf, SimInstant::BOOT, &mut rng_b);
+            match (owned, in_place) {
+                (Some((arrival, bytes)), Some(arrival2)) => {
+                    assert_eq!(arrival, arrival2);
+                    assert_eq!(bytes, buf);
+                }
+                (None, None) => {}
+                (a, b) => panic!("drop decisions diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//@ path: crates/eval/src/experiments/bad_drain.rs
+//@ expect: event-drain@9
+//@ expect: event-drain@13
+
+// The legacy owned-Vec poll allocates a fresh Vec per tick — exactly
+// the hot path the sink API exists to keep allocation-free.
+
+pub fn count_selections(dev: &mut distscroll_core::device::DistScrollDevice) -> usize {
+    dev.drain_events().len()
+}
+
+pub fn frame_count(dev: &mut distscroll_core::device::DistScrollDevice) -> usize {
+    dev.drain_telemetry().len()
+}

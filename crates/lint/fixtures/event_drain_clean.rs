@@ -1,0 +1,22 @@
+//@ path: crates/eval/src/experiments/good_poll.rs
+
+// The replacement idioms: a sink visit (no allocation) and the
+// `_into` scratch-buffer forms (caller-owned, reused across ticks).
+// None of these carry the forbidden bare drain tokens. Inside
+// `crates/core` itself the legacy names remain legal — that is where
+// the compatibility shims live.
+
+pub fn count_selections(dev: &mut distscroll_core::device::DistScrollDevice) -> usize {
+    let mut n = 0usize;
+    dev.poll_events(&mut |_e: &distscroll_core::events::TimedEvent| n += 1);
+    n
+}
+
+pub fn refill(
+    dev: &mut distscroll_core::device::DistScrollDevice,
+    events: &mut Vec<distscroll_core::events::TimedEvent>,
+    frames: &mut Vec<distscroll_hw::board::Telemetry>,
+) {
+    dev.drain_events_into(events);
+    dev.drain_telemetry_into(frames);
+}

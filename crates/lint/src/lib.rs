@@ -20,8 +20,9 @@
 //! | `wall-clock` | library code of `core`, `eval`, `baselines`, `host` | `Instant::now` / `SystemTime::now` |
 //! | `ambient-rng` | library code of `core`, `eval`, `baselines`, `host` | `thread_rng` / `rand::random` / `from_entropy` / `OsRng` |
 //! | `unordered-iter` | first-party library code | `HashMap` / `HashSet` (use `BTreeMap` / `BTreeSet`) |
-//! | `unsafe-audit` | everywhere | `unsafe` outside `crates/par/src/pool.rs`, or without a `// SAFETY:` comment |
+//! | `unsafe-audit` | everywhere | `unsafe` outside the audited allowlist, or without a `// SAFETY:` comment |
 //! | `panic-hygiene` | first-party library code outside tests | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
+//! | `event-drain` | everywhere but `crates/core` | `drain_events` / `drain_telemetry` (allocate-per-poll; use the sink or `drain_*_into` forms) |
 //! | `bad-pragma` | everywhere | `lint:allow` pragmas that name no known rule or carry no reason |
 //!
 //! Vendored crates (`rand`, `proptest`, `criterion`) are excluded, the

@@ -26,6 +26,8 @@ pub enum Rule {
     UnsafeAudit,
     /// Panicking calls in library code outside tests.
     PanicHygiene,
+    /// Legacy allocate-per-poll event/telemetry drains outside `crates/core`.
+    EventDrain,
     /// A `lint:allow` pragma that is unusable as written.
     BadPragma,
 }
@@ -38,6 +40,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::UnorderedIter,
     Rule::UnsafeAudit,
     Rule::PanicHygiene,
+    Rule::EventDrain,
     Rule::BadPragma,
 ];
 
@@ -51,6 +54,7 @@ impl Rule {
             Rule::UnorderedIter => "unordered-iter",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::PanicHygiene => "panic-hygiene",
+            Rule::EventDrain => "event-drain",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -80,11 +84,17 @@ impl Rule {
                  use BTreeMap / BTreeSet or a sorted Vec"
             }
             Rule::UnsafeAudit => {
-                "unsafe outside par::pool, or without a `// SAFETY:` comment justifying it"
+                "unsafe outside the audited allowlist (par::pool, core's counting-allocator \
+                 test), or without a `// SAFETY:` comment justifying it"
             }
             Rule::PanicHygiene => {
                 "unwrap / expect / panic! / unreachable! / todo! / unimplemented! in library \
                  code outside tests — fail through Result like summarize()"
+            }
+            Rule::EventDrain => {
+                "drain_events / drain_telemetry outside crates/core — the owned-Vec poll \
+                 allocates per tick; visit with poll_events/poll_telemetry or reuse a \
+                 scratch buffer via the drain_*_into forms"
             }
             Rule::BadPragma => "a lint:allow pragma naming an unknown rule or carrying no reason",
         }
@@ -118,9 +128,10 @@ pub struct FileContext {
 /// randomness: everything on the path from a seed to a report.
 const DETERMINISTIC_CRATES: &[&str] = &["core", "eval", "baselines", "host"];
 
-/// The only module allowed to contain `unsafe` (and every block there
-/// must carry a SAFETY comment).
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/par/src/pool.rs"];
+/// The only modules allowed to contain `unsafe` (and every block there
+/// must carry a SAFETY comment): the worker pool, and the counting
+/// allocator backing the zero-allocation regression test.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/par/src/pool.rs", "crates/core/tests/zero_alloc.rs"];
 
 impl FileContext {
     /// Classifies a workspace-relative path (`/`-separated).
@@ -516,6 +527,18 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
             }
         }
 
+        if ctx.crate_name != "core"
+            && (has_token(code, "drain_events") || has_token(code, "drain_telemetry"))
+        {
+            hits.push((
+                Rule::EventDrain,
+                "allocate-per-poll drain outside crates/core — visit events with \
+                 poll_events/poll_telemetry, or reuse a scratch buffer via \
+                 drain_events_into/drain_telemetry_into"
+                    .to_string(),
+            ));
+        }
+
         if lib_line {
             for pat in [
                 ".unwrap()",
@@ -744,6 +767,37 @@ mod tests {
     fn forbid_unsafe_code_attribute_does_not_fire() {
         let text = "#![forbid(unsafe_code)]\n";
         assert!(rules_at(text, "crates/core/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn event_drain_flagged_outside_core_only() {
+        let text = "fn f(dev: &mut D) { let _ = dev.drain_events(); }\n";
+        assert_eq!(
+            rules_at(text, "crates/eval/src/experiments/fig4.rs"),
+            vec![(Rule::EventDrain, 1)]
+        );
+        assert_eq!(
+            rules_at(text, "examples/quickstart.rs"),
+            vec![(Rule::EventDrain, 1)]
+        );
+        assert!(rules_at(text, "crates/core/src/device.rs").is_empty());
+        let telemetry = "fn f(dev: &mut D) { for t in dev.drain_telemetry() {} }\n";
+        assert_eq!(
+            rules_at(telemetry, "crates/host/src/session.rs"),
+            vec![(Rule::EventDrain, 1)]
+        );
+    }
+
+    #[test]
+    fn event_drain_into_scratch_forms_are_fine() {
+        let text = concat!(
+            "fn f(dev: &mut D, buf: &mut Vec<E>) {\n",
+            "    dev.drain_events_into(buf);\n",
+            "    dev.drain_telemetry_into(buf);\n",
+            "    dev.poll_events(&mut |_e| {});\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/eval/src/experiments/fig4.rs").is_empty());
     }
 
     #[test]

@@ -53,9 +53,16 @@ impl MedianFilter {
             self.window.pop_front();
         }
         self.window.push_back(x);
-        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        sorted[sorted.len() / 2]
+        // Sort into a fixed stack buffer: the window is capped at 15
+        // samples and this runs once per firmware tick, so the steady
+        // state must not touch the heap.
+        let mut sorted = [0.0f64; 15];
+        let n = self.window.len();
+        for (slot, &v) in sorted.iter_mut().zip(self.window.iter()) {
+            *slot = v;
+        }
+        sorted[..n].sort_by(|a, b| a.total_cmp(b));
+        sorted[n / 2]
     }
 
     /// Bytes of state this window costs on the PIC (2-byte samples).

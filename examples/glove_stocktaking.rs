@@ -12,7 +12,7 @@
 //! confirms with the (glove-friendly) thumb button.
 
 use distscroll::core::device::DistScrollDevice;
-use distscroll::core::events::Event;
+use distscroll::core::events::{Event, TimedEvent};
 use distscroll::core::menu::{Menu, MenuNode};
 use distscroll::core::profile::DeviceProfile;
 use distscroll::sensors::environment::{AmbientLight, Surface};
@@ -89,11 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 UserCommand::None => {}
             }
             dev.tick()?;
-            for ev in dev.drain_events() {
-                if let Event::Activated { path } = ev.event {
+            dev.poll_events(&mut |ev: &TimedEvent| {
+                if let Event::Activated { path } = &ev.event {
                     selected = path.last().cloned();
                 }
-            }
+            });
             if selected.is_some() && aim.is_done() {
                 break;
             }

@@ -17,6 +17,7 @@ use distscroll::core::profile::DeviceProfile;
 use distscroll::host::replay::Trajectory;
 use distscroll::host::session::SessionLog;
 use distscroll::host::telemetry::StreamDecoder;
+use distscroll::hw::board::Telemetry;
 use distscroll::user::population::UserParams;
 use distscroll::user::strategy::{DeviceGeometry, PositionAim, UserCommand};
 use rand::rngs::StdRng;
@@ -55,9 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 UserCommand::None => {}
             }
             dev.tick()?;
-            for frame in dev.drain_telemetry() {
+            dev.poll_telemetry(&mut |frame: &Telemetry| {
                 log.ingest_all(decoder.push_bytes(&frame.bytes));
-            }
+            });
             if aim.is_done() {
                 break;
             }
@@ -66,9 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         while dev.level() > 0 {
             dev.click_back()?;
         }
-        for frame in dev.drain_telemetry() {
+        dev.poll_telemetry(&mut |frame: &Telemetry| {
             log.ingest_all(decoder.push_bytes(&frame.bytes));
-        }
+        });
     }
 
     println!(

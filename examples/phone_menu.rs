@@ -10,7 +10,7 @@
 //! discovery, then near-errorless use.
 
 use distscroll::core::device::DistScrollDevice;
-use distscroll::core::events::Event;
+use distscroll::core::events::{Event, TimedEvent};
 use distscroll::core::phone_menu::phone_menu;
 use distscroll::core::profile::DeviceProfile;
 use distscroll::user::population::UserParams;
@@ -57,13 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 UserCommand::None => {}
             }
             dev.tick()?;
-            for ev in dev.drain_events() {
-                if let Event::EnteredSubmenu { label } = ev.event {
-                    outcome = Some(vec![label]);
-                } else if let Event::Activated { path } = ev.event {
-                    outcome = Some(path);
+            dev.poll_events(&mut |ev: &TimedEvent| {
+                if let Event::EnteredSubmenu { label } = &ev.event {
+                    outcome = Some(vec![label.clone()]);
+                } else if let Event::Activated { path } = &ev.event {
+                    outcome = Some(path.clone());
                 }
-            }
+            });
             if outcome.is_some() && aim.is_done() {
                 break;
             }

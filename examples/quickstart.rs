@@ -62,11 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The device also streamed telemetry to the host over the radio the
     // whole time:
-    let frames = dev.drain_telemetry();
-    println!(
-        "telemetry frames received by the host so far: {}",
-        frames.len()
-    );
+    let mut frames = 0usize;
+    dev.poll_telemetry(&mut |_t: &distscroll::hw::board::Telemetry| frames += 1);
+    println!("telemetry frames received by the host so far: {frames}");
 
     Ok(())
 }

@@ -17,6 +17,20 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
+# Fast gate first: the registry listing and a single experiment through
+# the --only path. This catches a broken build, a registry mismatch or a
+# CLI regression in seconds, before the full matrix spends minutes.
+n_ids="$(cargo run --release -p distscroll-eval -- --list | tail -n +2 | wc -l)"
+if [ "$n_ids" -ne 14 ]; then
+    echo "smoke: --list should print 14 experiments, got $n_ids" >&2
+    exit 1
+fi
+cargo run --release -p distscroll-eval -- --only F4 --effort quick > "$workdir/only_f4.txt"
+grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_f4.txt" || {
+    echo "smoke: --only F4 fast gate failed" >&2
+    exit 1
+}
+
 cargo run --release -p distscroll-eval -- --quick --jobs 1 --out "$workdir/jobs1" all \
     > "$workdir/stdout_jobs1.txt"
 cargo run --release -p distscroll-eval -- --quick --jobs 4 --out "$workdir/jobs4" all \

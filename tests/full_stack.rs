@@ -9,7 +9,7 @@
 use distscroll::baselines::distscroll::DistScrollTechnique;
 use distscroll::baselines::{ScrollTechnique, TrialSetup};
 use distscroll::core::device::DistScrollDevice;
-use distscroll::core::events::Event;
+use distscroll::core::events::{Event, TimedEvent};
 use distscroll::core::phone_menu::{phone_menu, RINGING_TONE_PATH};
 use distscroll::core::profile::DeviceProfile;
 use distscroll::user::population::UserParams;
@@ -30,14 +30,13 @@ fn deep_navigation_to_a_leaf_through_the_whole_stack() {
         assert_eq!(dev.highlighted(), idx, "highlight settles on the island");
         dev.click_select().expect("battery is fresh");
     }
-    let activated = dev
-        .drain_events()
-        .into_iter()
-        .find_map(|e| match e.event {
-            Event::Activated { path } => Some(path),
-            _ => None,
-        })
-        .expect("the leaf was activated");
+    let mut activated: Option<Vec<String>> = None;
+    dev.poll_events(&mut |e: &TimedEvent| {
+        if let Event::Activated { path } = &e.event {
+            activated.get_or_insert_with(|| path.clone());
+        }
+    });
+    let activated = activated.expect("the leaf was activated");
     assert_eq!(activated, vec!["Settings", "Tone settings", "Ringing tone"]);
 }
 
@@ -59,7 +58,8 @@ fn telemetry_stream_decodes_on_the_host_side() {
     let mut dev = DistScrollDevice::new(DeviceProfile::paper(), phone_menu(), 5);
     dev.set_distance(12.0);
     dev.run_for_ms(2_000).expect("battery is fresh");
-    let frames = dev.drain_telemetry();
+    let mut frames = Vec::new();
+    dev.drain_telemetry_into(&mut frames);
     assert!(
         frames.len() > 10,
         "telemetry flows: {} frames",
@@ -145,10 +145,9 @@ fn flat_battery_ends_the_session_with_a_brownout_error() {
         died,
         "a 0.05 mAh cell cannot power the board for 10 minutes"
     );
-    assert!(
-        dev.drain_events()
-            .iter()
-            .any(|e| matches!(e.event, Event::BrownOut)),
-        "the firmware logs the brown-out"
-    );
+    let mut brownout_logged = false;
+    dev.poll_events(&mut |e: &TimedEvent| {
+        brownout_logged |= matches!(e.event, Event::BrownOut);
+    });
+    assert!(brownout_logged, "the firmware logs the brown-out");
 }

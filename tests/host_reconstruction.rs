@@ -11,6 +11,7 @@ use distscroll::core::profile::DeviceProfile;
 use distscroll::host::replay::Trajectory;
 use distscroll::host::session::SessionLog;
 use distscroll::host::telemetry::{EventKind, Record, StreamDecoder};
+use distscroll::hw::board::Telemetry;
 use distscroll::hw::link::RadioChannel;
 
 /// Runs a short scripted session and returns the host's session log.
@@ -23,9 +24,9 @@ fn run_session(lossy: bool) -> (SessionLog, StreamDecoder) {
     let mut log = SessionLog::new();
 
     let pump = |dev: &mut DistScrollDevice, decoder: &mut StreamDecoder, log: &mut SessionLog| {
-        for t in dev.drain_telemetry() {
+        dev.poll_telemetry(&mut |t: &Telemetry| {
             log.ingest_all(decoder.push_bytes(&t.bytes));
-        }
+        });
     };
 
     // Scroll to Settings (index 4), select, go back, scroll near.
@@ -117,9 +118,9 @@ fn long_sessions_unwrap_the_16_bit_stamp() {
     let mut log = SessionLog::new();
     for _ in 0..72 {
         dev.run_for_ms(10_000).expect("fresh battery");
-        for t in dev.drain_telemetry() {
+        dev.poll_telemetry(&mut |t: &Telemetry| {
             log.ingest_all(decoder.push_bytes(&t.bytes));
-        }
+        });
     }
     let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
     assert!(
