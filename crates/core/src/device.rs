@@ -433,6 +433,14 @@ impl DistScrollDevice {
         self.board.poll_received(sink);
     }
 
+    /// Sends a payload from the host back to the device over the radio's
+    /// reverse channel — how the host's ARQ acknowledgements reach the
+    /// firmware. Subject to the same loss, corruption and jitter as
+    /// device telemetry; the device reads it on its next tick.
+    pub fn host_send(&mut self, payload: &[u8]) {
+        self.board.host_send(payload, &mut self.rng);
+    }
+
     /// Appends the firmware's pending interaction events to `out`,
     /// reusing the caller's buffer across polls.
     pub fn drain_events_into(&mut self, out: &mut Vec<TimedEvent>) {

@@ -52,6 +52,21 @@ impl Event {
             Event::BrownOut => b'!',
         }
     }
+
+    /// The event as a 5-byte telemetry record
+    /// (`['E', stamp_hi, stamp_lo, tag, aux]`), as it rides the radio
+    /// link. `stamp` is the low 16 bits of the firmware tick counter;
+    /// `aux` is the event-specific operand the firmware chooses
+    /// (highlight index, path depth, level).
+    pub fn wire_payload(&self, stamp: u16, aux: u8) -> [u8; 5] {
+        [
+            b'E',
+            (stamp >> 8) as u8,
+            (stamp & 0xff) as u8,
+            self.wire_tag(),
+            aux,
+        ]
+    }
 }
 
 /// An event with the simulated time it happened.
@@ -200,6 +215,16 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[1].at, t(1));
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn wire_payload_encodes_stamp_tag_and_aux() {
+        let e = Event::Highlight {
+            index: 4,
+            label: "x".into(),
+        };
+        assert_eq!(e.wire_payload(0x1234, 4), [b'E', 0x12, 0x34, b'H', 4]);
+        assert_eq!(Event::WentBack.wire_payload(7, 1), [b'E', 0, 7, b'B', 1]);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! 5. redraws the two displays when something changed,
 //! 6. ships a telemetry frame every few ticks.
 
+use distscroll_hw::arq::{decode_ack, ArqClass, ArqTx, LinkQuality};
 use distscroll_hw::board::{AdcChannel, Board};
 use distscroll_hw::clock::SimDuration;
 use distscroll_hw::display::DisplayRole;
@@ -76,6 +77,11 @@ pub struct Firmware {
     /// Study-instruction mode for the lower display (§6: "instructions
     /// which items are to be searched or selected").
     instruction: Option<String>,
+    /// Reliable-transport sender, present when the profile enables ARQ.
+    arq_tx: Option<ArqTx>,
+    /// Telemetry records produced since boot (state snapshots plus
+    /// events) — the ground-truth denominator for delivery measurements.
+    records_emitted: u64,
 }
 
 impl Firmware {
@@ -115,6 +121,8 @@ impl Firmware {
             rest_since_tick: None,
             standby: false,
             instruction: None,
+            arq_tx: profile.arq.then(ArqTx::new),
+            records_emitted: 0,
             profile,
             curve,
             nav,
@@ -175,6 +183,22 @@ impl Firmware {
     /// caller's buffer.
     pub fn drain_events_into(&mut self, out: &mut Vec<TimedEvent>) {
         self.log.drain_into(out);
+    }
+
+    /// Telemetry records produced since boot (state snapshots plus
+    /// events), whether or not the radio delivered them.
+    pub fn records_emitted(&self) -> u64 {
+        self.records_emitted
+    }
+
+    /// Transmit-side link-quality counters, when ARQ is enabled.
+    pub fn arq_quality(&self) -> Option<LinkQuality> {
+        self.arq_tx.as_ref().map(ArqTx::quality)
+    }
+
+    /// Records awaiting acknowledgement, when ARQ is enabled.
+    pub fn arq_in_flight(&self) -> Option<usize> {
+        self.arq_tx.as_ref().map(ArqTx::in_flight)
     }
 
     /// The firmware's latest distance estimate, cm (None while out of
@@ -589,6 +613,13 @@ impl Firmware {
     /// event, all stamped with the low 16 bits of the tick counter so
     /// the host can reconstruct the timeline (see the distscroll-host
     /// crate).
+    ///
+    /// With ARQ enabled (profile `arq`), records are queued on the
+    /// reliable transport instead of going straight to the radio: the
+    /// host's acknowledgements (arriving on the board's reverse channel)
+    /// are folded in first, then every due frame — fresh or timed-out —
+    /// is handed to the radio. With ARQ off the path is byte-for-byte
+    /// (and RNG-draw-for-draw) the old fire-and-forget one.
     fn emit_telemetry<R: Rng + ?Sized>(
         &mut self,
         board: &mut Board,
@@ -597,6 +628,15 @@ impl Firmware {
         events_at_tick_start: usize,
     ) -> Result<(), CoreError> {
         let stamp = (self.ticks & 0xffff) as u16;
+        if let Some(tx) = self.arq_tx.as_mut() {
+            // Acknowledgements release retransmit-queue slots before this
+            // tick's records are queued.
+            board.poll_host_received(|payload| {
+                if let Some((cum, bitmap)) = decode_ack(payload) {
+                    tx.on_ack(cum, bitmap);
+                }
+            });
+        }
         if self
             .ticks
             .is_multiple_of(self.profile.telemetry_every_ticks)
@@ -612,7 +652,13 @@ impl Firmware {
                 self.nav.level() as u8,
                 self.nav.highlighted() as u8,
             ];
-            board.send_telemetry(&payload, rng);
+            self.records_emitted += 1;
+            match self.arq_tx.as_mut() {
+                Some(tx) => {
+                    tx.enqueue(ArqClass::State, &payload, self.ticks);
+                }
+                None => board.send_telemetry(&payload, rng),
+            }
         }
         for te in &self.log.events()[events_at_tick_start..] {
             let aux = match &te.event {
@@ -620,14 +666,17 @@ impl Firmware {
                 Event::Activated { path } => path.len() as u8,
                 _ => self.nav.level() as u8,
             };
-            let payload = [
-                b'E',
-                (stamp >> 8) as u8,
-                (stamp & 0xff) as u8,
-                te.event.wire_tag(),
-                aux,
-            ];
-            board.send_telemetry(&payload, rng);
+            let payload = te.event.wire_payload(stamp, aux);
+            self.records_emitted += 1;
+            match self.arq_tx.as_mut() {
+                Some(tx) => {
+                    tx.enqueue(ArqClass::Event, &payload, self.ticks);
+                }
+                None => board.send_telemetry(&payload, rng),
+            }
+        }
+        if let Some(tx) = self.arq_tx.as_mut() {
+            tx.service(self.ticks, |wire| board.send_telemetry(wire, rng));
         }
         Ok(())
     }

@@ -182,6 +182,11 @@ pub struct DeviceProfile {
     /// context determination" — concretely, power down the sensor and
     /// displays when the device is set down flat and still.
     pub orientation_standby: bool,
+    /// Reliable-delivery transport (ARQ) on the radio link: sequence
+    /// numbers, host acknowledgements, timeout + backoff retransmission.
+    /// Off in the paper's prototype, whose debug telemetry was
+    /// fire-and-forget; experiment L2 measures what it buys.
+    pub arq: bool,
     /// Strategy for menus with more entries than islands fit.
     pub long_menu: LongMenuStrategy,
     /// Maximum number of islands the range is divided into at once; longer
@@ -216,6 +221,7 @@ impl DeviceProfile {
             display_fit: DisplayFit::TwoOnboard,
             telemetry_every_ticks: 10,
             orientation_standby: false,
+            arq: false,
             long_menu: LongMenuStrategy::default(),
             max_islands: 12,
             tick_ms: 10,

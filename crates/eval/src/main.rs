@@ -48,17 +48,19 @@ struct BenchRow {
     parallel_s: f64,
 }
 
-/// Renders the v2 perf report as JSON by hand — the harness has no JSON
+/// Renders the v3 perf report as JSON by hand — the harness has no JSON
 /// dependency, and experiment ids contain no characters that need
 /// escaping.
 ///
-/// v2 adds `schema`, `cores` (machine parallelism), `tokens` (what the
+/// v2 added `schema`, `cores` (machine parallelism), `tokens` (what the
 /// executor's budget actually granted — `--jobs` is clamped to the core
 /// count), and a `stages` array with one executor-counter snapshot per
 /// timing pass. The headline `speedup` compares each pass's *overall*
 /// wall clock: per-experiment parallel timings overlap on shared cores,
 /// so their sum double-counts contended time and says nothing about
-/// throughput.
+/// throughput. v3 adds `link_quality`: the ARQ transport counters every
+/// reliable-link session of the run folded together (all zeros when no
+/// experiment exercised the ARQ).
 fn bench_json(
     rows: &[BenchRow],
     stages: &[ExecutorStage],
@@ -69,7 +71,7 @@ fn bench_json(
     let serial_wall_s = stages[0].wall_s;
     let parallel_wall_s = stages[1].wall_s;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n");
+    out.push_str("  \"schema\": 3,\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"cores\": {},\n", distscroll_par::max_jobs()));
     out.push_str(&format!(
@@ -93,6 +95,12 @@ fn bench_json(
         out.push_str(&format!("    {}{comma}\n", stage.to_json()));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"link_quality\": {},\n",
+        distscroll_host::telemetry::link_quality_json(
+            &distscroll_host::telemetry::link_quality_totals()
+        )
+    ));
     out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
     out.push_str(&format!("  \"parallel_wall_s\": {parallel_wall_s:.4},\n"));
     out.push_str(&format!(

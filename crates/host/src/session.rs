@@ -39,12 +39,18 @@ pub struct SelectionMeasure {
     pub selected: Option<u8>,
 }
 
+/// Half the 16-bit stamp space: the serial-number-arithmetic horizon
+/// (RFC 1982). A forward step of less than this is "newer"; anything
+/// else is an older, reordered record.
+const SERIAL_HALF: u64 = 32_768;
+
 /// A session log under construction.
 #[derive(Debug, Clone, Default)]
 pub struct SessionLog {
     records: Vec<TimedRecord>,
-    last_stamp: Option<u16>,
-    wraps: u64,
+    /// Newest point of the timeline seen so far: the 16-bit stamp and
+    /// the unwrapped tick it resolved to.
+    frontier: Option<(u16, u64)>,
     tick_s: f64,
 }
 
@@ -71,16 +77,47 @@ impl SessionLog {
     }
 
     /// Ingests one record, unwrapping its 16-bit stamp.
+    ///
+    /// Unwrapping uses serial-number arithmetic (RFC 1982): relative to
+    /// the newest stamp seen so far, a forward distance under 32768 is
+    /// progress (this is what carries the timeline across the 16-bit
+    /// wrap), while anything else is an *older* record that the radio
+    /// link delivered late — a reordered or retransmitted frame — and is
+    /// placed back where it belongs instead of being misread as a wrap.
+    /// The old `stamp < last ⇒ wrap` heuristic added a phantom 65536
+    /// ticks on every jitter-induced reordering, corrupting every
+    /// subsequent timestamp.
     pub fn ingest(&mut self, record: Record) {
         let stamp = record.stamp();
-        if let Some(last) = self.last_stamp {
-            if stamp < last {
-                self.wraps += 1;
+        let tick = match self.frontier {
+            None => {
+                let tick = u64::from(stamp);
+                self.frontier = Some((stamp, tick));
+                tick
             }
-        }
-        self.last_stamp = Some(stamp);
-        let tick = self.wraps * 65536 + u64::from(stamp);
-        self.records.push(TimedRecord { tick, record });
+            Some((front_stamp, front_tick)) => {
+                let delta = u64::from(stamp.wrapping_sub(front_stamp));
+                if delta < SERIAL_HALF {
+                    let tick = front_tick + delta;
+                    self.frontier = Some((stamp, tick));
+                    tick
+                } else {
+                    // Older than the frontier by 65536 - delta ticks;
+                    // saturate rather than underflow if the very first
+                    // records arrived out of order.
+                    front_tick.saturating_sub(65_536 - delta)
+                }
+            }
+        };
+        // Insert in tick order so `records()` stays a monotonic
+        // timeline even when the link delivers out of order. Streams
+        // are nearly sorted, so scanning from the tail is cheap.
+        let at = self
+            .records
+            .iter()
+            .rposition(|r| r.tick <= tick)
+            .map_or(0, |i| i + 1);
+        self.records.insert(at, TimedRecord { tick, record });
     }
 
     /// Ingests a batch.
@@ -217,6 +254,54 @@ mod tests {
         let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
         assert_eq!(ticks, vec![65_530, 65_535, 65_540, 65_546]);
         assert!((log.duration_s() - 16.0 * 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reordered_stamps_do_not_fake_a_wrap() {
+        // Regression: a jitter-reordered arrival (110 then 105) made the
+        // old `stamp < last ⇒ wrap` heuristic add a phantom 65536 ticks,
+        // corrupting this and every later timestamp. Serial-number
+        // arithmetic reads the small backwards jump as reordering and
+        // slots the record back into place.
+        let mut log = SessionLog::new();
+        log.ingest(state(100, 1));
+        log.ingest(state(110, 2));
+        log.ingest(state(105, 3)); // arrived late
+        log.ingest(state(120, 4));
+        let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![100, 105, 110, 120]);
+        assert!((log.duration_s() - 20.0 * 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicated_stamps_share_a_tick() {
+        let mut log = SessionLog::new();
+        log.ingest(state(50, 1));
+        log.ingest(state(50, 1)); // retransmitted copy
+        log.ingest(state(60, 2));
+        let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![50, 50, 60]);
+    }
+
+    #[test]
+    fn reordering_across_the_wrap_boundary_resolves_backwards() {
+        let mut log = SessionLog::new();
+        log.ingest(state(65_534, 1));
+        log.ingest(state(3, 2)); // wrapped: 5 ticks forward
+        log.ingest(state(65_535, 3)); // late pre-wrap record
+        let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![65_534, 65_535, 65_539]);
+    }
+
+    #[test]
+    fn early_reordering_saturates_at_session_start() {
+        let mut log = SessionLog::new();
+        log.ingest(state(2, 1));
+        // Claims to be ~6 ticks before the first record; the unwrapped
+        // timeline starts at 0, so it clamps there instead of wrapping.
+        log.ingest(state(65_532, 2));
+        let ticks: Vec<u64> = log.records().iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![0, 2]);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! ~10 ms, so 16 bits wrap after ~11 minutes — ordinary telemetry rates
 //! see a record far more often than that).
 
+use distscroll_hw::arq::{self, ArqRx, LinkQuality};
 use distscroll_hw::link::FrameDecoder;
 use distscroll_hw::HwError;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A periodic state snapshot from the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,38 +196,93 @@ pub fn parse_record(payload: &[u8]) -> Result<Record, ProtocolError> {
 
 /// Stacks record parsing on the link-layer frame decoder: feed raw radio
 /// bytes, collect typed records.
+///
+/// Built with [`StreamDecoder::with_arq`], the decoder additionally
+/// terminates the reliable transport: sequence-numbered `'D'` payloads
+/// are deduplicated and reordered by an [`ArqRx`] before their inner
+/// records are parsed, and [`StreamDecoder::ack_payload`] yields the
+/// acknowledgement to send back to the device.
 #[derive(Debug, Clone, Default)]
 pub struct StreamDecoder {
     frames: FrameDecoder,
+    arq: Option<ArqRx>,
     records_ok: u64,
     records_bad: u64,
     crc_failures: u64,
 }
 
 impl StreamDecoder {
-    /// A fresh decoder.
+    /// A fresh decoder for the fire-and-forget protocol.
     pub fn new() -> Self {
         StreamDecoder::default()
     }
 
-    /// Pushes received bytes; returns the records completed by them.
-    /// Malformed or CRC-failed frames are counted and skipped.
-    pub fn push_bytes(&mut self, bytes: &[u8]) -> Vec<Record> {
-        let mut out = Vec::new();
-        for frame in self.frames.push_all(bytes) {
+    /// A decoder terminating the ARQ transport: data payloads pass
+    /// through dedup + reorder before record parsing.
+    pub fn with_arq() -> Self {
+        StreamDecoder {
+            arq: Some(ArqRx::new()),
+            ..StreamDecoder::default()
+        }
+    }
+
+    /// Pushes received bytes, visiting each completed record in order —
+    /// the zero-allocation decode ([`Record`] is `Copy`; frame payloads
+    /// are borrowed from the decoder's scratch buffer). Malformed or
+    /// CRC-failed frames are counted and skipped.
+    pub fn push_bytes_with<F: FnMut(Record)>(&mut self, bytes: &[u8], mut sink: F) {
+        for &b in bytes {
+            let Some(frame) = self.frames.push_frame(b) else {
+                continue;
+            };
             match frame {
-                Ok(payload) => match parse_record(&payload) {
-                    Ok(rec) => {
-                        self.records_ok += 1;
-                        out.push(rec);
-                    }
-                    Err(_) => self.records_bad += 1,
+                Ok(payload) => match self.arq.as_mut() {
+                    Some(rx) => match arq::decode_data(payload) {
+                        Some((seq, inner)) => {
+                            let (ok, bad) = (&mut self.records_ok, &mut self.records_bad);
+                            rx.on_data(seq, inner, |rec| match parse_record(rec) {
+                                Ok(rec) => {
+                                    *ok += 1;
+                                    sink(rec);
+                                }
+                                Err(_) => *bad += 1,
+                            });
+                        }
+                        None => self.records_bad += 1,
+                    },
+                    None => match parse_record(payload) {
+                        Ok(rec) => {
+                            self.records_ok += 1;
+                            sink(rec);
+                        }
+                        Err(_) => self.records_bad += 1,
+                    },
                 },
                 Err(HwError::LinkCrc { .. }) => self.crc_failures += 1,
                 Err(_) => self.records_bad += 1,
             }
         }
+    }
+
+    /// Pushes received bytes; returns the records completed by them.
+    ///
+    /// Owned-`Vec` convenience over [`StreamDecoder::push_bytes_with`].
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Vec<Record> {
+        let mut out = Vec::new();
+        self.push_bytes_with(bytes, |rec| out.push(rec));
         out
+    }
+
+    /// The acknowledgement payload to frame and send back to the device,
+    /// when the decoder terminates the ARQ transport.
+    pub fn ack_payload(&self) -> Option<[u8; arq::ACK_LEN]> {
+        self.arq.as_ref().map(ArqRx::ack_payload)
+    }
+
+    /// Receive-side link-quality counters, when the decoder terminates
+    /// the ARQ transport.
+    pub fn arq_quality(&self) -> Option<LinkQuality> {
+        self.arq.as_ref().map(ArqRx::quality)
     }
 
     /// Records parsed successfully.
@@ -300,6 +357,62 @@ impl ExecutorStage {
             self.stats.peak_live,
         )
     }
+}
+
+/// Process-wide link-quality totals, merged across every ARQ session the
+/// harness runs (the fault-injection experiment folds each swept link
+/// configuration in here). Mirrors `distscroll_par::pool_stats`: cheap
+/// relaxed atomics, captured into the `--bench-out` report.
+static LQ_SENT: AtomicU64 = AtomicU64::new(0);
+static LQ_RETRANSMITTED: AtomicU64 = AtomicU64::new(0);
+static LQ_ACKED: AtomicU64 = AtomicU64::new(0);
+static LQ_EXPIRED: AtomicU64 = AtomicU64::new(0);
+static LQ_SHED_STATE: AtomicU64 = AtomicU64::new(0);
+static LQ_DELIVERED: AtomicU64 = AtomicU64::new(0);
+static LQ_DUPLICATES: AtomicU64 = AtomicU64::new(0);
+static LQ_OUT_OF_ORDER: AtomicU64 = AtomicU64::new(0);
+
+/// Folds one session's counters into the process-wide totals.
+pub fn record_link_quality(q: &LinkQuality) {
+    LQ_SENT.fetch_add(q.sent, Ordering::Relaxed);
+    LQ_RETRANSMITTED.fetch_add(q.retransmitted, Ordering::Relaxed);
+    LQ_ACKED.fetch_add(q.acked, Ordering::Relaxed);
+    LQ_EXPIRED.fetch_add(q.expired, Ordering::Relaxed);
+    LQ_SHED_STATE.fetch_add(q.shed_state, Ordering::Relaxed);
+    LQ_DELIVERED.fetch_add(q.delivered, Ordering::Relaxed);
+    LQ_DUPLICATES.fetch_add(q.duplicates, Ordering::Relaxed);
+    LQ_OUT_OF_ORDER.fetch_add(q.out_of_order, Ordering::Relaxed);
+}
+
+/// A snapshot of the process-wide link-quality totals.
+pub fn link_quality_totals() -> LinkQuality {
+    LinkQuality {
+        sent: LQ_SENT.load(Ordering::Relaxed),
+        retransmitted: LQ_RETRANSMITTED.load(Ordering::Relaxed),
+        acked: LQ_ACKED.load(Ordering::Relaxed),
+        expired: LQ_EXPIRED.load(Ordering::Relaxed),
+        shed_state: LQ_SHED_STATE.load(Ordering::Relaxed),
+        delivered: LQ_DELIVERED.load(Ordering::Relaxed),
+        duplicates: LQ_DUPLICATES.load(Ordering::Relaxed),
+        out_of_order: LQ_OUT_OF_ORDER.load(Ordering::Relaxed),
+    }
+}
+
+/// Counters as a JSON object (hand-rendered — the workspace has no JSON
+/// dependency), for the `link_quality` section of the bench report.
+pub fn link_quality_json(q: &LinkQuality) -> String {
+    format!(
+        "{{\"sent\": {}, \"retransmitted\": {}, \"acked\": {}, \"expired\": {}, \
+         \"shed_state\": {}, \"delivered\": {}, \"duplicates\": {}, \"out_of_order\": {}}}",
+        q.sent,
+        q.retransmitted,
+        q.acked,
+        q.expired,
+        q.shed_state,
+        q.delivered,
+        q.duplicates,
+        q.out_of_order,
+    )
 }
 
 #[cfg(test)]
@@ -421,6 +534,79 @@ mod tests {
         assert_eq!(stage.stage, "probe");
         let fresh = distscroll_par::pool_stats();
         assert!(fresh.tasks_executed >= stage.stats.tasks_executed);
+    }
+
+    #[test]
+    fn arq_decoder_reorders_dedups_and_acks() {
+        use distscroll_hw::arq::{ArqClass, ArqTx};
+        // The device side queues three records; we scramble and
+        // duplicate their wire frames before they reach the host.
+        let mut tx = ArqTx::new();
+        for stamp in 0..3u8 {
+            tx.enqueue(ArqClass::Event, &[b'E', 0, stamp, b'B', 0], 0);
+        }
+        let mut wires: Vec<Vec<u8>> = Vec::new();
+        tx.service(0, |w| wires.push(w.to_vec()));
+        let mut dec = StreamDecoder::with_arq();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(&wires[0]));
+        stream.extend_from_slice(&encode_frame(&wires[2])); // ahead of a gap
+        stream.extend_from_slice(&encode_frame(&wires[1])); // fills the gap
+        stream.extend_from_slice(&encode_frame(&wires[0])); // duplicate
+        let records = dec.push_bytes(&stream);
+        let stamps: Vec<u16> = records.iter().map(Record::stamp).collect();
+        assert_eq!(stamps, vec![0, 1, 2], "in order, exactly once");
+        let q = dec.arq_quality().unwrap();
+        assert_eq!(q.delivered, 3);
+        assert_eq!(q.duplicates, 1);
+        assert_eq!(q.out_of_order, 1);
+        // The ack covers all three: cumulative 2, nothing parked.
+        let ack = dec.ack_payload().unwrap();
+        let (cum, bitmap) = distscroll_hw::arq::decode_ack(&ack).unwrap();
+        assert_eq!(cum.raw(), 2);
+        assert_eq!(bitmap, 0);
+        tx.on_ack(cum, bitmap);
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn plain_decoder_has_no_arq_surface() {
+        let dec = StreamDecoder::new();
+        assert_eq!(dec.ack_payload(), None);
+        assert!(dec.arq_quality().is_none());
+    }
+
+    #[test]
+    fn link_quality_totals_accumulate_and_serialize() {
+        let contribution = LinkQuality {
+            sent: 11,
+            retransmitted: 2,
+            acked: 9,
+            expired: 1,
+            shed_state: 3,
+            delivered: 8,
+            duplicates: 4,
+            out_of_order: 5,
+        };
+        let before = link_quality_totals();
+        record_link_quality(&contribution);
+        let after = link_quality_totals();
+        assert!(after.sent >= before.sent + 11);
+        assert!(after.delivered >= before.delivered + 8);
+        let json = link_quality_json(&contribution);
+        for needle in [
+            "\"sent\": 11",
+            "\"retransmitted\": 2",
+            "\"acked\": 9",
+            "\"expired\": 1",
+            "\"shed_state\": 3",
+            "\"delivered\": 8",
+            "\"duplicates\": 4",
+            "\"out_of_order\": 5",
+        ] {
+            assert!(json.contains(needle), "json missing {needle:?}: {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Proof that the host decode path holds the same zero-allocation bar
+//! as the firmware loop: once the frame scratch buffer, the ARQ reorder
+//! parking lot and its recycled buffers have warmed up, pushing radio
+//! bytes through [`StreamDecoder::push_bytes_with`] performs **zero**
+//! heap allocations — `Record` is `Copy` and every payload is borrowed.
+//!
+//! The same counting-allocator wrapper as `distscroll-core`'s
+//! `zero_alloc` test, tallying per thread so the multi-threaded test
+//! harness cannot pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use distscroll_host::telemetry::{Record, StreamDecoder};
+use distscroll_hw::arq::{ArqClass, ArqTx};
+use distscroll_hw::link::encode_frame;
+
+thread_local! {
+    /// Allocation calls (alloc + realloc) made by the current thread.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts allocation calls, then forwards everything to [`System`].
+struct CountingAlloc;
+
+// SAFETY: every operation forwards verbatim to the system allocator;
+// the only addition is a thread-local counter bump, which allocates
+// nothing and upholds the GlobalAlloc contract by construction.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: counting aside, this is the system allocator verbatim.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        // SAFETY: the caller upholds GlobalAlloc's contract for `layout`;
+        // it is forwarded to the system allocator unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: frees are not counted; the call is the system allocator verbatim.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `Self::alloc`, i.e. from `System`, with
+        // this same `layout`; both are forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: counting aside, this is the system allocator verbatim.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        // SAFETY: `ptr` came from `Self::alloc`, i.e. from `System`, with
+        // this same `layout`; all arguments are forwarded unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+/// `count` sequenced data frames as one contiguous radio byte stream,
+/// with every pair swapped so the receiver's reorder path (parking and
+/// releasing) stays exercised, not just the fast in-order path.
+fn data_stream(tx: &mut ArqTx, count: u16) -> Vec<u8> {
+    let mut wires: Vec<Vec<u8>> = Vec::new();
+    for i in 0..count {
+        let stamp = i.to_be_bytes();
+        tx.enqueue(
+            ArqClass::State,
+            &[b'T', stamp[0], stamp[1], 0, 100, 0xff, 0, 0],
+            0,
+        );
+        tx.service(0, |w| wires.push(encode_frame(w)));
+        // Pretend the ack arrived so the queue never fills or resends.
+        tx.on_ack(
+            distscroll_hw::arq::decode_data(&wires.last().unwrap()[3..])
+                .unwrap()
+                .0,
+            0,
+        );
+    }
+    for pair in wires.chunks_mut(2) {
+        if let [a, b] = pair {
+            std::mem::swap(a, b);
+        }
+    }
+    wires.concat()
+}
+
+#[test]
+fn steady_state_arq_decode_allocates_nothing() {
+    let mut tx = ArqTx::new();
+    let mut dec = StreamDecoder::with_arq();
+    let mut records = 0u64;
+
+    // Warm-up: frame scratch, the parking lot and its spare buffers all
+    // reach steady-state capacity.
+    let warm = data_stream(&mut tx, 200);
+    dec.push_bytes_with(&warm, |_: Record| records += 1);
+    assert_eq!(records, 200, "warm-up records must all decode");
+
+    // The measured stream is built *before* the window: building frames
+    // allocates, decoding them must not.
+    let hot = data_stream(&mut tx, 200);
+    let before = allocations_on_this_thread();
+    dec.push_bytes_with(&hot, |_: Record| records += 1);
+    let allocated = allocations_on_this_thread() - before;
+    assert_eq!(records, 400, "measured records must all decode");
+    assert_eq!(
+        allocated, 0,
+        "steady-state push_bytes_with must not allocate"
+    );
+    let q = dec.arq_quality().expect("arq decoder");
+    assert_eq!(q.delivered, 400);
+    assert!(q.out_of_order > 0, "the reorder path must be exercised");
+}

@@ -28,7 +28,7 @@ use crate::clock::{SimClock, SimDuration, SimInstant};
 use crate::display::{Bt96040, DisplayRole};
 use crate::gpio::{Button, ButtonId, PinLevel};
 use crate::i2c::I2cBus;
-use crate::link::{encode_frame_into, RadioChannel};
+use crate::link::{encode_frame_into, FrameDecoder, RadioChannel};
 use crate::mcu::Mcu;
 use crate::pot::Potentiometer;
 use crate::power::{Battery, LoadProfile};
@@ -131,11 +131,20 @@ pub struct Board {
     air: Vec<Telemetry>,
     /// Scratch for frames that have arrived, reused across polls.
     arrived: Vec<Telemetry>,
+    /// Frames in flight from the host back to the device (the ARQ
+    /// acknowledgement channel), through the same radio model.
+    host_air: Vec<Telemetry>,
+    /// Scratch for arrived host frames, reused across polls.
+    host_arrived: Vec<Telemetry>,
+    /// The device-side UART decoder for host frames.
+    host_decoder: FrameDecoder,
     /// Recycled wire-frame byte buffers, so steady-state telemetry
     /// traffic stops allocating once capacities have warmed up.
     spare: Vec<Vec<u8>>,
     frames_sent: u64,
     frames_dropped: u64,
+    host_frames_sent: u64,
+    host_frames_dropped: u64,
     browned_out: bool,
     sensor_powered: bool,
 }
@@ -182,9 +191,14 @@ impl Board {
             radio: RadioChannel::clean(),
             air: Vec::new(),
             arrived: Vec::new(),
+            host_air: Vec::new(),
+            host_arrived: Vec::new(),
+            host_decoder: FrameDecoder::new(),
             spare: Vec::new(),
             frames_sent: 0,
             frames_dropped: 0,
+            host_frames_sent: 0,
+            host_frames_dropped: 0,
             browned_out: false,
             sensor_powered: true,
         }
@@ -394,32 +408,7 @@ impl Board {
     /// allocating.
     fn collect_arrived(&mut self) {
         let now = self.clock.now();
-        let mut keep = 0;
-        for i in 0..self.air.len() {
-            if self.air[i].arrival <= now {
-                let t = std::mem::replace(
-                    &mut self.air[i],
-                    Telemetry {
-                        arrival: SimInstant::BOOT,
-                        bytes: Vec::new(),
-                    },
-                );
-                self.arrived.push(t);
-            } else {
-                self.air.swap(keep, i);
-                keep += 1;
-            }
-        }
-        self.air.truncate(keep);
-        // Stable insertion sort by arrival: queues are a handful of
-        // frames deep, and `sort_by_key` would allocate.
-        for i in 1..self.arrived.len() {
-            let mut j = i;
-            while j > 0 && self.arrived[j - 1].arrival > self.arrived[j].arrival {
-                self.arrived.swap(j - 1, j);
-                j -= 1;
-            }
-        }
+        collect_due(&mut self.air, &mut self.arrived, now);
     }
 
     /// Visits every frame that has arrived at the host by now, in
@@ -464,6 +453,102 @@ impl Board {
     /// Frames the channel dropped since boot.
     pub fn frames_dropped(&self) -> u64 {
         self.frames_dropped
+    }
+
+    /// Queues a payload from the host back to the device — the reverse
+    /// channel the ARQ acknowledgements ride on.
+    ///
+    /// Goes through the same [`RadioChannel`] model as device telemetry
+    /// (the air does not care about direction): the frame may be
+    /// dropped, corrupted or jittered. Buffers are recycled from the
+    /// shared spare pool.
+    pub fn host_send<R: Rng + ?Sized>(&mut self, payload: &[u8], rng: &mut R) {
+        let mut frame = self.spare.pop().unwrap_or_default();
+        encode_frame_into(payload, &mut frame);
+        self.host_frames_sent += 1;
+        match self
+            .radio
+            .transmit_in_place(&mut frame, self.clock.now(), rng)
+        {
+            Some(arrival) => self.host_air.push(Telemetry {
+                arrival,
+                bytes: frame,
+            }),
+            None => {
+                self.host_frames_dropped += 1;
+                frame.clear();
+                self.spare.push(frame);
+            }
+        }
+    }
+
+    /// Visits every frame payload the device's UART decoder completes
+    /// from host frames that have arrived by now, in arrival order.
+    ///
+    /// Payloads failing their CRC are dropped by the decoder (visible in
+    /// [`Board::host_decoder_frames_bad`]); byte buffers are recycled,
+    /// so a steady-state poll loop performs no heap allocation.
+    pub fn poll_host_received<F: FnMut(&[u8])>(&mut self, mut sink: F) {
+        let now = self.clock.now();
+        collect_due(&mut self.host_air, &mut self.host_arrived, now);
+        for t in &self.host_arrived {
+            for &b in &t.bytes {
+                if let Some(Ok(payload)) = self.host_decoder.push_frame(b) {
+                    sink(payload);
+                }
+            }
+        }
+        for mut t in self.host_arrived.drain(..) {
+            t.bytes.clear();
+            self.spare.push(t.bytes);
+        }
+    }
+
+    /// Host-to-device frames handed to the radio since boot.
+    pub fn host_frames_sent(&self) -> u64 {
+        self.host_frames_sent
+    }
+
+    /// Host-to-device frames the channel dropped since boot.
+    pub fn host_frames_dropped(&self) -> u64 {
+        self.host_frames_dropped
+    }
+
+    /// Host-to-device frames the device rejected (bad CRC) since boot.
+    pub fn host_decoder_frames_bad(&self) -> u64 {
+        self.host_decoder.frames_bad()
+    }
+}
+
+/// Moves every frame whose arrival time has passed from `air` into the
+/// `arrived` scratch, in arrival order (stable for ties), without
+/// allocating.
+fn collect_due(air: &mut Vec<Telemetry>, arrived: &mut Vec<Telemetry>, now: SimInstant) {
+    let mut keep = 0;
+    for i in 0..air.len() {
+        if air[i].arrival <= now {
+            let t = std::mem::replace(
+                &mut air[i],
+                Telemetry {
+                    arrival: SimInstant::BOOT,
+                    bytes: Vec::new(),
+                },
+            );
+            arrived.push(t);
+        } else {
+            air.swap(keep, i);
+            keep += 1;
+        }
+    }
+    air.truncate(keep);
+    // Stable insertion sort by arrival: queues are a handful of frames
+    // deep, and `sort_by_key` would allocate.
+    for i in 1..arrived.len() {
+        let mut j = i;
+        while j > 0 && arrived[j - 1].arrival > arrived[j].arrival {
+            arrived.swap(j - 1, j);
+            j -= 1;
+        }
     }
 }
 
@@ -615,6 +700,33 @@ mod tests {
         make().drain_received_into(&mut into);
         assert_eq!(legacy, into);
         assert!(!legacy.is_empty());
+    }
+
+    #[test]
+    fn host_send_round_trips_to_the_device_decoder() {
+        let mut board = Board::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        board.host_send(b"K\x00\x07\x01", &mut rng);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        board.poll_host_received(|p| got.push(p.to_vec()));
+        assert!(got.is_empty(), "nothing arrives instantly");
+        board.step(SimDuration::from_millis(50));
+        board.poll_host_received(|p| got.push(p.to_vec()));
+        assert_eq!(got, vec![b"K\x00\x07\x01".to_vec()]);
+        assert_eq!(board.host_frames_sent(), 1);
+        assert_eq!(board.host_frames_dropped(), 0);
+        // The arrived buffer was recycled into the shared spare pool.
+        assert_eq!(board.spare.len(), 1);
+    }
+
+    #[test]
+    fn host_channel_is_lossy_too() {
+        let mut board = Board::new();
+        board.set_radio(RadioChannel::lossy(1.0, 0.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        board.host_send(b"K\x00\x00\x00", &mut rng);
+        assert_eq!(board.host_frames_sent(), 1);
+        assert_eq!(board.host_frames_dropped(), 1);
     }
 
     #[test]

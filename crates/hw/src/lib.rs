@@ -21,6 +21,8 @@
 //! * [`power`] — the 9 V battery with a discharge curve and brown-out,
 //! * [`mcu`] — a cooperative task loop with a cycle budget and watchdog,
 //! * [`link`] — the framed radio link from the device to the host PC,
+//! * [`arq`] — reliable delivery (sequence numbers, acks, retransmission)
+//!   layered on the link,
 //! * [`board`] — the wiring of the whole DistScroll board (paper, Fig. 2/3).
 //!
 //! Everything is deterministic: components never read wall-clock time or
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod adc;
+pub mod arq;
 pub mod board;
 pub mod clock;
 pub mod display;

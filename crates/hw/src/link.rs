@@ -27,18 +27,31 @@ pub const SYNC2: u8 = 0x55;
 /// Maximum payload length per frame.
 pub const MAX_PAYLOAD: usize = 255;
 
+/// Initial value for a running [`crc16_ccitt_step`] computation.
+pub const CRC16_INIT: u16 = 0xffff;
+
 /// CRC-16-CCITT (polynomial 0x1021, init 0xFFFF), bitwise.
 pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
-    let mut crc: u16 = 0xffff;
+    let mut crc = CRC16_INIT;
     for &b in bytes {
-        crc ^= u16::from(b) << 8;
-        for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 {
-                (crc << 1) ^ 0x1021
-            } else {
-                crc << 1
-            };
-        }
+        crc = crc16_ccitt_step(crc, b);
+    }
+    crc
+}
+
+/// Folds one byte into a running CRC-16-CCITT value.
+///
+/// Streaming form of [`crc16_ccitt`]: start from [`CRC16_INIT`] and feed
+/// bytes as they arrive. The frame decoder uses this to cover the length
+/// byte, which it consumes before it knows how long the payload is.
+pub fn crc16_ccitt_step(mut crc: u16, byte: u8) -> u16 {
+    crc ^= u16::from(byte) << 8;
+    for _ in 0..8 {
+        crc = if crc & 0x8000 != 0 {
+            (crc << 1) ^ 0x1021
+        } else {
+            crc << 1
+        };
     }
     crc
 }
@@ -74,7 +87,15 @@ pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
     out.push(SYNC2);
     out.push(payload.len() as u8);
     out.extend_from_slice(payload);
-    let crc = crc16_ccitt(payload);
+    // The CRC covers the length byte as well as the payload: a bit flip
+    // in the length would otherwise truncate (or extend) the payload and
+    // pair it with CRC bytes computed for different content — and a
+    // truncated payload whose tail happens to survive as the CRC bytes
+    // would be accepted.
+    let mut crc = crc16_ccitt_step(CRC16_INIT, payload.len() as u8);
+    for &b in payload {
+        crc = crc16_ccitt_step(crc, b);
+    }
     out.push((crc >> 8) as u8);
     out.push((crc & 0xff) as u8);
 }
@@ -85,6 +106,7 @@ pub struct FrameDecoder {
     state: DecoderState,
     payload: Vec<u8>,
     expect_len: usize,
+    running_crc: u16,
     crc_hi: u8,
     frames_ok: u64,
     frames_bad: u64,
@@ -125,11 +147,25 @@ impl FrameDecoder {
 
     /// Pushes one received byte.
     ///
+    /// Owned-`Vec` convenience over [`FrameDecoder::push_frame`]: the
+    /// returned payload is copied out of the decoder's scratch buffer.
+    /// Steady-state poll loops should prefer `push_frame`, which does
+    /// not allocate.
+    pub fn push(&mut self, byte: u8) -> Option<Result<Vec<u8>, HwError>> {
+        self.push_frame(byte).map(|r| r.map(<[u8]>::to_vec))
+    }
+
+    /// Pushes one received byte, lending completed payloads.
+    ///
     /// Returns `Some(Ok(payload))` when a frame completes with a valid
     /// CRC, `Some(Err(_))` when a frame completes but fails its CRC, and
     /// `None` while mid-frame. After any completion the decoder hunts for
     /// the next sync sequence.
-    pub fn push(&mut self, byte: u8) -> Option<Result<Vec<u8>, HwError>> {
+    ///
+    /// The payload borrows the decoder's internal scratch buffer — valid
+    /// until the next push — so decoding a warm stream performs no heap
+    /// allocation, mirroring the `drain_*_into` discipline elsewhere.
+    pub fn push_frame(&mut self, byte: u8) -> Option<Result<&[u8], HwError>> {
         match self.state {
             DecoderState::Sync1 => {
                 if byte == SYNC1 {
@@ -156,6 +192,8 @@ impl FrameDecoder {
             DecoderState::Len => {
                 self.expect_len = usize::from(byte);
                 self.payload.clear();
+                // The length byte is the first byte under the CRC.
+                self.running_crc = crc16_ccitt_step(CRC16_INIT, byte);
                 self.state = if self.expect_len == 0 {
                     DecoderState::CrcHi
                 } else {
@@ -165,6 +203,7 @@ impl FrameDecoder {
             }
             DecoderState::Payload => {
                 self.payload.push(byte);
+                self.running_crc = crc16_ccitt_step(self.running_crc, byte);
                 if self.payload.len() == self.expect_len {
                     self.state = DecoderState::CrcHi;
                 }
@@ -178,10 +217,10 @@ impl FrameDecoder {
             DecoderState::CrcLo => {
                 self.state = DecoderState::Sync1;
                 let expected = u16::from(self.crc_hi) << 8 | u16::from(byte);
-                let actual = crc16_ccitt(&self.payload);
+                let actual = self.running_crc;
                 if expected == actual {
                     self.frames_ok += 1;
-                    Some(Ok(std::mem::take(&mut self.payload)))
+                    Some(Ok(self.payload.as_slice()))
                 } else {
                     self.frames_bad += 1;
                     self.payload.clear();
@@ -319,6 +358,71 @@ mod tests {
         // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
         assert_eq!(crc16_ccitt(b"123456789"), 0x29b1);
         assert_eq!(crc16_ccitt(b""), 0xffff);
+    }
+
+    #[test]
+    fn crc_step_matches_batch_form() {
+        let mut crc = CRC16_INIT;
+        for &b in b"123456789" {
+            crc = crc16_ccitt_step(crc, b);
+        }
+        assert_eq!(crc, 0x29b1);
+    }
+
+    #[test]
+    fn frame_crc_covers_the_length_byte() {
+        // Known frame vector: the CRC is over [len, payload...], not the
+        // payload alone.
+        let frame = encode_frame(b"A");
+        let expect = crc16_ccitt(&[0x01, b'A']);
+        assert_eq!(
+            frame,
+            vec![
+                SYNC1,
+                SYNC2,
+                0x01,
+                b'A',
+                (expect >> 8) as u8,
+                (expect & 0xff) as u8
+            ]
+        );
+    }
+
+    #[test]
+    fn bit_flipped_length_cannot_truncate_the_payload() {
+        // Regression: with the CRC over the payload alone, flipping the
+        // length byte of this frame from 2 to 0 made the decoder read the
+        // two 0xFF payload bytes as the CRC — and crc16("") == 0xFFFF, so
+        // a truncated (empty) payload was *accepted*. The length byte is
+        // under the CRC now, so the corruption is caught.
+        let mut frame = encode_frame(&[0xff, 0xff]);
+        frame[2] ^= 0x02; // len 2 -> 0
+        let mut dec = FrameDecoder::new();
+        let got = dec.push_all(&frame);
+        assert!(
+            got.iter().all(Result::is_err),
+            "truncated payload must not be accepted: {got:?}"
+        );
+        assert_eq!(dec.frames_ok(), 0);
+    }
+
+    #[test]
+    fn push_frame_lends_payloads_without_moving_them() {
+        let mut dec = FrameDecoder::new();
+        let frame = encode_frame(b"borrowed");
+        let mut seen = 0;
+        for (i, &b) in frame.iter().enumerate() {
+            if let Some(res) = dec.push_frame(b) {
+                assert_eq!(i, frame.len() - 1);
+                assert_eq!(res.unwrap(), b"borrowed");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1);
+        // The scratch buffer is reused for the next frame.
+        let got = dec.push_all(&encode_frame(b"next"));
+        assert_eq!(got, vec![Ok(b"next".to_vec())]);
+        assert_eq!(dec.frames_ok(), 2);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//@ path: crates/eval/src/experiments/arq_helper.rs
+//@ expect: raw-seq@9
+
+// A harness tempted to fabricate its own ARQ sequence numbers instead
+// of taking them from decode_data/decode_ack. Serial-number arithmetic
+// lives in crates/hw; hand-built sequence state drifts from it.
+
+fn resume_from(counter: u16) -> distscroll_hw::arq::Seq16 {
+    distscroll_hw::arq::Seq16::from_raw(counter.wrapping_add(1))
+}

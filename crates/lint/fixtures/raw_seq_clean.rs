@@ -1,0 +1,8 @@
+//@ path: crates/hw/src/arq_helper.rs
+
+// The same construction inside crates/hw is the sanctioned one: the
+// arq module is where raw wire integers become sequence numbers.
+
+fn seq_of(raw: u16) -> crate::arq::Seq16 {
+    crate::arq::Seq16::from_raw(raw)
+}

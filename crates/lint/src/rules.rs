@@ -28,6 +28,8 @@ pub enum Rule {
     PanicHygiene,
     /// Legacy allocate-per-poll event/telemetry drains outside `crates/core`.
     EventDrain,
+    /// Raw ARQ sequence-number construction outside `crates/hw`.
+    RawSeq,
     /// A `lint:allow` pragma that is unusable as written.
     BadPragma,
 }
@@ -41,6 +43,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::UnsafeAudit,
     Rule::PanicHygiene,
     Rule::EventDrain,
+    Rule::RawSeq,
     Rule::BadPragma,
 ];
 
@@ -55,6 +58,7 @@ impl Rule {
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::EventDrain => "event-drain",
+            Rule::RawSeq => "raw-seq",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -96,6 +100,11 @@ impl Rule {
                  allocates per tick; visit with poll_events/poll_telemetry or reuse a \
                  scratch buffer via the drain_*_into forms"
             }
+            Rule::RawSeq => {
+                "Seq16::from_raw outside crates/hw — device and host code receive ARQ \
+                 sequence numbers from decode_data/decode_ack and never construct their own, \
+                 so serial-number comparisons stay in one audited module"
+            }
             Rule::BadPragma => "a lint:allow pragma naming an unknown rule or carrying no reason",
         }
     }
@@ -130,8 +139,12 @@ const DETERMINISTIC_CRATES: &[&str] = &["core", "eval", "baselines", "host"];
 
 /// The only modules allowed to contain `unsafe` (and every block there
 /// must carry a SAFETY comment): the worker pool, and the counting
-/// allocator backing the zero-allocation regression test.
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/par/src/pool.rs", "crates/core/tests/zero_alloc.rs"];
+/// allocators backing the two zero-allocation regression tests.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/par/src/pool.rs",
+    "crates/core/tests/zero_alloc.rs",
+    "crates/host/tests/zero_alloc_decode.rs",
+];
 
 impl FileContext {
     /// Classifies a workspace-relative path (`/`-separated).
@@ -539,6 +552,16 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
             ));
         }
 
+        if ctx.crate_name != "hw" && has_token(code, "from_raw") {
+            hits.push((
+                Rule::RawSeq,
+                "raw sequence-number construction outside crates/hw — take sequence numbers \
+                 from decode_data/decode_ack so serial-number arithmetic stays in the audited \
+                 arq module"
+                    .to_string(),
+            ));
+        }
+
         if lib_line {
             for pat in [
                 ".unwrap()",
@@ -786,6 +809,22 @@ mod tests {
             rules_at(telemetry, "crates/host/src/session.rs"),
             vec![(Rule::EventDrain, 1)]
         );
+    }
+
+    #[test]
+    fn raw_seq_flagged_outside_hw_only() {
+        let text = "fn f() -> Seq16 { Seq16::from_raw(7) }\n";
+        assert_eq!(
+            rules_at(text, "crates/host/src/telemetry.rs"),
+            vec![(Rule::RawSeq, 1)]
+        );
+        assert_eq!(
+            rules_at(text, "crates/eval/src/experiments/arq.rs"),
+            vec![(Rule::RawSeq, 1)]
+        );
+        assert!(rules_at(text, "crates/hw/src/arq.rs").is_empty());
+        let decoded = "fn f(p: &[u8]) { let _ = decode_data(p); }\n";
+        assert!(rules_at(decoded, "crates/host/src/telemetry.rs").is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 #
 # Runs the full quick-effort suite through `--bench-out` (which also
 # re-asserts serial-vs-parallel report equality in-process), then checks
-# the recorded v2 report:
+# the recorded v3 report:
 #
 #   * on a >= 4-core machine: overall speedup must be >= 1.5x, and no
 #     experiment may be slower in the parallel pass than in the serial
@@ -44,8 +44,14 @@ with open(sys.argv[1]) as f:
     bench = json.load(f)
 
 schema = bench.get("schema")
-if schema != 2:
-    sys.exit(f"bench gate: expected v2 bench schema, got {schema!r}")
+if schema != 3:
+    sys.exit(f"bench gate: expected v3 bench schema, got {schema!r}")
+
+link = bench["link_quality"]
+print(
+    f"bench gate: link quality: {link['sent']} sent, {link['retransmitted']} retransmitted, "
+    f"{link['delivered']} delivered, {link['duplicates']} duplicates"
+)
 
 cores = bench["cores"]
 speedup = bench["speedup"]

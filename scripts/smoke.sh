@@ -17,17 +17,24 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-# Fast gate first: the registry listing and a single experiment through
-# the --only path. This catches a broken build, a registry mismatch or a
-# CLI regression in seconds, before the full matrix spends minutes.
+# Fast gate first: the registry listing and two single experiments
+# through the --only path — the first registered figure and the newest
+# link experiment (which exercises the ARQ reverse channel). This
+# catches a broken build, a registry mismatch or a CLI regression in
+# seconds, before the full matrix spends minutes.
 n_ids="$(cargo run --release -p distscroll-eval -- --list | tail -n +2 | wc -l)"
-if [ "$n_ids" -ne 14 ]; then
-    echo "smoke: --list should print 14 experiments, got $n_ids" >&2
+if [ "$n_ids" -ne 15 ]; then
+    echo "smoke: --list should print 15 experiments, got $n_ids" >&2
     exit 1
 fi
 cargo run --release -p distscroll-eval -- --only F4 --effort quick > "$workdir/only_f4.txt"
 grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_f4.txt" || {
     echo "smoke: --only F4 fast gate failed" >&2
+    exit 1
+}
+cargo run --release -p distscroll-eval -- --only L2 --effort quick > "$workdir/only_l2.txt"
+grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_l2.txt" || {
+    echo "smoke: --only L2 fast gate failed" >&2
     exit 1
 }
 
@@ -36,7 +43,7 @@ cargo run --release -p distscroll-eval -- --quick --jobs 1 --out "$workdir/jobs1
 cargo run --release -p distscroll-eval -- --quick --jobs 4 --out "$workdir/jobs4" all \
     | tee "$workdir/stdout_jobs4.txt"
 
-grep -q "== summary: 14/14 experiments hold the paper's shape ==" "$workdir/stdout_jobs4.txt" || {
+grep -q "== summary: 15/15 experiments hold the paper's shape ==" "$workdir/stdout_jobs4.txt" || {
     echo "smoke: shape summary missing or regressed" >&2
     exit 1
 }
@@ -49,8 +56,8 @@ fi
 # dirs would byte-compare equal, so require the full report set first.
 for d in "$workdir/jobs1" "$workdir/jobs4"; do
     n="$(find "$d" -name '*.txt' 2> /dev/null | wc -l)"
-    if [ "$n" -ne 14 ]; then
-        echo "smoke: expected 14 report files in $d, found $n" >&2
+    if [ "$n" -ne 15 ]; then
+        echo "smoke: expected 15 report files in $d, found $n" >&2
         exit 1
     fi
 done
@@ -60,4 +67,4 @@ if ! diff -r "$workdir/jobs1" "$workdir/jobs4"; then
     exit 1
 fi
 
-echo "smoke: 14/14 experiments hold at --quick; --jobs 4 == --jobs 1 byte-for-byte"
+echo "smoke: 15/15 experiments hold at --quick; --jobs 4 == --jobs 1 byte-for-byte"
