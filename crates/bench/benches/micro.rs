@@ -94,6 +94,47 @@ fn bench_tick_and_poll(c: &mut Criterion) {
     });
 }
 
+fn bench_decode_throughput(c: &mut Criterion) {
+    // The host-side decode hot path: a single-shard StreamDecoder fed a
+    // framed record stream, measured in bytes (criterion's throughput
+    // mode reports bytes/sec). Mirrors the `decode` object the v4
+    // BENCH_eval.json records.
+    use distscroll_host::telemetry::StreamDecoder;
+    let mut corpus = Vec::new();
+    let mut stamp = 0u16;
+    while corpus.len() < 64 << 10 {
+        stamp = stamp.wrapping_add(25);
+        let code = 0x0200 | (stamp & 0xff);
+        corpus.extend_from_slice(&encode_frame(&[
+            b'T',
+            (stamp >> 8) as u8,
+            (stamp & 0xff) as u8,
+            (code >> 8) as u8,
+            (code & 0xff) as u8,
+            (stamp % 5) as u8,
+            1,
+            (stamp % 8) as u8,
+        ]));
+        corpus.extend_from_slice(&encode_frame(&[
+            b'E',
+            (stamp >> 8) as u8,
+            (stamp & 0xff) as u8,
+            b'H',
+            2,
+        ]));
+    }
+    // One iteration decodes the whole 64 KiB corpus: bytes/sec =
+    // corpus.len() / the reported per-iteration time.
+    c.bench_function("stream_decode_64k", |b| {
+        b.iter(|| {
+            let mut dec = StreamDecoder::new();
+            let mut records = 0u64;
+            dec.push_bytes_with(black_box(&corpus), |_rec| records += 1);
+            black_box(records)
+        })
+    });
+}
+
 fn bench_curve_fit(c: &mut Criterion) {
     let points: Vec<(f64, f64)> = (4..=30)
         .map(|d| {
@@ -116,6 +157,7 @@ criterion_group!(
     bench_frame_codec,
     bench_device_tick,
     bench_tick_and_poll,
+    bench_decode_throughput,
     bench_curve_fit
 );
 criterion_main!(micro);

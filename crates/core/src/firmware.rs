@@ -42,6 +42,25 @@ use crate::CoreError;
 /// mapping — measured from a PIC18 C build of comparable code).
 const TICK_CYCLES: u64 = 420;
 
+/// Ticks between refreshes of the lower (status/debug) display.
+const LOWER_REDRAW_TICKS: u64 = 25;
+
+/// Snapshot of the firmware's pending wakeup deadlines, in ticks since
+/// boot — what the firmware registers with the event core. Each value is
+/// the exact tick the corresponding periodic task next runs; between two
+/// deadlines the task performs no work and draws no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FirmwareDeadlines {
+    /// Next tick the lower display is re-rendered (not meaningful for
+    /// host-rendered profiles, which keep their panels off).
+    pub lower_redraw_tick: u64,
+    /// Next tick a periodic state record is emitted.
+    pub state_record_tick: u64,
+    /// Next tick the ARQ transport wants service (first transmission,
+    /// retransmission or expiry), `None` when nothing is in flight.
+    pub arq_service_tick: Option<u64>,
+}
+
 /// The firmware image: all state the program keeps in the PIC's RAM.
 #[derive(Debug)]
 pub struct Firmware {
@@ -79,6 +98,15 @@ pub struct Firmware {
     instruction: Option<String>,
     /// Reliable-transport sender, present when the profile enables ARQ.
     arq_tx: Option<ArqTx>,
+    /// Deadline counters for the loop's periodic tasks, kept in exact
+    /// lockstep with the modulo cadence they replaced (debug-asserted at
+    /// each check): the next tick the lower display refreshes and the
+    /// next tick a state record is due.
+    next_lower_redraw_tick: u64,
+    next_state_record_tick: u64,
+    /// Reusable render target for the periodic status view, so the
+    /// steady-state tick allocates nothing.
+    lower_scratch: Vec<String>,
     /// Telemetry records produced since boot (state snapshots plus
     /// events) — the ground-truth denominator for delivery measurements.
     records_emitted: u64,
@@ -123,6 +151,9 @@ impl Firmware {
             instruction: None,
             arq_tx: profile.arq.then(ArqTx::new),
             records_emitted: 0,
+            next_lower_redraw_tick: LOWER_REDRAW_TICKS,
+            next_state_record_tick: profile.telemetry_every_ticks,
+            lower_scratch: Vec::new(),
             profile,
             curve,
             nav,
@@ -244,7 +275,11 @@ impl Firmware {
         ts.register("interaction tick", period_us, TICK_CYCLES + 20 + 4);
         // Worst-case full redraw of both displays (clear + 5 lines each
         // over 100 kHz I2C, bit-banged: ~cycles = microseconds).
-        ts.register("display redraw", period_us * 25, 2 * (200 + 5 * 1_700));
+        ts.register(
+            "display redraw",
+            period_us * LOWER_REDRAW_TICKS,
+            2 * (200 + 5 * 1_700),
+        );
         // Telemetry frame: encode + hand to the radio.
         ts.register(
             "telemetry",
@@ -391,6 +426,12 @@ impl Firmware {
                 self.last_upper.clear(); // force redraw on wake
                 self.upper_dirty = true;
                 self.last_lower.clear();
+                // Standby skipped the periodic tasks; realign their
+                // deadlines with the modulo grid they fire on.
+                self.next_lower_redraw_tick = self.ticks.next_multiple_of(LOWER_REDRAW_TICKS);
+                self.next_state_record_tick = self
+                    .ticks
+                    .next_multiple_of(self.profile.telemetry_every_ticks);
             }
         } else if flat && range < STILL_RANGE_CODES {
             let since = *self.rest_since_tick.get_or_insert(self.ticks);
@@ -586,22 +627,39 @@ impl Firmware {
             }
             self.upper_dirty = false;
         }
-        if self.ticks.is_multiple_of(25) {
-            let lower = match &self.instruction {
-                Some(text) => ui::render_instruction(text),
-                None => ui::render_status(
-                    code,
-                    self.last_distance,
-                    self.map_state.current(),
-                    self.nav.level(),
-                    board.battery_soc(),
-                ),
-            };
-            if lower != self.last_lower {
-                for c in ui::encode_redraw(&lower) {
-                    board.write_display(DisplayRole::Lower, &c)?;
+        debug_assert_eq!(
+            self.ticks == self.next_lower_redraw_tick,
+            self.ticks.is_multiple_of(LOWER_REDRAW_TICKS),
+            "lower-redraw deadline counter drifted off the modulo grid"
+        );
+        if self.ticks == self.next_lower_redraw_tick {
+            self.next_lower_redraw_tick += LOWER_REDRAW_TICKS;
+            match &self.instruction {
+                Some(text) => {
+                    let lower = ui::render_instruction(text);
+                    if lower != self.last_lower {
+                        for c in ui::encode_redraw(&lower) {
+                            board.write_display(DisplayRole::Lower, &c)?;
+                        }
+                        self.last_lower = lower;
+                    }
                 }
-                self.last_lower = lower;
+                None => {
+                    ui::render_status_into(
+                        code,
+                        self.last_distance,
+                        self.map_state.current(),
+                        self.nav.level(),
+                        board.battery_soc(),
+                        &mut self.lower_scratch,
+                    );
+                    if self.lower_scratch != self.last_lower {
+                        for c in ui::encode_redraw(&self.lower_scratch) {
+                            board.write_display(DisplayRole::Lower, &c)?;
+                        }
+                        std::mem::swap(&mut self.last_lower, &mut self.lower_scratch);
+                    }
+                }
             }
         }
 
@@ -637,10 +695,14 @@ impl Firmware {
                 }
             });
         }
-        if self
-            .ticks
-            .is_multiple_of(self.profile.telemetry_every_ticks)
-        {
+        debug_assert_eq!(
+            self.ticks == self.next_state_record_tick,
+            self.ticks
+                .is_multiple_of(self.profile.telemetry_every_ticks),
+            "state-record deadline counter drifted off the modulo grid"
+        );
+        if self.ticks == self.next_state_record_tick {
+            self.next_state_record_tick += self.profile.telemetry_every_ticks;
             let island = self.map_state.current().map_or(0xff, |i| i as u8);
             let payload = [
                 b'T',
@@ -676,9 +738,29 @@ impl Firmware {
             }
         }
         if let Some(tx) = self.arq_tx.as_mut() {
-            tx.service(self.ticks, |wire| board.send_telemetry(wire, rng));
+            // Jump-to-deadline: `service` before the transport's next
+            // due tick only compares `due_tick`s (no sends, no RNG, no
+            // counter changes), so skipping it is byte-exact. Frames
+            // enqueued this tick and ack-triggered fast retransmits are
+            // due at or before `self.ticks`, so they always service.
+            if tx.next_due_tick().is_some_and(|due| due <= self.ticks) {
+                tx.service(self.ticks, |wire| board.send_telemetry(wire, rng));
+            }
         }
         Ok(())
+    }
+
+    /// The firmware's pending periodic deadlines — what it registers
+    /// with the event core. Between the current tick and the earliest of
+    /// these, the periodic tasks do nothing (the per-tick sample/filter
+    /// pipeline still runs every tick: the sensor physics and the noise
+    /// draws are tick-pinned).
+    pub fn next_deadlines(&self) -> FirmwareDeadlines {
+        FirmwareDeadlines {
+            lower_redraw_tick: self.next_lower_redraw_tick,
+            state_record_tick: self.next_state_record_tick,
+            arq_service_tick: self.arq_tx.as_ref().and_then(ArqTx::next_due_tick),
+        }
     }
 }
 

@@ -94,6 +94,13 @@ pub struct IslandMap {
     far_code: u16,
     near_cm: f64,
     far_cm: f64,
+    /// True when the islands are strictly descending and disjoint in code
+    /// space (`prev.lo_code > cur.hi_code` for every adjacent pair), which
+    /// every non-degenerate builder produces. Enables the binary-search
+    /// lookup; degenerate dense maps (overlap-collapsed far entries) fall
+    /// back to the first-match linear scan to keep nearer-entry-wins
+    /// semantics.
+    searchable: bool,
 }
 
 impl IslandMap {
@@ -157,13 +164,13 @@ impl IslandMap {
                 center_code,
             });
         }
-        Ok(IslandMap {
+        Ok(IslandMap::assemble(
             islands,
-            near_code: volts_to_code(curve.voltage_at(near_cm)),
-            far_code: volts_to_code(curve.voltage_at(far_cm)),
+            volts_to_code(curve.voltage_at(near_cm)),
+            volts_to_code(curve.voltage_at(far_cm)),
             near_cm,
             far_cm,
-        })
+        ))
     }
 
     /// The naive mapping the paper rejects: entries equally spaced in
@@ -223,13 +230,9 @@ impl IslandMap {
                 center_code: center_code_f.round() as u16,
             });
         }
-        Ok(IslandMap {
-            islands,
-            near_code,
-            far_code,
-            near_cm,
-            far_cm,
-        })
+        Ok(IslandMap::assemble(
+            islands, near_code, far_code, near_cm, far_cm,
+        ))
     }
 
     /// Builds a gapless, collapse-tolerant mapping used by the
@@ -280,13 +283,13 @@ impl IslandMap {
                 center_code: volts_to_code(curve.voltage_at(center_cm)).clamp(lo_code, hi_code),
             });
         }
-        Ok(IslandMap {
+        Ok(IslandMap::assemble(
             islands,
-            near_code: volts_to_code(curve.voltage_at(near_cm)),
-            far_code: volts_to_code(curve.voltage_at(far_cm)),
+            volts_to_code(curve.voltage_at(near_cm)),
+            volts_to_code(curve.voltage_at(far_cm)),
             near_cm,
             far_cm,
-        })
+        ))
     }
 
     /// Entries that no in-range ADC code selects — entries that can never
@@ -320,8 +323,58 @@ impl IslandMap {
         &self.islands
     }
 
-    /// Classifies an ADC code.
+    /// Finishes construction: computes whether the island list supports
+    /// the binary-search lookup (strictly descending, disjoint code
+    /// ranges — see the `searchable` field).
+    fn assemble(
+        islands: Vec<Island>,
+        near_code: u16,
+        far_code: u16,
+        near_cm: f64,
+        far_cm: f64,
+    ) -> Self {
+        let searchable = islands
+            .windows(2)
+            .all(|pair| pair[0].lo_code > pair[1].hi_code);
+        IslandMap {
+            islands,
+            near_code,
+            far_code,
+            near_cm,
+            far_cm,
+            searchable,
+        }
+    }
+
+    /// Classifies an ADC code. O(log n) over the islands for every map
+    /// the standard builders produce (this sits on the firmware's
+    /// per-sample hot path); degenerate overlap-collapsed dense maps use
+    /// [`IslandMap::lookup_scan`], whose first-match order resolves
+    /// contested codes in favour of the nearer entry.
     pub fn lookup(&self, code: u16) -> IslandHit {
+        if code > self.near_code {
+            return IslandHit::TooNear;
+        }
+        if code < self.far_code {
+            return IslandHit::TooFar;
+        }
+        if !self.searchable {
+            return self.lookup_scan(code);
+        }
+        // Islands are ordered nearest-first: lo_code strictly decreasing.
+        // Find the first island whose range could still contain `code`.
+        let i = self.islands.partition_point(|isl| isl.lo_code > code);
+        match self.islands.get(i) {
+            Some(isl) if isl.contains(code) => IslandHit::Entry(isl.index),
+            _ => IslandHit::Gap,
+        }
+    }
+
+    /// Reference linear-scan classification: first island containing the
+    /// code wins, in entry order (nearest first). The binary-search
+    /// [`IslandMap::lookup`] must agree with this on every code — the
+    /// exhaustive equivalence test below holds it to that.
+    pub fn lookup_scan(&self, code: u16) -> IslandHit {
         if code > self.near_code {
             return IslandHit::TooNear;
         }
@@ -397,6 +450,31 @@ mod tests {
 
     fn map10() -> IslandMap {
         IslandMap::build(10, 4.0, 30.0, 0.35, &paper_curve()).unwrap()
+    }
+
+    #[test]
+    fn binary_search_lookup_matches_linear_scan_on_every_code() {
+        let curve = paper_curve();
+        let mut maps: Vec<IslandMap> = Vec::new();
+        for n in [1usize, 2, 5, 8, 10, 16, 25] {
+            maps.push(IslandMap::build(n, 4.0, 30.0, 0.35, &curve).unwrap());
+            maps.push(IslandMap::build(n, 4.0, 30.0, 0.0, &curve).unwrap());
+            maps.push(IslandMap::linear_in_code(n, 4.0, 30.0, 0.35, &curve).unwrap());
+            maps.push(IslandMap::build_dense(n, 4.0, 30.0, &curve).unwrap());
+        }
+        // Dense maps with many far entries collapse into overlapping
+        // degenerate islands — the case that must take the scan fallback.
+        maps.push(IslandMap::build_dense(120, 4.0, 30.0, &curve).unwrap());
+        maps.push(IslandMap::build_dense(400, 4.0, 30.0, &curve).unwrap());
+        for (mi, m) in maps.iter().enumerate() {
+            for code in 0u16..=1023 {
+                assert_eq!(
+                    m.lookup(code),
+                    m.lookup_scan(code),
+                    "map {mi} diverges at code {code}"
+                );
+            }
+        }
     }
 
     #[test]

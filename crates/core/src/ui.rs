@@ -84,6 +84,41 @@ pub fn render_status(
     ]
 }
 
+/// [`render_status`] into a caller-owned buffer: same five lines, byte
+/// for byte, but reusing the strings' capacity so the firmware's
+/// steady-state periodic redraw check allocates nothing.
+pub fn render_status_into(
+    adc_code: u16,
+    distance_cm: Option<f64>,
+    island: Option<usize>,
+    level: usize,
+    battery_soc: f64,
+    out: &mut Vec<String>,
+) {
+    use std::fmt::Write as _;
+    out.resize_with(TEXT_LINES, String::new);
+    for line in out.iter_mut() {
+        line.clear();
+    }
+    // Writing to a String cannot fail; errors are structurally impossible.
+    let _ = write!(out[0], "adc {adc_code:>4}");
+    match distance_cm {
+        Some(cm) => {
+            let _ = write!(out[1], "d   {cm:>5.1}cm");
+        }
+        None => out[1].push_str("d   --.-cm"),
+    }
+    match island {
+        Some(i) => {
+            let _ = write!(out[2], "isl {i}  lvl {level}");
+        }
+        None => {
+            let _ = write!(out[2], "isl -  lvl {level}");
+        }
+    }
+    let _ = write!(out[3], "bat {:>3.0}%", battery_soc * 100.0);
+}
+
 /// Study-instruction view for the lower display (§6): the task prompt,
 /// word-wrapped to the 16-column panel, at most [`TEXT_LINES`] lines.
 pub fn render_instruction(text: &str) -> Vec<String> {
@@ -203,6 +238,21 @@ mod tests {
         assert!(lines[2].contains("isl 4"));
         assert!(lines[2].contains("lvl 2"));
         assert!(lines[3].contains("83%"));
+    }
+
+    #[test]
+    fn status_into_matches_the_allocating_render_byte_for_byte() {
+        let cases = [
+            (512u16, Some(17.3), Some(4usize), 2usize, 0.83),
+            (0, None, None, 0, 1.0),
+            (1023, Some(4.0), Some(0), 7, 0.0),
+            (7, Some(29.96), None, 1, 0.555),
+        ];
+        let mut buf = vec!["stale junk".to_string(); 3];
+        for (code, dist, isl, lvl, soc) in cases {
+            render_status_into(code, dist, isl, lvl, soc, &mut buf);
+            assert_eq!(buf, render_status(code, dist, isl, lvl, soc));
+        }
     }
 
     #[test]

@@ -48,7 +48,129 @@ struct BenchRow {
     parallel_s: f64,
 }
 
-/// Renders the v3 perf report as JSON by hand — the harness has no JSON
+/// The event-core-vs-fixed-tick device comparison for the `sim_speedup`
+/// bench object: one standardized device workload driven twice.
+struct SimSpeedup {
+    simulated_s: f64,
+    event_wall_s: f64,
+    tick_wall_s: f64,
+}
+
+impl SimSpeedup {
+    fn speedup(&self) -> f64 {
+        self.tick_wall_s / self.event_wall_s.max(1e-9)
+    }
+}
+
+/// Single-shard telemetry decode throughput for the `decode` bench
+/// object.
+struct DecodeBench {
+    bytes: usize,
+    records: u64,
+    wall_s: f64,
+}
+
+/// Times the standardized device workload twice: once on the
+/// jump-to-deadline event core (`run_for_ms`, cached display load) and
+/// once on the legacy fixed-tick path (`tick_compat`, which recounts
+/// the panel load from display RAM every step — the pre-event-core
+/// per-tick cost). Both devices are byte-identical twins; the run
+/// asserts their battery state still agrees bit for bit, so the
+/// speedup is never bought with divergence.
+fn measure_sim_speedup(seed: u64) -> SimSpeedup {
+    use distscroll_core::device::DistScrollDevice;
+    use distscroll_core::menu::Menu;
+    use distscroll_core::profile::DeviceProfile;
+
+    let ticks: u64 = 200_000;
+    let profile = DeviceProfile::paper();
+    let tick_ms = profile.tick_ms;
+    let simulated_s = (ticks * tick_ms) as f64 / 1e3;
+
+    let mut event_dev = DistScrollDevice::new(profile.clone(), Menu::flat(12), seed);
+    event_dev.set_distance(18.0);
+    let t0 = std::time::Instant::now();
+    event_dev
+        .run_for_ms(ticks * tick_ms)
+        .expect("bench workload must not brown out");
+    let event_wall_s = t0.elapsed().as_secs_f64();
+
+    let mut tick_dev = DistScrollDevice::new(profile, Menu::flat(12), seed);
+    tick_dev.set_distance(18.0);
+    let t0 = std::time::Instant::now();
+    for _ in 0..ticks {
+        tick_dev
+            .tick_compat()
+            .expect("bench workload must not brown out");
+    }
+    let tick_wall_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        event_dev.board().battery_soc().to_bits(),
+        tick_dev.board().battery_soc().to_bits(),
+        "event core diverged from the fixed-tick path during the bench"
+    );
+    SimSpeedup {
+        simulated_s,
+        event_wall_s,
+        tick_wall_s,
+    }
+}
+
+/// Times the telemetry decode hot path: a single-shard
+/// [`distscroll_host::telemetry::StreamDecoder`] fed a realistic framed
+/// record stream, reported as bytes per second.
+fn measure_decode_throughput() -> DecodeBench {
+    use distscroll_host::telemetry::StreamDecoder;
+    use distscroll_hw::link::encode_frame_into;
+
+    // A realistic mix: three state records per event record, the same
+    // ratio a steady-state device produces. encode_frame_into clears
+    // its buffer, so frames go through a scratch vec.
+    let mut corpus = Vec::new();
+    let mut frame = Vec::new();
+    let mut stamp = 0u16;
+    while corpus.len() < 2 << 20 {
+        for _ in 0..3 {
+            stamp = stamp.wrapping_add(25);
+            let code = 0x0200 | (stamp & 0xff);
+            encode_frame_into(
+                &[
+                    b'T',
+                    (stamp >> 8) as u8,
+                    (stamp & 0xff) as u8,
+                    (code >> 8) as u8,
+                    (code & 0xff) as u8,
+                    (stamp % 5) as u8,
+                    1,
+                    (stamp % 8) as u8,
+                ],
+                &mut frame,
+            );
+            corpus.extend_from_slice(&frame);
+        }
+        stamp = stamp.wrapping_add(25);
+        encode_frame_into(
+            &[b'E', (stamp >> 8) as u8, (stamp & 0xff) as u8, b'H', 2],
+            &mut frame,
+        );
+        corpus.extend_from_slice(&frame);
+    }
+
+    let mut dec = StreamDecoder::new();
+    let mut records = 0u64;
+    let t0 = std::time::Instant::now();
+    dec.push_bytes_with(&corpus, |_rec| records += 1);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(records > 0, "decode bench corpus produced no records");
+    DecodeBench {
+        bytes: corpus.len(),
+        records,
+        wall_s,
+    }
+}
+
+/// Renders the v4 perf report as JSON by hand — the harness has no JSON
 /// dependency, and experiment ids contain no characters that need
 /// escaping.
 ///
@@ -60,10 +182,15 @@ struct BenchRow {
 /// so their sum double-counts contended time and says nothing about
 /// throughput. v3 adds `link_quality`: the ARQ transport counters every
 /// reliable-link session of the run folded together (all zeros when no
-/// experiment exercised the ARQ).
+/// experiment exercised the ARQ). v4 adds `sim_speedup` (the
+/// jump-to-deadline event core vs the legacy fixed-tick device loop on
+/// a standardized workload) and `decode` (single-shard telemetry decode
+/// throughput in bytes per second).
 fn bench_json(
     rows: &[BenchRow],
     stages: &[ExecutorStage],
+    sim: &SimSpeedup,
+    decode: &DecodeBench,
     jobs: usize,
     effort: Effort,
     seed: u64,
@@ -71,7 +198,7 @@ fn bench_json(
     let serial_wall_s = stages[0].wall_s;
     let parallel_wall_s = stages[1].wall_s;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 3,\n");
+    out.push_str("  \"schema\": 4,\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"cores\": {},\n", distscroll_par::max_jobs()));
     out.push_str(&format!(
@@ -100,6 +227,22 @@ fn bench_json(
         distscroll_host::telemetry::link_quality_json(
             &distscroll_host::telemetry::link_quality_totals()
         )
+    ));
+    out.push_str(&format!(
+        "  \"sim_speedup\": {{\"simulated_s\": {:.1}, \"event_wall_s\": {:.4}, \
+         \"tick_wall_s\": {:.4}, \"speedup\": {:.3}}},\n",
+        sim.simulated_s,
+        sim.event_wall_s,
+        sim.tick_wall_s,
+        sim.speedup(),
+    ));
+    out.push_str(&format!(
+        "  \"decode\": {{\"bytes\": {}, \"records\": {}, \"wall_s\": {:.4}, \
+         \"bytes_per_sec\": {:.0}}},\n",
+        decode.bytes,
+        decode.records,
+        decode.wall_s,
+        decode.bytes as f64 / decode.wall_s.max(1e-9),
     ));
     out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
     out.push_str(&format!("  \"parallel_wall_s\": {parallel_wall_s:.4},\n"));
@@ -244,9 +387,28 @@ fn main() {
                 parallel_s: *p,
             })
             .collect();
+        eprintln!("bench: timing event core vs fixed-tick device loop...");
+        let sim = measure_sim_speedup(seed);
+        eprintln!(
+            "bench: sim_speedup {:.2}x (event {:.3} s vs fixed-tick {:.3} s \
+             over {:.0} simulated s)",
+            sim.speedup(),
+            sim.event_wall_s,
+            sim.tick_wall_s,
+            sim.simulated_s
+        );
+        eprintln!("bench: timing single-shard telemetry decode...");
+        let decode = measure_decode_throughput();
+        eprintln!(
+            "bench: decode {:.1} MB/s ({} records)",
+            decode.bytes as f64 / decode.wall_s.max(1e-9) / 1e6,
+            decode.records
+        );
         let json = bench_json(
             &rows,
             &[serial_stage, parallel_stage],
+            &sim,
+            &decode,
             distscroll_par::resolve_jobs(jobs),
             effort,
             seed,

@@ -79,6 +79,11 @@ pub struct Bt96040 {
     /// Count of full-screen clears (a cheap proxy for flicker in tests).
     clears: u64,
     writes: u64,
+    /// Total font ink of the text buffer, maintained incrementally on
+    /// every write so the per-tick power model reads it in O(1) instead
+    /// of re-scanning all 80 cells. Invariant: always equals
+    /// [`Bt96040::recount_lit_pixels`] of the current buffer.
+    ink_total: u32,
 }
 
 impl Bt96040 {
@@ -94,6 +99,7 @@ impl Bt96040 {
             powered: true,
             clears: 0,
             writes: 0,
+            ink_total: 0,
         }
     }
 
@@ -153,8 +159,22 @@ impl Bt96040 {
         font::pixel(self.text[line][col] as char, gx, gy)
     }
 
-    /// Count of lit pixels (drives the power model; also a handy test probe).
+    /// Count of lit pixels (drives the power model; also a handy test
+    /// probe). O(1): reads the incrementally-maintained ink total rather
+    /// than scanning the text buffer — the board's power step calls this
+    /// every simulated tick.
     pub fn lit_pixels(&self) -> u32 {
+        if !self.powered {
+            return 0;
+        }
+        self.ink_total
+    }
+
+    /// Recounts lit pixels by scanning the whole text buffer — the
+    /// reference implementation the O(1) [`Bt96040::lit_pixels`] cache is
+    /// checked against (and the per-tick cost the pre-event-core board
+    /// step used to pay).
+    pub fn recount_lit_pixels(&self) -> u32 {
         if !self.powered {
             return 0;
         }
@@ -220,6 +240,7 @@ impl I2cDevice for Bt96040 {
                     return Err(self.protocol_err("clear takes no operands"));
                 }
                 self.text = [[b' '; TEXT_COLS]; TEXT_LINES];
+                self.ink_total = 0; // the space glyph has no ink
                 self.cursor_line = 0;
                 self.cursor_col = 0;
                 self.clears += 1;
@@ -241,8 +262,11 @@ impl I2cDevice for Bt96040 {
                     if self.cursor_col >= TEXT_COLS {
                         break; // clip at line end, like the real controller
                     }
-                    self.text[self.cursor_line][self.cursor_col] =
-                        if (0x20..=0x7e).contains(&b) { b } else { b'?' };
+                    let stored = if (0x20..=0x7e).contains(&b) { b } else { b'?' };
+                    let cell = &mut self.text[self.cursor_line][self.cursor_col];
+                    self.ink_total += font::ink(stored as char);
+                    self.ink_total -= font::ink(*cell as char);
+                    *cell = stored;
                     self.cursor_col += 1;
                 }
                 self.writes += 1;
@@ -396,6 +420,37 @@ mod tests {
         assert_eq!(rows.len(), TEXT_LINES + 2);
         assert!(rows[1].contains("Ring tones"));
         assert!(rows[0].starts_with('+'));
+    }
+
+    #[test]
+    fn cached_lit_pixels_always_matches_a_full_recount() {
+        let mut d = fresh();
+        // A deterministic pseudo-random command mix: overwrites, clears,
+        // clipped writes, power cycles, non-ASCII substitution.
+        let mut state = 0x9e37_79b9_u32;
+        let mut step = || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            state >> 16
+        };
+        for i in 0..500 {
+            match step() % 10 {
+                0 => drop(d.write(&[cmd::CLEAR])),
+                1 => drop(d.write(&[cmd::SET_POWER, (step() % 2) as u8])),
+                2 => drop(d.write(&[cmd::SET_CURSOR, (step() % 5) as u8, (step() % 16) as u8])),
+                _ => {
+                    let mut payload = vec![cmd::WRITE_TEXT];
+                    for _ in 0..(step() % 20) {
+                        payload.push((step() % 256) as u8);
+                    }
+                    drop(d.write(&payload));
+                }
+            }
+            assert_eq!(
+                d.lit_pixels(),
+                d.recount_lit_pixels(),
+                "ink cache diverged from the text buffer at step {i}"
+            );
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * [`link`] — the framed radio link from the device to the host PC,
 //! * [`arq`] — reliable delivery (sequence numbers, acks, retransmission)
 //!   layered on the link,
-//! * [`board`] — the wiring of the whole DistScroll board (paper, Fig. 2/3).
+//! * [`board`] — the wiring of the whole DistScroll board (paper, Fig. 2/3),
+//! * [`sched`] — the deterministic discrete-event scheduler the device
+//!   loop runs on (jump-to-deadline instead of fixed ticks).
 //!
 //! Everything is deterministic: components never read wall-clock time or
 //! global randomness; callers pass a [`clock::SimInstant`] and, where a
@@ -58,6 +60,7 @@ pub mod link;
 pub mod mcu;
 pub mod pot;
 pub mod power;
+pub mod sched;
 
 /// Errors reported by simulated hardware components.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,23 @@
+//@ path: crates/eval/src/experiments/tick_driver_ok.rs
+
+// Sanctioned forms: driving time through the device's event-core
+// dispatch, a pragma'd stepping site, and test-rig stepping inside a
+// #[cfg(test)] region.
+
+fn drive(dev: &mut distscroll_core::device::DistScrollDevice) -> Result<(), CoreError> {
+    dev.run_until(dev.now() + distscroll_hw::clock::SimDuration::from_secs(2))
+}
+
+fn sanctioned(board: &mut distscroll_hw::board::Board) {
+    // lint:allow(fixed-tick) this harness is the sanctioned dispatch site for its fixture board
+    board.step(distscroll_hw::clock::SimDuration::from_millis(10));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rig_steps_manually() {
+        let mut board = distscroll_hw::board::Board::new();
+        board.step(distscroll_hw::clock::SimDuration::from_millis(10));
+    }
+}

@@ -24,6 +24,7 @@
 //! | `panic-hygiene` | first-party library code outside tests | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
 //! | `event-drain` | everywhere but `crates/core` | `drain_events` / `drain_telemetry` (allocate-per-poll; use the sink or `drain_*_into` forms) |
 //! | `raw-seq` | everywhere but `crates/hw` | `from_raw` — ARQ sequence numbers come from `decode_data` / `decode_ack`, never hand-built |
+//! | `fixed-tick` | everywhere but `crates/hw` and `#[cfg(test)]` | `clock.advance` / `board.step` — register a deadline with `distscroll_hw::sched` and drive time through the device dispatch |
 //! | `bad-pragma` | everywhere | `lint:allow` pragmas that name no known rule or carry no reason |
 //!
 //! Vendored crates (`rand`, `proptest`, `criterion`) are excluded, the

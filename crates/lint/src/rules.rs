@@ -30,6 +30,9 @@ pub enum Rule {
     EventDrain,
     /// Raw ARQ sequence-number construction outside `crates/hw`.
     RawSeq,
+    /// Manual clock stepping / fixed-tick driving outside the scheduler
+    /// crate and `#[cfg(test)]` regions.
+    FixedTick,
     /// A `lint:allow` pragma that is unusable as written.
     BadPragma,
 }
@@ -44,6 +47,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::PanicHygiene,
     Rule::EventDrain,
     Rule::RawSeq,
+    Rule::FixedTick,
     Rule::BadPragma,
 ];
 
@@ -59,6 +63,7 @@ impl Rule {
             Rule::PanicHygiene => "panic-hygiene",
             Rule::EventDrain => "event-drain",
             Rule::RawSeq => "raw-seq",
+            Rule::FixedTick => "fixed-tick",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -104,6 +109,11 @@ impl Rule {
                 "Seq16::from_raw outside crates/hw — device and host code receive ARQ \
                  sequence numbers from decode_data/decode_ack and never construct their own, \
                  so serial-number comparisons stay in one audited module"
+            }
+            Rule::FixedTick => {
+                "SimClock::advance / board.step / manual tick stepping outside crates/hw and \
+                 #[cfg(test)] regions — register a deadline with the event scheduler \
+                 (distscroll_hw::sched) and let the device dispatch advance time"
             }
             Rule::BadPragma => "a lint:allow pragma naming an unknown rule or carrying no reason",
         }
@@ -562,6 +572,23 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
             ));
         }
 
+        if ctx.crate_name != "hw"
+            && !in_test_module
+            && (has_token(code, "clock.advance")
+                || has_token(code, "clock.advance_to")
+                || has_token(code, "SimClock::advance")
+                || has_token(code, "board.step")
+                || has_token(code, "board.step_recount"))
+        {
+            hits.push((
+                Rule::FixedTick,
+                "manual tick stepping outside the scheduler crate — register a deadline with \
+                 the event scheduler (distscroll_hw::sched) and drive time through the device \
+                 dispatch (tick/run_until), so the jump-to-deadline discipline holds"
+                    .to_string(),
+            ));
+        }
+
         if lib_line {
             for pat in [
                 ".unwrap()",
@@ -825,6 +852,38 @@ mod tests {
         assert!(rules_at(text, "crates/hw/src/arq.rs").is_empty());
         let decoded = "fn f(p: &[u8]) { let _ = decode_data(p); }\n";
         assert!(rules_at(decoded, "crates/host/src/telemetry.rs").is_empty());
+    }
+
+    #[test]
+    fn fixed_tick_flagged_outside_hw_and_tests() {
+        let text = "fn f(b: &mut Board, d: SimDuration) { board.step(d); }\n";
+        assert_eq!(
+            rules_at(text, "crates/eval/src/runner.rs"),
+            vec![(Rule::FixedTick, 1)]
+        );
+        assert_eq!(
+            rules_at(text, "examples/quickstart.rs"),
+            vec![(Rule::FixedTick, 1)]
+        );
+        assert!(rules_at(text, "crates/hw/src/board.rs").is_empty());
+        let advance = "fn f(c: &mut SimClock, d: SimDuration) { clock.advance(d); }\n";
+        assert_eq!(
+            rules_at(advance, "crates/core/src/device.rs"),
+            vec![(Rule::FixedTick, 1)]
+        );
+        let in_test = concat!(
+            "pub fn ok() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(b: &mut Board, d: SimDuration) { board.step(d); }\n",
+            "}\n",
+        );
+        assert!(rules_at(in_test, "crates/core/src/firmware.rs").is_empty());
+        let pragmad = concat!(
+            "// lint:allow(fixed-tick) the event-core dispatch is the sanctioned stepping site\n",
+            "fn f(b: &mut Board, d: SimDuration) { board.step(d); }\n",
+        );
+        assert!(rules_at(pragmad, "crates/core/src/device.rs").is_empty());
     }
 
     #[test]

@@ -3,15 +3,21 @@
 #
 # Runs the full quick-effort suite through `--bench-out` (which also
 # re-asserts serial-vs-parallel report equality in-process), then checks
-# the recorded v3 report:
+# the recorded v4 report:
 #
 #   * on a >= 4-core machine: overall speedup must be >= 1.5x, and no
 #     experiment may be slower in the parallel pass than in the serial
 #     pass (beyond 5% + 5 ms of timer noise — several experiments finish
 #     in under a millisecond);
 #   * below 4 cores the executor grants fewer tokens than `--jobs` asks
-#     for, so parallel == serial is the best possible outcome; only a
-#     pathological-overhead guard applies (>= 0.9x).
+#     for, so parallel == serial is the best possible outcome; the
+#     parallel gate is VACUOUS there and the report records it as such —
+#     only a pathological-overhead guard applies (>= 0.9x);
+#   * sim_speedup (event core vs fixed-tick device loop) must be > 1.0x
+#     — the event core may never be slower than the path it replaced.
+#     The issue's 10x aspiration is warn-and-record: the per-device RNG
+#     draws noise every tick, so no tick is skippable and the honest
+#     ceiling is the per-tick overhead that was removed (~2-3x).
 #
 # Usage: scripts/bench_gate.sh [OUT_JSON]   (default BENCH_eval.json)
 # Env:   BENCH_JOBS (default 4) — the parallel pass's --jobs value.
@@ -44,8 +50,8 @@ with open(sys.argv[1]) as f:
     bench = json.load(f)
 
 schema = bench.get("schema")
-if schema != 3:
-    sys.exit(f"bench gate: expected v3 bench schema, got {schema!r}")
+if schema != 4:
+    sys.exit(f"bench gate: expected v4 bench schema, got {schema!r}")
 
 link = bench["link_quality"]
 print(
@@ -84,6 +90,21 @@ if cores >= 4:
             "bench gate: FAIL — experiments slower parallel than serial at "
             f"--jobs {bench['jobs']}: {', '.join(regressed)}"
         )
+elif cores == 1:
+    # One core means the parallel pass *is* the serial pass: the tokens
+    # the executor grants collapse to 1 and the speedup comparison
+    # measures timer noise. Recording the vacuity loudly beats a gate
+    # that quietly "passes" without having tested anything.
+    print(
+        "bench gate: WARNING — single-core machine; the parallel gate is "
+        "VACUOUS (tokens collapse to 1, speedup measures noise only). "
+        "Parallel scaling was NOT verified by this run."
+    )
+    if speedup < 0.90:
+        sys.exit(
+            f"bench gate: FAIL — parallel pass {1.0 / max(speedup, 1e-9):.2f}x slower than "
+            f"serial on a single core; executor overhead regressed"
+        )
 else:
     print("bench gate: <4 cores — 1.5x threshold not applicable, overhead guard only")
     if speedup < 0.90:
@@ -91,6 +112,29 @@ else:
             f"bench gate: FAIL — parallel pass {1.0 / max(speedup, 1e-9):.2f}x slower than "
             f"serial on a {cores}-core machine; executor overhead regressed"
         )
+
+sim = bench["sim_speedup"]
+print(
+    f"bench gate: sim_speedup {sim['speedup']:.2f}x — event core {sim['event_wall_s']:.3f}s "
+    f"vs fixed-tick {sim['tick_wall_s']:.3f}s over {sim['simulated_s']:.0f} simulated s"
+)
+if sim["speedup"] <= 1.0:
+    sys.exit(
+        f"bench gate: FAIL — event core ({sim['speedup']:.2f}x) is not faster than the "
+        "fixed-tick loop it replaced"
+    )
+if sim["speedup"] < 10.0:
+    print(
+        f"bench gate: WARNING — sim_speedup {sim['speedup']:.2f}x below the 10x target. "
+        "Recorded, not failed: the per-device RNG draws sensor noise every tick, so the "
+        "event core cannot skip ticks — its ceiling is the per-tick overhead it removed."
+    )
+
+dec = bench["decode"]
+print(
+    f"bench gate: decode throughput {dec['bytes_per_sec'] / 1e6:.1f} MB/s "
+    f"({dec['records']} records in {dec['wall_s']:.4f}s)"
+)
 
 print("bench gate: PASS")
 PY
