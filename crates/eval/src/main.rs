@@ -70,6 +70,36 @@ struct DecodeBench {
     wall_s: f64,
 }
 
+/// Fleet-ingest throughput for the `ingest` bench object: a cohort of
+/// template sessions replayed through the multiplexed service.
+struct IngestBench {
+    devices: u64,
+    shards: usize,
+    rounds: u64,
+    frames_in: u64,
+    records: u64,
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    shed: u64,
+    evicted: u64,
+}
+
+impl IngestBench {
+    fn devices_per_sec(&self) -> f64 {
+        self.devices as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// The three hot-path micro-benchmarks measured alongside the
+/// experiment matrix and rendered as the `sim_speedup`, `decode`, and
+/// `ingest` objects of the bench report.
+struct HotPathBenches {
+    sim: SimSpeedup,
+    decode: DecodeBench,
+    ingest: IngestBench,
+}
+
 /// Times the standardized device workload twice: once on the
 /// jump-to-deadline event core (`run_for_ms`, cached display load) and
 /// once on the legacy fixed-tick path (`tick_compat`, which recounts
@@ -170,7 +200,85 @@ fn measure_decode_throughput() -> DecodeBench {
     }
 }
 
-/// Renders the v4 perf report as JSON by hand — the harness has no JSON
+/// Replays a deterministic cohort of captured device sessions through
+/// the multiplexed ingest service and times it round by round.
+///
+/// The cohort size comes from `DISTSCROLL_INGEST_DEVICES` (default
+/// 10 000) so CI can run the same benchmark at a smaller fixed scale.
+/// Queues are sized to absorb a full round and the per-shard session
+/// bound sits below the cohort, so the LRU eviction path is on the
+/// clock, not just the happy path. Every counter in the result is a
+/// pure function of the seed — only the timings are wall-clock.
+fn measure_ingest(seed: u64, jobs: usize) -> IngestBench {
+    use distscroll_ingest::loadgen::{capture_template, CohortLoad, LinkProfile};
+    use distscroll_ingest::{IngestConfig, IngestService};
+
+    let devices: u64 = std::env::var("DISTSCROLL_INGEST_DEVICES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let shards = 8usize;
+
+    // Template sessions across the link conditions a fleet mixes.
+    let conditions = [
+        LinkProfile::CLEAN,
+        LinkProfile {
+            drop_prob: 0.02,
+            ber: 0.0,
+            jitter_ms: 5,
+        },
+        LinkProfile::LOSSY,
+    ];
+    let templates: Vec<_> = conditions
+        .iter()
+        .enumerate()
+        .map(|(i, &link)| {
+            let s = seed.wrapping_add(0x9e37_79b9 * (i as u64 + 1));
+            capture_template(link, 12, 100, s)
+        })
+        .collect();
+    let load = CohortLoad::new(templates, devices, 8);
+
+    let per_shard = devices.div_ceil(shards as u64) as usize;
+    let cfg = IngestConfig {
+        shards,
+        high_water: per_shard.max(64),
+        session_capacity: (per_shard / 2).max(64),
+    };
+    let mut svc = IngestService::new(&cfg);
+
+    let rounds = load.rounds();
+    let mut lat_us: Vec<u64> = Vec::with_capacity(rounds as usize);
+    let t0 = std::time::Instant::now();
+    for round in 0..rounds {
+        let tr = std::time::Instant::now();
+        load.for_round(round, |device, chunk| {
+            let _ = svc.offer(device, chunk); // sheds are counted in the books
+        });
+        svc.process_round(jobs);
+        lat_us.push(tr.elapsed().as_micros() as u64);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = svc.finish();
+    assert!(stats.totals.records > 0, "ingest bench decoded no records");
+
+    lat_us.sort_unstable();
+    let pct = |p: u64| lat_us[((lat_us.len() as u64 - 1) * p / 100) as usize] as f64;
+    IngestBench {
+        devices,
+        shards,
+        rounds,
+        frames_in: stats.totals.frames_in,
+        records: stats.totals.records,
+        wall_s,
+        p50_us: pct(50),
+        p99_us: pct(99),
+        shed: stats.totals.shed_batches,
+        evicted: stats.totals.evicted,
+    }
+}
+
+/// Renders the v5 perf report as JSON by hand — the harness has no JSON
 /// dependency, and experiment ids contain no characters that need
 /// escaping.
 ///
@@ -185,20 +293,27 @@ fn measure_decode_throughput() -> DecodeBench {
 /// experiment exercised the ARQ). v4 adds `sim_speedup` (the
 /// jump-to-deadline event core vs the legacy fixed-tick device loop on
 /// a standardized workload) and `decode` (single-shard telemetry decode
-/// throughput in bytes per second).
+/// throughput in bytes per second). v5 adds `ingest`: the fleet-scale
+/// multiplexed-ARQ ingest benchmark — a deterministic cohort replayed
+/// through the sharded service, reported as devices per second with
+/// per-round p50/p99 latency and the shed/evicted counters.
 fn bench_json(
     rows: &[BenchRow],
     stages: &[ExecutorStage],
-    sim: &SimSpeedup,
-    decode: &DecodeBench,
+    hot: &HotPathBenches,
     jobs: usize,
     effort: Effort,
     seed: u64,
 ) -> String {
+    let HotPathBenches {
+        sim,
+        decode,
+        ingest,
+    } = hot;
     let serial_wall_s = stages[0].wall_s;
     let parallel_wall_s = stages[1].wall_s;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 4,\n");
+    out.push_str("  \"schema\": 5,\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"cores\": {},\n", distscroll_par::max_jobs()));
     out.push_str(&format!(
@@ -243,6 +358,23 @@ fn bench_json(
         decode.records,
         decode.wall_s,
         decode.bytes as f64 / decode.wall_s.max(1e-9),
+    ));
+    out.push_str(&format!(
+        "  \"ingest\": {{\"devices\": {}, \"shards\": {}, \"rounds\": {}, \"frames_in\": {}, \
+         \"records\": {}, \"wall_s\": {:.4}, \"devices_per_sec\": {:.0}, \
+         \"p50_ingest_latency_us\": {:.0}, \"p99_ingest_latency_us\": {:.0}, \
+         \"shed\": {}, \"evicted\": {}}},\n",
+        ingest.devices,
+        ingest.shards,
+        ingest.rounds,
+        ingest.frames_in,
+        ingest.records,
+        ingest.wall_s,
+        ingest.devices_per_sec(),
+        ingest.p50_us,
+        ingest.p99_us,
+        ingest.shed,
+        ingest.evicted,
     ));
     out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
     out.push_str(&format!("  \"parallel_wall_s\": {parallel_wall_s:.4},\n"));
@@ -404,11 +536,27 @@ fn main() {
             decode.bytes as f64 / decode.wall_s.max(1e-9) / 1e6,
             decode.records
         );
+        eprintln!("bench: timing fleet ingest (multiplexed ARQ sessions)...");
+        let ingest = measure_ingest(seed, distscroll_par::resolve_jobs(jobs));
+        eprintln!(
+            "bench: ingest {:.0} devices/s ({} devices over {} shards, p50 {:.0} µs, \
+             p99 {:.0} µs per round, {} shed, {} evicted)",
+            ingest.devices_per_sec(),
+            ingest.devices,
+            ingest.shards,
+            ingest.p50_us,
+            ingest.p99_us,
+            ingest.shed,
+            ingest.evicted
+        );
         let json = bench_json(
             &rows,
             &[serial_stage, parallel_stage],
-            &sim,
-            &decode,
+            &HotPathBenches {
+                sim,
+                decode,
+                ingest,
+            },
             distscroll_par::resolve_jobs(jobs),
             effort,
             seed,

@@ -226,6 +226,26 @@ impl StreamDecoder {
         }
     }
 
+    /// An ARQ-terminating decoder that attaches to a transmitter already
+    /// mid-stream: the receiver adopts the first incoming sequence number
+    /// instead of expecting zero (see [`ArqRx::new_resync`]).
+    ///
+    /// This is the resume path after host-side session eviction — the
+    /// device kept transmitting, only the host forgot where it was.
+    pub fn with_arq_resync() -> Self {
+        StreamDecoder {
+            arq: Some(ArqRx::new_resync()),
+            ..StreamDecoder::default()
+        }
+    }
+
+    /// Whether a [`StreamDecoder::with_arq_resync`] decoder adopted a
+    /// mid-stream sequence number. `None` without ARQ; `Some(false)` for
+    /// a stream that genuinely started at sequence zero.
+    pub fn arq_resynced(&self) -> Option<bool> {
+        self.arq.as_ref().map(ArqRx::resynced)
+    }
+
     /// Pushes received bytes, visiting each completed record in order —
     /// the zero-allocation decode ([`Record`] is `Copy`; frame payloads
     /// are borrowed from the decoder's scratch buffer). Malformed or
@@ -567,6 +587,49 @@ mod tests {
         assert_eq!(bitmap, 0);
         tx.on_ack(cum, bitmap);
         assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn resync_decoder_resumes_midstream_without_duplicates() {
+        use distscroll_hw::arq::{ArqClass, ArqTx};
+        // A device transmits six records; the host decodes the first
+        // three, is evicted, and a fresh resync decoder picks up the
+        // rest of the stream — no record is lost or double-delivered.
+        let mut tx = ArqTx::new();
+        let stamps = |dec: &mut StreamDecoder, wires: &[Vec<u8>]| -> Vec<u16> {
+            let mut bytes = Vec::new();
+            for w in wires {
+                bytes.extend_from_slice(&encode_frame(w));
+            }
+            dec.push_bytes(&bytes).iter().map(Record::stamp).collect()
+        };
+        for stamp in 0..3u8 {
+            tx.enqueue(ArqClass::Event, &[b'E', 0, stamp, b'B', 0], 0);
+        }
+        let mut wires = Vec::new();
+        tx.service(0, |w| wires.push(w.to_vec()));
+        let mut first = StreamDecoder::with_arq();
+        assert_eq!(stamps(&mut first, &wires), vec![0, 1, 2]);
+        let ack = first.ack_payload().unwrap();
+        let (cum, bitmap) = distscroll_hw::arq::decode_ack(&ack).unwrap();
+        tx.on_ack(cum, bitmap);
+        drop(first); // session evicted: receiver state gone
+        for stamp in 3..6u8 {
+            tx.enqueue(ArqClass::Event, &[b'E', 0, stamp, b'B', 0], 1);
+        }
+        wires.clear();
+        tx.service(1, |w| wires.push(w.to_vec()));
+        let mut resumed = StreamDecoder::with_arq_resync();
+        assert_eq!(stamps(&mut resumed, &wires), vec![3, 4, 5]);
+        assert_eq!(resumed.arq_resynced(), Some(true));
+        let q = resumed.arq_quality().unwrap();
+        assert_eq!(q.delivered, 3);
+        assert_eq!(q.duplicates, 0);
+        // A zero-expecting decoder parks the same frames behind a hole
+        // (seq 0..2) that will never fill — that is the stall resync
+        // fixes.
+        let mut stale = StreamDecoder::with_arq();
+        assert!(stamps(&mut stale, &wires).is_empty());
     }
 
     #[test]

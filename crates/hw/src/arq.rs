@@ -390,6 +390,16 @@ pub struct ArqRx {
     parked: Vec<Parked>,
     spare: Vec<Vec<u8>>,
     quality: LinkQuality,
+    /// When true, the first data frame's sequence number is adopted as
+    /// `expected` instead of being judged against it — a receiver that
+    /// attaches to a transmitter already mid-stream (e.g. after the
+    /// host evicted and later resurrected the session).
+    sync_on_first: bool,
+    /// Whether the first frame has been seen (only meaningful when
+    /// `sync_on_first` is set).
+    synced: bool,
+    /// Whether adoption actually moved `expected` off [`Seq16::ZERO`].
+    resynced: bool,
 }
 
 impl Default for ArqRx {
@@ -406,7 +416,33 @@ impl ArqRx {
             parked: Vec::new(),
             spare: Vec::new(),
             quality: LinkQuality::default(),
+            sync_on_first: false,
+            synced: false,
+            resynced: false,
         }
+    }
+
+    /// A receiver that adopts the first incoming frame's sequence number
+    /// as its own `expected`, then behaves exactly like [`ArqRx::new`].
+    ///
+    /// This is the resume path for a session whose receiver state was
+    /// discarded mid-stream: the transmitter is somewhere past zero, and
+    /// a zero-expecting receiver would count its entire backlog window as
+    /// serially-old duplicates. Adopting the first live sequence re-syncs
+    /// without replaying or double-delivering anything — frames the old
+    /// receiver already delivered were acked and will not be resent.
+    pub fn new_resync() -> Self {
+        ArqRx {
+            sync_on_first: true,
+            ..ArqRx::new()
+        }
+    }
+
+    /// Whether a [`ArqRx::new_resync`] receiver adopted a mid-stream
+    /// sequence number (false for a fresh stream starting at zero, and
+    /// always false for [`ArqRx::new`] receivers).
+    pub fn resynced(&self) -> bool {
+        self.resynced
     }
 
     /// Counters accumulated so far.
@@ -422,6 +458,13 @@ impl ArqRx {
     /// beyond the window are ignored — never acked, the transmitter
     /// resends them once the window has moved.
     pub fn on_data<F: FnMut(&[u8])>(&mut self, seq: Seq16, inner: &[u8], mut deliver: F) {
+        if self.sync_on_first && !self.synced {
+            self.synced = true;
+            if seq != self.expected {
+                self.expected = seq;
+                self.resynced = true;
+            }
+        }
         let ahead = seq.distance_from(self.expected);
         if ahead >= SERIAL_HALF {
             // Serially older than `expected`: already delivered.
@@ -505,6 +548,44 @@ mod tests {
         let (cum, bitmap) = decode_ack(&rx.ack_payload()).unwrap();
         tx.on_ack(cum, bitmap);
         delivered
+    }
+
+    #[test]
+    fn resync_receiver_adopts_midstream_sequence() {
+        let mut rx = ArqRx::new_resync();
+        let mut got = Vec::new();
+        // First frame lands at seq 500: a zero-expecting receiver would
+        // drop it as serially old; the resync receiver adopts it.
+        rx.on_data(Seq16::from_raw(500), b"a", |r| got.push(r.to_vec()));
+        rx.on_data(Seq16::from_raw(501), b"b", |r| got.push(r.to_vec()));
+        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(rx.resynced());
+        assert_eq!(rx.quality().delivered, 2);
+        assert_eq!(rx.quality().duplicates, 0);
+    }
+
+    #[test]
+    fn resync_receiver_on_fresh_stream_is_plain_receiver() {
+        let mut rx = ArqRx::new_resync();
+        let mut got = Vec::new();
+        rx.on_data(Seq16::ZERO, b"a", |r| got.push(r.to_vec()));
+        // A duplicate of the first frame is still deduplicated: adoption
+        // happens once, on the very first frame only.
+        rx.on_data(Seq16::ZERO, b"a", |r| got.push(r.to_vec()));
+        assert_eq!(got.len(), 1);
+        assert!(!rx.resynced());
+        assert_eq!(rx.quality().duplicates, 1);
+    }
+
+    #[test]
+    fn resync_receiver_dedups_after_adoption() {
+        let mut rx = ArqRx::new_resync();
+        let mut got = Vec::new();
+        rx.on_data(Seq16::from_raw(77), b"x", |r| got.push(r.to_vec()));
+        rx.on_data(Seq16::from_raw(77), b"x", |r| got.push(r.to_vec()));
+        rx.on_data(Seq16::from_raw(76), b"w", |r| got.push(r.to_vec()));
+        assert_eq!(got.len(), 1);
+        assert_eq!(rx.quality().duplicates, 2);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The ingest front door: routes device traffic to shards and drains
+//! the shards through the shared worker pool.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::shard::Shard;
+use crate::{shard_of, IngestConfig, ShardStats};
+
+/// A poisoned shard still holds consistent counters — every mutation
+/// completes before the lock drops — so ingest keeps the books open
+/// rather than cascading a worker panic into the whole fleet.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Final fleet books: per-shard stats plus their merged totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestStats {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardStats>,
+    /// All shards merged.
+    pub totals: ShardStats,
+}
+
+/// A host-side service multiplexing many concurrent device→host ARQ
+/// sessions (see the crate docs for the sharding/backpressure/eviction
+/// contract).
+///
+/// Usage is round-based: [`IngestService::offer`] traffic as it
+/// arrives, [`IngestService::process_round`] to drain every shard's
+/// queue through the worker pool, repeat; [`IngestService::finish`]
+/// closes the books.
+#[derive(Debug)]
+pub struct IngestService {
+    shards: Vec<Mutex<Shard>>,
+    high_water: usize,
+}
+
+impl IngestService {
+    pub fn new(cfg: &IngestConfig) -> Self {
+        assert!(cfg.shards > 0, "an ingest service needs at least one shard");
+        IngestService {
+            shards: (0..cfg.shards)
+                .map(|_| Mutex::new(Shard::new(cfg.session_capacity)))
+                .collect(),
+            high_water: cfg.high_water,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Offers one device's chunk of radio bytes. Returns `false` when
+    /// the owning shard is at its high-water mark and shed the chunk
+    /// (the shed is also counted in that shard's stats).
+    pub fn offer(&mut self, device: u64, bytes: &[u8]) -> bool {
+        let idx = shard_of(device, self.shards.len());
+        // `&mut self` proves no worker holds a lock: direct access.
+        let Some(m) = self.shards.get_mut(idx) else {
+            return false; // unreachable: idx < len by construction
+        };
+        m.get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .enqueue(device, bytes, self.high_water)
+    }
+
+    /// Drains every shard's queue, fanning the shards across the worker
+    /// pool. Each shard is drained by exactly one worker and owns its
+    /// sessions exclusively, so every counter is identical at any
+    /// `jobs` — the knob buys wall-clock time only.
+    pub fn process_round(&mut self, jobs: usize) {
+        distscroll_par::par_map(jobs, &self.shards, |_, m| {
+            lock_unpoisoned(m).process_queue();
+        });
+    }
+
+    /// Batches queued across all shards and not yet processed.
+    pub fn queued(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|m| m.get_mut().unwrap_or_else(PoisonError::into_inner).queued())
+            .sum()
+    }
+
+    /// Live sessions across all shards.
+    pub fn live_sessions(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|m| {
+                m.get_mut()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .live_sessions()
+            })
+            .sum()
+    }
+
+    /// Closes the books: folds every live session into its shard's
+    /// aggregate and returns per-shard stats plus fleet totals.
+    pub fn finish(mut self) -> IngestStats {
+        let per_shard: Vec<ShardStats> = self
+            .shards
+            .iter_mut()
+            .map(|m| m.get_mut().unwrap_or_else(PoisonError::into_inner).finish())
+            .collect();
+        let mut totals = ShardStats::default();
+        for s in &per_shard {
+            totals.merge(s);
+        }
+        IngestStats { per_shard, totals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distscroll_hw::arq::{ArqClass, ArqTx};
+    use distscroll_hw::link::encode_frame;
+
+    fn stream(tx: &mut ArqTx, n: u8, tick: u64) -> Vec<u8> {
+        for i in 0..n {
+            tx.enqueue(ArqClass::Event, &[b'E', 0, i, b'B', 0], tick);
+        }
+        let mut bytes = Vec::new();
+        tx.service(tick, |wire| bytes.extend_from_slice(&encode_frame(wire)));
+        bytes
+    }
+
+    #[test]
+    fn traffic_routes_by_device_id_and_counters_add_up() {
+        let mut svc = IngestService::new(&IngestConfig::unbounded(4));
+        let mut txs: Vec<ArqTx> = (0..8).map(|_| ArqTx::new()).collect();
+        for (dev, tx) in txs.iter_mut().enumerate() {
+            let bytes = stream(tx, 3, 0);
+            assert!(svc.offer(dev as u64, &bytes));
+        }
+        assert_eq!(svc.queued(), 8);
+        svc.process_round(1);
+        assert_eq!(svc.queued(), 0);
+        assert_eq!(svc.live_sessions(), 8);
+        let stats = svc.finish();
+        assert_eq!(stats.per_shard.len(), 4);
+        // Devices 0..8 over 4 shards: two sessions per shard.
+        for (i, s) in stats.per_shard.iter().enumerate() {
+            assert_eq!(s.sessions_opened, 2, "shard {i}");
+            assert_eq!(s.records, 6, "shard {i}");
+        }
+        assert_eq!(stats.totals.records, 24);
+        assert_eq!(stats.totals.events, 24);
+        assert_eq!(stats.totals.link.delivered, 24);
+        assert_eq!(stats.totals.frames_in, 24);
+    }
+
+    #[test]
+    fn round_counters_are_jobs_invariant() {
+        let run = |jobs: usize| {
+            let mut svc = IngestService::new(&IngestConfig {
+                shards: 4,
+                high_water: usize::MAX,
+                session_capacity: 2,
+            });
+            let mut txs: Vec<ArqTx> = (0..24).map(|_| ArqTx::new()).collect();
+            for round in 0..3u64 {
+                for (dev, tx) in txs.iter_mut().enumerate() {
+                    let bytes = stream(tx, 2, round);
+                    svc.offer(dev as u64, &bytes);
+                }
+                svc.process_round(jobs);
+            }
+            svc.finish()
+        };
+        let serial = run(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(serial, run(jobs), "jobs={jobs}");
+        }
+        assert!(serial.totals.evicted > 0, "capacity 2 must evict");
+    }
+}

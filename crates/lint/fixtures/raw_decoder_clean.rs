@@ -1,0 +1,7 @@
+//@ path: crates/ingest/src/shard.rs
+
+// The shard registry is the sanctioned construction site: a session
+// opened here lives in exactly one shard's books.
+fn open_session() -> StreamDecoder {
+    StreamDecoder::with_arq_resync()
+}

@@ -17,13 +17,14 @@
 //! | id | scope | forbids |
 //! |----|-------|---------|
 //! | `thread-discipline` | everywhere but `crates/par` | `thread::spawn` / `thread::scope` / `thread::Builder` / `rayon` |
-//! | `wall-clock` | library code of `core`, `eval`, `baselines`, `host` | `Instant::now` / `SystemTime::now` |
-//! | `ambient-rng` | library code of `core`, `eval`, `baselines`, `host` | `thread_rng` / `rand::random` / `from_entropy` / `OsRng` |
+//! | `wall-clock` | library code of `core`, `eval`, `baselines`, `host`, `ingest` | `Instant::now` / `SystemTime::now` |
+//! | `ambient-rng` | library code of `core`, `eval`, `baselines`, `host`, `ingest` | `thread_rng` / `rand::random` / `from_entropy` / `OsRng` |
 //! | `unordered-iter` | first-party library code | `HashMap` / `HashSet` (use `BTreeMap` / `BTreeSet`) |
 //! | `unsafe-audit` | everywhere | `unsafe` outside the audited allowlist, or without a `// SAFETY:` comment |
 //! | `panic-hygiene` | first-party library code outside tests | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
 //! | `event-drain` | everywhere but `crates/core` | `drain_events` / `drain_telemetry` (allocate-per-poll; use the sink or `drain_*_into` forms) |
 //! | `raw-seq` | everywhere but `crates/hw` | `from_raw` — ARQ sequence numbers come from `decode_data` / `decode_ack`, never hand-built |
+//! | `raw-decoder` | `crates/ingest` outside `src/shard.rs` | `StreamDecoder::new` / `::with_arq` / `::with_arq_resync` / `::default` — fleet sessions are opened by the shard registry only |
 //! | `fixed-tick` | everywhere but `crates/hw` and `#[cfg(test)]` | `clock.advance` / `board.step` — register a deadline with `distscroll_hw::sched` and drive time through the device dispatch |
 //! | `bad-pragma` | everywhere | `lint:allow` pragmas that name no known rule or carry no reason |
 //!

@@ -30,6 +30,9 @@ pub enum Rule {
     EventDrain,
     /// Raw ARQ sequence-number construction outside `crates/hw`.
     RawSeq,
+    /// Raw `StreamDecoder` construction inside `crates/ingest` outside
+    /// the shard registry.
+    RawDecoder,
     /// Manual clock stepping / fixed-tick driving outside the scheduler
     /// crate and `#[cfg(test)]` regions.
     FixedTick,
@@ -47,6 +50,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::PanicHygiene,
     Rule::EventDrain,
     Rule::RawSeq,
+    Rule::RawDecoder,
     Rule::FixedTick,
     Rule::BadPragma,
 ];
@@ -63,6 +67,7 @@ impl Rule {
             Rule::PanicHygiene => "panic-hygiene",
             Rule::EventDrain => "event-drain",
             Rule::RawSeq => "raw-seq",
+            Rule::RawDecoder => "raw-decoder",
             Rule::FixedTick => "fixed-tick",
             Rule::BadPragma => "bad-pragma",
         }
@@ -110,6 +115,11 @@ impl Rule {
                  sequence numbers from decode_data/decode_ack and never construct their own, \
                  so serial-number comparisons stay in one audited module"
             }
+            Rule::RawDecoder => {
+                "StreamDecoder construction in crates/ingest outside src/shard.rs — every \
+                 fleet session lives in exactly one shard's books; ask the shard registry \
+                 for a session instead of opening a decoder at the call site"
+            }
             Rule::FixedTick => {
                 "SimClock::advance / board.step / manual tick stepping outside crates/hw and \
                  #[cfg(test)] regions — register a deadline with the event scheduler \
@@ -145,7 +155,7 @@ pub struct FileContext {
 
 /// Crates whose library code must be free of wall-clock and ambient
 /// randomness: everything on the path from a seed to a report.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "eval", "baselines", "host"];
+const DETERMINISTIC_CRATES: &[&str] = &["core", "eval", "baselines", "host", "ingest"];
 
 /// The only modules allowed to contain `unsafe` (and every block there
 /// must carry a SAFETY comment): the worker pool, and the counting
@@ -572,6 +582,22 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
             ));
         }
 
+        if ctx.crate_name == "ingest"
+            && ctx.path != "crates/ingest/src/shard.rs"
+            && (has_token(code, "StreamDecoder::new")
+                || has_token(code, "StreamDecoder::with_arq")
+                || has_token(code, "StreamDecoder::with_arq_resync")
+                || has_token(code, "StreamDecoder::default"))
+        {
+            hits.push((
+                Rule::RawDecoder,
+                "raw StreamDecoder construction outside the shard registry — sessions in \
+                 crates/ingest are opened by crates/ingest/src/shard.rs only, so every \
+                 decoder's counters land in exactly one shard's books"
+                    .to_string(),
+            ));
+        }
+
         if ctx.crate_name != "hw"
             && !in_test_module
             && (has_token(code, "clock.advance")
@@ -852,6 +878,33 @@ mod tests {
         assert!(rules_at(text, "crates/hw/src/arq.rs").is_empty());
         let decoded = "fn f(p: &[u8]) { let _ = decode_data(p); }\n";
         assert!(rules_at(decoded, "crates/host/src/telemetry.rs").is_empty());
+    }
+
+    #[test]
+    fn raw_decoder_flagged_in_ingest_outside_the_shard_registry() {
+        let text = "fn f() -> StreamDecoder { StreamDecoder::with_arq_resync() }\n";
+        assert_eq!(
+            rules_at(text, "crates/ingest/src/service.rs"),
+            vec![(Rule::RawDecoder, 1)]
+        );
+        assert_eq!(
+            rules_at(text, "crates/ingest/tests/backpressure.rs"),
+            vec![(Rule::RawDecoder, 1)]
+        );
+        // The shard registry is the sanctioned construction site, and
+        // other crates (the single-device host path) are out of scope.
+        assert!(rules_at(text, "crates/ingest/src/shard.rs").is_empty());
+        assert!(rules_at(text, "crates/host/src/session.rs").is_empty());
+        let plain = "fn f() -> StreamDecoder { StreamDecoder::new() }\n";
+        assert_eq!(
+            rules_at(plain, "crates/ingest/src/loadgen.rs"),
+            vec![(Rule::RawDecoder, 1)]
+        );
+        let pragmad = concat!(
+            "// lint:allow(raw-decoder) capture-time ground truth, outside any shard's books\n",
+            "fn f() -> StreamDecoder { StreamDecoder::with_arq() }\n",
+        );
+        assert!(rules_at(pragmad, "crates/ingest/src/loadgen.rs").is_empty());
     }
 
     #[test]

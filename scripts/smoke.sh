@@ -13,6 +13,8 @@
 #       than only in-process.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/expected.sh
+. "$(dirname "$0")/expected.sh"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -23,8 +25,8 @@ trap 'rm -rf "$workdir"' EXIT
 # catches a broken build, a registry mismatch or a CLI regression in
 # seconds, before the full matrix spends minutes.
 n_ids="$(cargo run --release -p distscroll-eval -- --list | tail -n +2 | wc -l)"
-if [ "$n_ids" -ne 15 ]; then
-    echo "smoke: --list should print 15 experiments, got $n_ids" >&2
+if [ "$n_ids" -ne "$N_EXPERIMENTS" ]; then
+    echo "smoke: --list should print $N_EXPERIMENTS experiments, got $n_ids" >&2
     exit 1
 fi
 cargo run --release -p distscroll-eval -- --only F4 --effort quick > "$workdir/only_f4.txt"
@@ -37,13 +39,18 @@ grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_l
     echo "smoke: --only L2 fast gate failed" >&2
     exit 1
 }
+cargo run --release -p distscroll-eval -- --only L3 --effort quick > "$workdir/only_l3.txt"
+grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_l3.txt" || {
+    echo "smoke: --only L3 fast gate failed" >&2
+    exit 1
+}
 
 cargo run --release -p distscroll-eval -- --quick --jobs 1 --out "$workdir/jobs1" all \
     > "$workdir/stdout_jobs1.txt"
 cargo run --release -p distscroll-eval -- --quick --jobs 4 --out "$workdir/jobs4" all \
     | tee "$workdir/stdout_jobs4.txt"
 
-grep -q "== summary: 15/15 experiments hold the paper's shape ==" "$workdir/stdout_jobs4.txt" || {
+grep -q "== summary: $N_EXPERIMENTS/$N_EXPERIMENTS experiments hold the paper's shape ==" "$workdir/stdout_jobs4.txt" || {
     echo "smoke: shape summary missing or regressed" >&2
     exit 1
 }
@@ -56,8 +63,8 @@ fi
 # dirs would byte-compare equal, so require the full report set first.
 for d in "$workdir/jobs1" "$workdir/jobs4"; do
     n="$(find "$d" -name '*.txt' 2> /dev/null | wc -l)"
-    if [ "$n" -ne 15 ]; then
-        echo "smoke: expected 15 report files in $d, found $n" >&2
+    if [ "$n" -ne "$N_EXPERIMENTS" ]; then
+        echo "smoke: expected $N_EXPERIMENTS report files in $d, found $n" >&2
         exit 1
     fi
 done
@@ -67,4 +74,4 @@ if ! diff -r "$workdir/jobs1" "$workdir/jobs4"; then
     exit 1
 fi
 
-echo "smoke: 15/15 experiments hold at --quick; --jobs 4 == --jobs 1 byte-for-byte"
+echo "smoke: $N_EXPERIMENTS/$N_EXPERIMENTS experiments hold at --quick; --jobs 4 == --jobs 1 byte-for-byte"
