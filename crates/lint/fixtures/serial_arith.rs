@@ -1,0 +1,30 @@
+//@ path: crates/host/src/frontier.rs
+//@ expect: serial-arith@15
+//@ expect: serial-arith@19
+//@ expect: serial-arith@23
+//@ expect: serial-arith@29
+
+// Raw integer arithmetic on wrapping serial numbers — the PR 5
+// SessionLog bug class. A backwards jump under 32768 is reordering,
+// not a wrap, so `<` on raw stamps misorders exactly at the seam.
+
+use distscroll_hw::arq::Seq16;
+
+fn is_stale(record_stamp: Seq16, front: Seq16) -> bool {
+    let stamp = record_stamp.raw();
+    stamp < front.raw()
+}
+
+fn next_expected(seq: Seq16) -> u16 {
+    seq.raw() + 1
+}
+
+fn window_cursor(last: u16, frame_seq: Seq16) -> bool {
+    last > frame_seq.raw()
+}
+
+fn tainted_flow(record_stamp: Seq16) -> u16 {
+    let stamp = record_stamp.raw();
+    let shifted = stamp;
+    shifted - 3
+}

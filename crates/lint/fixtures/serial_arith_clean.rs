@@ -1,0 +1,28 @@
+//@ path: crates/host/src/frontier_ok.rs
+
+// The sanctioned RFC 1982 shapes: wrapping_sub against a half-window
+// horizon, distance_from / newer_or_equal, or widening out of the
+// wrapping domain before arithmetic. Seq16 in type position (generics,
+// annotations) is not an operand.
+
+use distscroll_hw::arq::Seq16;
+
+const SERIAL_HALF: u64 = 32_768;
+
+fn is_stale(record_stamp: Seq16, front: Seq16) -> bool {
+    let stamp = record_stamp;
+    let delta = u64::from(stamp.wrapping_sub(front).raw());
+    delta < SERIAL_HALF
+}
+
+fn ordered(a: Seq16, b: Seq16) -> bool {
+    a.newer_or_equal(b)
+}
+
+fn gap(a: Seq16, b: Seq16) -> u16 {
+    a.distance_from(b)
+}
+
+fn buffer_len(window: &[Seq16]) -> usize {
+    window.len() + 1
+}

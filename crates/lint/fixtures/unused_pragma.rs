@@ -1,0 +1,14 @@
+//@ path: crates/eval/src/stale_pragma.rs
+//@ expect: unused-pragma@9
+//@ expect: unused-pragma@14
+
+// Pragmas whose violation was fixed (or never existed) are themselves
+// errors: a suppression that suppresses nothing is rot waiting to hide
+// the next real finding.
+
+// lint:allow(panic-hygiene) this used to unwrap before the Result refactor
+pub fn no_longer_panics() -> u32 {
+    7
+}
+
+pub fn trailing_stale() -> u32 { 8 } // lint:allow(wall-clock) no clock read here any more

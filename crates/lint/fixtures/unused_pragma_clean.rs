@@ -1,0 +1,14 @@
+//@ path: crates/eval/src/live_pragma.rs
+
+// Every pragma here suppresses a real diagnostic, so none is stale:
+// the unused-pragma rule stays quiet.
+
+pub fn timed() -> f64 {
+    // lint:allow(wall-clock) timing is the measured quantity here, not an input
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn trailing() -> u32 {
+    Some(1u32).unwrap() // lint:allow(panic-hygiene) literal Some can never be None
+}

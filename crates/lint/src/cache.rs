@@ -1,0 +1,311 @@
+//! The incremental scan cache: per-file results keyed by (content
+//! hash, rule-set version), persisted under `target/lint-cache/`.
+//!
+//! Every rule the scanner runs is a *per-file* judgment (path scope,
+//! parse, pragma bookkeeping all live inside one file), so caching per
+//! file is sound: an unchanged file re-yields its previous diagnostics
+//! and symbol-index rows without being re-read by the parser. The key
+//! includes [`RULES_VERSION`] so a rule change invalidates everything
+//! at once — a stale cache can never hide a new rule's findings.
+//!
+//! The cache is strictly best-effort. Any load problem (missing file,
+//! parse error, version mismatch, malformed entry) yields an empty
+//! cache, and a save failure is ignored: correctness never depends on
+//! the cache existing, only speed does.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, JsonValue};
+use crate::json_escape;
+use crate::parse::{Item, ItemKind};
+use crate::rules::{Rule, RULES_VERSION};
+use crate::Diagnostic;
+
+/// FNV-1a 64-bit content hash — stable across platforms and runs,
+/// dependency-free, and fast enough to be negligible next to I/O.
+pub fn content_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Cache accounting for one scan, surfaced in the JSON report and
+/// asserted by CI's warm-run check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Was the cache consulted at all (`--no-cache` turns this off)?
+    pub enabled: bool,
+    /// Files whose cached entry matched (hash and rules version).
+    pub hits: usize,
+    /// Files that had to be parsed and scanned.
+    pub misses: usize,
+}
+
+/// One file's cached scan result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// FNV-1a hash of the file content when it was scanned.
+    pub hash: u64,
+    /// The diagnostics the scan produced.
+    pub diags: Vec<Diagnostic>,
+    /// Items recovered by the parser (feeds the symbol index on warm
+    /// runs without re-parsing).
+    pub items: Vec<Item>,
+    /// How many `let` bindings the parser recovered (index stats).
+    pub bindings: usize,
+}
+
+/// The on-disk cache: path → entry, plus the rule-set version it was
+/// written under.
+#[derive(Debug, Default)]
+pub struct ScanCache {
+    entries: BTreeMap<String, CacheEntry>,
+    dirty: bool,
+}
+
+/// Where the cache lives relative to the workspace root.
+fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("lint-cache").join("cache.json")
+}
+
+impl ScanCache {
+    /// Loads the cache for `root`. Any problem — missing file, parse
+    /// failure, rule-set version mismatch, malformed entry — yields an
+    /// empty cache, never an error.
+    pub fn load(root: &Path) -> ScanCache {
+        let Ok(text) = std::fs::read_to_string(cache_path(root)) else {
+            return ScanCache::default();
+        };
+        let Ok(doc) = json::parse(&text) else {
+            return ScanCache::default();
+        };
+        if doc.get("rules_version").and_then(JsonValue::as_usize) != Some(RULES_VERSION as usize) {
+            return ScanCache::default();
+        }
+        let Some(entries) = doc.get("entries").and_then(JsonValue::as_obj) else {
+            return ScanCache::default();
+        };
+        let mut out = ScanCache::default();
+        for (path, v) in entries {
+            let Some(entry) = decode_entry(path, v) else {
+                // One bad entry poisons the whole file: a truncated
+                // write must not half-apply.
+                return ScanCache::default();
+            };
+            out.entries.insert(path.clone(), entry);
+        }
+        out
+    }
+
+    /// The cached entry for `path`, if its hash still matches.
+    pub fn get(&self, path: &str, hash: u64) -> Option<&CacheEntry> {
+        self.entries.get(path).filter(|e| e.hash == hash)
+    }
+
+    /// Records a freshly scanned file.
+    pub fn put(&mut self, path: &str, entry: CacheEntry) {
+        self.entries.insert(path.to_string(), entry);
+        self.dirty = true;
+    }
+
+    /// Persists the cache (best-effort: failures are swallowed).
+    /// Writes to a temporary sibling then renames, so a crashed run
+    /// leaves either the old cache or the new one, never a torn file.
+    pub fn save(&self, root: &Path) {
+        if !self.dirty {
+            return;
+        }
+        let path = cache_path(root);
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join("cache.json.tmp");
+        if std::fs::write(&tmp, self.encode()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Serializes the cache to its JSON document.
+    fn encode(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"rules_version\": {RULES_VERSION},\n"));
+        out.push_str("  \"entries\": {\n");
+        let n = self.entries.len();
+        for (i, (path, e)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", json_escape(path)));
+            out.push_str(&format!("      \"hash\": \"{:016x}\",\n", e.hash));
+            out.push_str(&format!("      \"bindings\": {},\n", e.bindings));
+            out.push_str("      \"items\": [");
+            for (j, item) in e.items.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"kind\": \"{}\", \"name\": \"{}\", \"line\": {}, \"end\": {}}}",
+                    item.kind.name(),
+                    json_escape(&item.name),
+                    item.line,
+                    item.end_line
+                ));
+            }
+            out.push_str("],\n");
+            out.push_str("      \"diags\": [");
+            for (j, d) in e.diags.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+                     \"snippet\": \"{}\"}}",
+                    d.line,
+                    d.rule.name(),
+                    json_escape(&d.message),
+                    json_escape(&d.snippet)
+                ));
+            }
+            out.push_str("]\n");
+            out.push_str(if i + 1 == n { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Decodes one cache entry; `None` on any malformation.
+fn decode_entry(path: &str, v: &JsonValue) -> Option<CacheEntry> {
+    let hash_hex = v.get("hash")?.as_str()?;
+    if hash_hex.len() != 16 {
+        return None;
+    }
+    let hash = u64::from_str_radix(hash_hex, 16).ok()?;
+    let bindings = v.get("bindings")?.as_usize()?;
+    let mut items = Vec::new();
+    for iv in v.get("items")?.as_arr()? {
+        items.push(Item {
+            kind: ItemKind::from_name(iv.get("kind")?.as_str()?)?,
+            name: iv.get("name")?.as_str()?.to_string(),
+            line: iv.get("line")?.as_usize()?,
+            end_line: iv.get("end")?.as_usize()?,
+        });
+    }
+    let mut diags = Vec::new();
+    for dv in v.get("diags")?.as_arr()? {
+        diags.push(Diagnostic {
+            file: path.to_string(),
+            line: dv.get("line")?.as_usize()?,
+            rule: Rule::from_name(dv.get("rule")?.as_str()?)?,
+            message: dv.get("message")?.as_str()?.to_string(),
+            snippet: dv.get("snippet")?.as_str()?.to_string(),
+        });
+    }
+    Some(CacheEntry {
+        hash,
+        diags,
+        items,
+        bindings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> CacheEntry {
+        CacheEntry {
+            hash: content_hash("fn f() {}\n"),
+            diags: vec![Diagnostic {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                rule: Rule::PanicHygiene,
+                message: "a \"quoted\" message".to_string(),
+                snippet: "x.unwrap()".to_string(),
+            }],
+            items: vec![Item {
+                kind: ItemKind::Fn,
+                name: "f".to_string(),
+                line: 1,
+                end_line: 1,
+            }],
+            bindings: 2,
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+        // The FNV-1a reference value for the empty string.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn cache_round_trips_through_disk() {
+        let root = std::env::temp_dir().join(format!(
+            "lint-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("round-trip")
+        ));
+        std::fs::create_dir_all(&root).expect("temp root");
+        let mut cache = ScanCache::default();
+        cache.put("crates/x/src/lib.rs", sample_entry());
+        cache.save(&root);
+
+        let loaded = ScanCache::load(&root);
+        let entry = loaded
+            .get("crates/x/src/lib.rs", content_hash("fn f() {}\n"))
+            .expect("entry must round-trip");
+        assert_eq!(*entry, sample_entry());
+        // A different hash (changed file) must miss.
+        assert!(loaded.get("crates/x/src/lib.rs", 1).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_or_corrupt_cache_loads_empty() {
+        let root = std::env::temp_dir().join(format!(
+            "lint-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("corrupt")
+        ));
+        // Missing entirely.
+        let cache = ScanCache::load(&root);
+        assert!(cache.get("anything", 0).is_none());
+        // Corrupt JSON.
+        let dir = root.join("target").join("lint-cache");
+        std::fs::create_dir_all(&dir).expect("cache dir");
+        std::fs::write(dir.join("cache.json"), "{ not json").expect("write");
+        assert!(ScanCache::load(&root).get("anything", 0).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rules_version_mismatch_invalidates_everything() {
+        let root = std::env::temp_dir().join(format!(
+            "lint-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("version")
+        ));
+        let dir = root.join("target").join("lint-cache");
+        std::fs::create_dir_all(&dir).expect("cache dir");
+        let mut cache = ScanCache::default();
+        cache.put("crates/x/src/lib.rs", sample_entry());
+        let stale = cache.encode().replace(
+            &format!("\"rules_version\": {RULES_VERSION}"),
+            "\"rules_version\": 1",
+        );
+        std::fs::write(dir.join("cache.json"), stale).expect("write");
+        let loaded = ScanCache::load(&root);
+        assert!(
+            loaded
+                .get("crates/x/src/lib.rs", content_hash("fn f() {}\n"))
+                .is_none(),
+            "an old rules_version must invalidate the cache"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,140 @@
+//! The workspace symbol index: crate → module (file) → items, built
+//! as a by-product of the scan. Warm runs rebuild it from cached
+//! entries without re-parsing, so `--json` always reports the same
+//! index shape whether the cache was cold or hot.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{Item, ItemKind};
+use crate::rules::FileContext;
+
+/// Everything the index keeps per module (one `.rs` file).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModuleSymbols {
+    /// Items in source order.
+    pub items: Vec<Item>,
+    /// How many `let` bindings the parser recovered in the file.
+    pub bindings: usize,
+}
+
+/// Aggregate counts over the whole index, surfaced in the JSON report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Distinct crates seen.
+    pub crates: usize,
+    /// Files (modules) indexed.
+    pub modules: usize,
+    /// `fn` items.
+    pub fns: usize,
+    /// `impl` blocks.
+    pub impls: usize,
+    /// `use` declarations.
+    pub uses: usize,
+    /// `let` bindings recovered across all function bodies.
+    pub bindings: usize,
+}
+
+/// The index proper: deterministic iteration order throughout
+/// (`BTreeMap`), because its stats land in a diffable artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolIndex {
+    crates: BTreeMap<String, BTreeMap<String, ModuleSymbols>>,
+}
+
+impl SymbolIndex {
+    /// Records one file's parse products under its crate.
+    pub fn add_file(&mut self, path: &str, items: Vec<Item>, bindings: usize) {
+        let crate_name = FileContext::classify(path).crate_name;
+        self.crates
+            .entry(crate_name)
+            .or_default()
+            .insert(path.to_string(), ModuleSymbols { items, bindings });
+    }
+
+    /// Aggregate counts for reporting.
+    pub fn stats(&self) -> IndexStats {
+        let mut s = IndexStats {
+            crates: self.crates.len(),
+            ..IndexStats::default()
+        };
+        for modules in self.crates.values() {
+            s.modules += modules.len();
+            for m in modules.values() {
+                s.bindings += m.bindings;
+                for item in &m.items {
+                    match item.kind {
+                        ItemKind::Fn => s.fns += 1,
+                        ItemKind::Impl => s.impls += 1,
+                        ItemKind::Use => s.uses += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Every definition of `name`, as `(path, item)` pairs in
+    /// deterministic (crate, path, source) order.
+    pub fn lookup<'a>(&'a self, name: &str) -> Vec<(&'a str, &'a Item)> {
+        let mut out = Vec::new();
+        for modules in self.crates.values() {
+            for (path, m) in modules {
+                for item in &m.items {
+                    if item.name == name {
+                        out.push((path.as_str(), item));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The modules indexed for one crate, if any.
+    pub fn modules_of(&self, crate_name: &str) -> Option<&BTreeMap<String, ModuleSymbols>> {
+        self.crates.get(crate_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn indexed(path: &str, text: &str, index: &mut SymbolIndex) {
+        let parsed = parse_file(text);
+        index.add_file(path, parsed.items, parsed.bindings.len());
+    }
+
+    #[test]
+    fn stats_count_kinds_across_crates() {
+        let mut index = SymbolIndex::default();
+        indexed(
+            "crates/core/src/menu.rs",
+            "use std::fmt;\npub fn a() {}\npub fn b() { let x = 1; }\nimpl M {}\n",
+            &mut index,
+        );
+        indexed("crates/hw/src/arq.rs", "pub fn c() {}\n", &mut index);
+        let s = index.stats();
+        assert_eq!(s.crates, 2);
+        assert_eq!(s.modules, 2);
+        assert_eq!(s.fns, 3);
+        assert_eq!(s.impls, 1);
+        assert_eq!(s.uses, 1);
+        assert_eq!(s.bindings, 1);
+    }
+
+    #[test]
+    fn lookup_finds_definitions_in_deterministic_order() {
+        let mut index = SymbolIndex::default();
+        indexed("crates/hw/src/board.rs", "pub fn poll() {}\n", &mut index);
+        indexed("crates/core/src/menu.rs", "pub fn poll() {}\n", &mut index);
+        let hits = index.lookup("poll");
+        assert_eq!(
+            hits.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec!["crates/core/src/menu.rs", "crates/hw/src/board.rs"],
+            "BTreeMap order: core before hw"
+        );
+        assert!(index.lookup("missing").is_empty());
+    }
+}

@@ -1,15 +1,21 @@
-//! The rule set and the per-file line/token scanner.
+//! The rule set and the per-file scanner, running over the semantic
+//! parse from [`crate::parse`].
 //!
-//! The scanner is deliberately *not* a Rust parser: it strips comments
-//! and string literals with a small character-level state machine
-//! (enough to never match a forbidden token inside a doc comment or a
-//! format string), tracks `#[cfg(test)]` module bodies by brace depth,
-//! and then pattern-matches rule tokens against the remaining code
-//! text. That keeps the linter dependency-free, fast, and auditable —
-//! the same trade clippy's `disallowed_methods` makes, but owned by the
-//! repo and scoped by workspace path.
+//! PR 3's scanner was a line/token matcher; it is still the backbone
+//! (token rules are cheap and auditable), but the scanner now consumes
+//! a [`ParsedFile`] — items, `#[cfg(test)]` regions, and `let`-binding
+//! lifetimes — so three rules can reason about *flow* across lines:
+//! a lock guard live across a `par_map` fan-out, serial-number values
+//! hit with raw integer arithmetic, and `lint:allow` pragmas that no
+//! longer suppress anything.
 
+use crate::parse::{parse_file, BindingClass, ParsedFile, SplitLine};
 use crate::Diagnostic;
+
+/// Version of the rule set, shared by the scan cache (a bumped version
+/// invalidates every cached entry) and the SARIF tool descriptor.
+/// Bump whenever a rule's behavior, scope, or message changes.
+pub const RULES_VERSION: u32 = 2;
 
 /// Every lint rule the scanner knows, in stable order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +42,14 @@ pub enum Rule {
     /// Manual clock stepping / fixed-tick driving outside the scheduler
     /// crate and `#[cfg(test)]` regions.
     FixedTick,
+    /// A mutex guard binding live across a `par_map`/`par_map_ctx`
+    /// fan-out — deadlock risk under the global token budget.
+    GuardAcrossFanout,
+    /// Raw `+`/`-`/`<`/`>` arithmetic on wrapping serial numbers
+    /// (`Seq16`, 16-bit stamps) outside the RFC 1982 helpers.
+    SerialArith,
+    /// A valid `lint:allow` pragma that suppresses zero diagnostics.
+    UnusedPragma,
     /// A `lint:allow` pragma that is unusable as written.
     BadPragma,
 }
@@ -52,6 +66,9 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::RawSeq,
     Rule::RawDecoder,
     Rule::FixedTick,
+    Rule::GuardAcrossFanout,
+    Rule::SerialArith,
+    Rule::UnusedPragma,
     Rule::BadPragma,
 ];
 
@@ -69,6 +86,9 @@ impl Rule {
             Rule::RawSeq => "raw-seq",
             Rule::RawDecoder => "raw-decoder",
             Rule::FixedTick => "fixed-tick",
+            Rule::GuardAcrossFanout => "guard-across-fanout",
+            Rule::SerialArith => "serial-arith",
+            Rule::UnusedPragma => "unused-pragma",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -124,6 +144,22 @@ impl Rule {
                 "SimClock::advance / board.step / manual tick stepping outside crates/hw and \
                  #[cfg(test)] regions — register a deadline with the event scheduler \
                  (distscroll_hw::sched) and let the device dispatch advance time"
+            }
+            Rule::GuardAcrossFanout => {
+                "a .lock() / lock_unpoisoned() guard binding still live at a par_map / \
+                 par_map_ctx call outside crates/par — workers blocking on the guard while \
+                 the caller blocks on the pool deadlocks under the global token budget; \
+                 drop the guard first or lock inside the worker closure"
+            }
+            Rule::SerialArith => {
+                "raw + - < > arithmetic on a wrapping serial number (Seq16, 16-bit stamp) \
+                 outside crates/hw — a backwards jump under 32768 is reordering, not a wrap \
+                 (the PR 5 SessionLog bug); compare through wrapping_sub/distance_from/\
+                 newer_or_equal, the RFC 1982 helpers"
+            }
+            Rule::UnusedPragma => {
+                "a lint:allow pragma that suppresses zero diagnostics — stale suppressions \
+                 rot silently; delete the pragma or re-attach it to the violation it excuses"
             }
             Rule::BadPragma => "a lint:allow pragma naming an unknown rule or carrying no reason",
         }
@@ -202,143 +238,6 @@ impl FileContext {
     }
 }
 
-/// One line split into its code and comment parts.
-struct SplitLine {
-    /// The line with comments and string-literal *contents* blanked.
-    code: String,
-    /// Concatenated comment text on the line (line + block comments).
-    comment: String,
-}
-
-/// Character-level state carried across lines: block comments and
-/// multi-line string literals.
-#[derive(Default)]
-struct LexState {
-    in_block_comment: bool,
-    /// `Some(hashes)` inside a (raw) string literal; `hashes` is the
-    /// `#` count of a raw string, 0 for a normal `"…"` literal.
-    in_string: Option<usize>,
-}
-
-impl LexState {
-    /// Splits one physical line, updating the cross-line state.
-    fn split(&mut self, line: &str) -> SplitLine {
-        let mut code = String::with_capacity(line.len());
-        let mut comment = String::new();
-        let chars: Vec<char> = line.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            if self.in_block_comment {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    self.in_block_comment = false;
-                    i += 2;
-                } else {
-                    comment.push(chars[i]);
-                    i += 1;
-                }
-                continue;
-            }
-            if let Some(hashes) = self.in_string {
-                // Inside a string literal: blank the contents so code
-                // patterns never match inside text.
-                if chars[i] == '\\' && hashes == 0 {
-                    i += 2; // skip the escaped character
-                    continue;
-                }
-                if chars[i] == '"' {
-                    let closes = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
-                    if closes {
-                        self.in_string = None;
-                        code.push('"');
-                        i += 1 + hashes;
-                        continue;
-                    }
-                }
-                i += 1;
-                continue;
-            }
-            match chars[i] {
-                '/' if chars.get(i + 1) == Some(&'/') => {
-                    comment.push_str(&chars[i + 2..].iter().collect::<String>());
-                    break;
-                }
-                '/' if chars.get(i + 1) == Some(&'*') => {
-                    self.in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    code.push('"');
-                    self.in_string = Some(0);
-                    i += 1;
-                }
-                'r' if chars.get(i + 1) == Some(&'"')
-                    || (chars.get(i + 1) == Some(&'#')
-                        && matches!(chars.get(i + 2), Some(&'#') | Some(&'"'))) =>
-                {
-                    // Raw string: r"…" or r#"…"# (any hash depth).
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        code.push('"');
-                        self.in_string = Some(hashes);
-                        i = j + 1;
-                    } else {
-                        code.push(chars[i]);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal or lifetime. A char literal closes
-                    // within a few characters ('x', '\n', '\u{..}');
-                    // a lifetime has no closing quote before a
-                    // non-ident char — pass it through unchanged.
-                    if let Some(close) = close_of_char_literal(&chars, i) {
-                        code.push('\'');
-                        i = close + 1;
-                    } else {
-                        code.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-        SplitLine { code, comment }
-    }
-}
-
-/// If `chars[start]` opens a char literal, returns the index of its
-/// closing quote; `None` for lifetimes.
-fn close_of_char_literal(chars: &[char], start: usize) -> Option<usize> {
-    let mut j = start + 1;
-    if chars.get(j) == Some(&'\\') {
-        // Escaped char: find the next unescaped quote within a short
-        // window (covers \n, \', \u{1F600}).
-        let limit = (start + 12).min(chars.len());
-        j += 1;
-        while j < limit {
-            if chars[j] == '\'' {
-                return Some(j);
-            }
-            j += 1;
-        }
-        return None;
-    }
-    // 'x' — exactly one character then a quote; anything else is a
-    // lifetime like 'static or 'a.
-    if chars.get(j).is_some() && chars.get(j + 1) == Some(&'\'') {
-        return Some(j + 1);
-    }
-    None
-}
-
 /// Is `text[pos..pos+len]` a standalone token (not part of a larger
 /// identifier)?
 fn word_bounded(text: &str, pos: usize, len: usize) -> bool {
@@ -390,45 +289,65 @@ fn parse_pragma(comment: &str) -> Option<Pragma> {
 /// fragment, short enough to never be the obstacle.
 const MIN_REASON: usize = 8;
 
+/// One `(rule, line)` grant from a valid pragma, with usage tracking
+/// for the `unused-pragma` rule.
+struct PragmaGrant {
+    rule: Rule,
+    line: usize,
+    used: bool,
+}
+
 /// Scans one file's source text under the given path-derived context.
 ///
-/// This is the single entry point both the workspace scan and the
-/// fixture self-test use, so the two can never drift apart.
+/// Convenience wrapper over [`scan_parsed`] for callers that have no
+/// use for the parse (fixtures, unit tests).
 pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    scan_parsed(&parse_file(text), ctx)
+}
+
+/// Scans an already-parsed file. This is the single rule engine both
+/// the workspace scan and the fixture self-test use, so the two can
+/// never drift apart.
+pub fn scan_parsed(parsed: &ParsedFile, ctx: &FileContext) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let mut lex = LexState::default();
+    let split = &parsed.lines;
+    let raw = &parsed.raw;
 
-    // Pre-split every line once; rules then look at (code, comment)
-    // pairs plus a little vertical context (SAFETY search, pragmas).
-    let lines: Vec<&str> = text.lines().collect();
-    let mut split: Vec<SplitLine> = Vec::with_capacity(lines.len());
-    for line in &lines {
-        split.push(lex.split(line));
-    }
-
-    // `#[cfg(test)]` module tracking: after the attribute, the next
-    // brace-opening item starts a region that ends when the brace depth
-    // returns to its entry value.
-    let mut brace_depth: i64 = 0;
-    let mut pending_cfg_test = false;
-    let mut test_region_floor: Option<i64> = None;
-
-    // A pragma on a comment-only line suppresses the next code line.
-    let mut carried_allows: Vec<Rule> = Vec::new();
+    // Valid pragma grants, for suppression and the unused check.
+    let mut grants: Vec<PragmaGrant> = Vec::new();
+    // Grant indices carried from a comment-only pragma line to the
+    // next line.
+    let mut carried_grants: Vec<usize> = Vec::new();
 
     for (idx, sl) in split.iter().enumerate() {
         let line_no = idx + 1;
         let code = sl.code.as_str();
         let code_trim = code.trim();
-        let in_test_module = test_region_floor.is_some();
+        let in_test_module = parsed.in_test.get(idx).copied().unwrap_or(false);
+        let snippet = raw
+            .get(idx)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
 
         // --- pragma handling -------------------------------------------------
-        let mut allows: Vec<Rule> = std::mem::take(&mut carried_allows);
-        if let Some(pragma) = parse_pragma(&sl.comment) {
+        // Doc comments (`///`, `//!`) are prose: a pragma *mentioned*
+        // there (e.g. this crate's own usage example) is documentation,
+        // not a suppression, and must not trip `unused-pragma`.
+        let is_doc_comment = sl.comment.starts_with('/') || sl.comment.starts_with('!');
+        let mut allows: Vec<usize> = std::mem::take(&mut carried_grants);
+        if let Some(pragma) = parse_pragma(&sl.comment).filter(|_| !is_doc_comment) {
             let mut valid = true;
+            let mut new_grants: Vec<usize> = Vec::new();
             for r in &pragma.rules {
                 match r {
-                    Ok(rule) => allows.push(*rule),
+                    Ok(rule) => {
+                        grants.push(PragmaGrant {
+                            rule: *rule,
+                            line: line_no,
+                            used: false,
+                        });
+                        new_grants.push(grants.len() - 1);
+                    }
                     Err(name) => {
                         valid = false;
                         diags.push(Diagnostic {
@@ -443,7 +362,7 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                                     .collect::<Vec<_>>()
                                     .join(", ")
                             ),
-                            snippet: lines[idx].trim().to_string(),
+                            snippet: snippet.clone(),
                         });
                     }
                 }
@@ -457,39 +376,26 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                     message: "pragma carries no reason — write `// lint:allow(rule) why this \
                               is sound`"
                         .to_string(),
-                    snippet: lines[idx].trim().to_string(),
+                    snippet: snippet.clone(),
                 });
             }
             if !valid {
-                allows.clear();
+                // An invalid pragma suppresses nothing; withdraw its
+                // grants so the unused check skips them too.
+                for &g in &new_grants {
+                    grants[g].used = true;
+                }
             } else if code_trim.is_empty() {
                 // Comment-only pragma line: applies to the next line.
-                carried_allows = allows;
+                carried_grants = allows.clone();
+                carried_grants.extend(new_grants);
                 allows = Vec::new();
+            } else {
+                allows.extend(new_grants);
             }
         }
 
-        // --- cfg(test) region tracking --------------------------------------
-        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
-            pending_cfg_test = true;
-        }
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-        if pending_cfg_test && opens > 0 {
-            test_region_floor = Some(brace_depth);
-            pending_cfg_test = false;
-        } else if pending_cfg_test && code.contains(';') {
-            // `#[cfg(test)] mod x;` — out-of-line; nothing to skip here.
-            pending_cfg_test = false;
-        }
-        brace_depth += opens - closes;
-        if let Some(floor) = test_region_floor {
-            if brace_depth <= floor && closes > 0 {
-                test_region_floor = None;
-            }
-        }
-
-        // --- rule checks -----------------------------------------------------
+        // --- token rules -----------------------------------------------------
         let mut hits: Vec<(Rule, String)> = Vec::new();
 
         if ctx.crate_name != "par"
@@ -550,7 +456,7 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                         UNSAFE_ALLOWLIST.join(", ")
                     ),
                 ));
-            } else if !safety_comment_nearby(&split, lines.as_slice(), idx) {
+            } else if !safety_comment_nearby(split, raw, idx) {
                 hits.push((
                     Rule::UnsafeAudit,
                     "`unsafe` without a `// SAFETY:` comment — state the invariant that makes \
@@ -638,8 +544,65 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
             }
         }
 
+        // --- flow-aware rules (binding lifetimes from the parser) ------------
+
+        if ctx.crate_name != "par" && (has_token(code, "par_map") || has_token(code, "par_map_ctx"))
+        {
+            let live_guards: Vec<&crate::parse::Binding> = parsed
+                .bindings
+                .iter()
+                .filter(|b| b.class == BindingClass::Guard && b.live_across(line_no))
+                .collect();
+            if !live_guards.is_empty() {
+                let names = live_guards
+                    .iter()
+                    .map(|b| format!("`{}` (line {})", b.name, b.line))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                hits.push((
+                    Rule::GuardAcrossFanout,
+                    format!(
+                        "lock guard {names} is live across this fan-out — pool workers \
+                         contending on the guard while the caller holds a pool token can \
+                         deadlock the budget; drop the guard before fanning out or move the \
+                         lock inside the worker closure"
+                    ),
+                ));
+            }
+        }
+
+        if ctx.crate_name != "hw" {
+            let live_serials: Vec<&str> = parsed
+                .bindings
+                .iter()
+                .filter(|b| {
+                    b.class == BindingClass::Serial
+                        && b.line <= line_no
+                        && line_no <= b.live_until()
+                })
+                .map(|b| b.name.as_str())
+                .collect();
+            if let Some(operand) = serial_arith_operand(code, &live_serials) {
+                hits.push((
+                    Rule::SerialArith,
+                    format!(
+                        "raw integer arithmetic on serial-number value `{operand}` — a \
+                         backwards jump under 32768 is reordering, not a wrap; use the RFC \
+                         1982 helpers (wrapping_sub + horizon, distance_from, newer_or_equal) \
+                         from crates/hw"
+                    ),
+                ));
+            }
+        }
+
         for (rule, message) in hits {
-            if allows.contains(&rule) {
+            let suppressed = allows.iter().any(|&g| grants[g].rule == rule);
+            if suppressed {
+                for &g in &allows {
+                    if grants[g].rule == rule {
+                        grants[g].used = true;
+                    }
+                }
                 continue;
             }
             diags.push(Diagnostic {
@@ -647,16 +610,287 @@ pub fn scan_source(text: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                 line: line_no,
                 rule,
                 message,
-                snippet: lines[idx].trim().to_string(),
+                snippet: snippet.clone(),
             });
         }
     }
+
+    // --- unused-pragma -------------------------------------------------------
+    // A grant that suppressed nothing is itself a violation, so the
+    // workspace's suppressions can never rot silently. (Not itself
+    // suppressible: a pragma excusing a stale pragma would defeat the
+    // audit.)
+    for grant in &grants {
+        if !grant.used {
+            diags.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: grant.line,
+                rule: Rule::UnusedPragma,
+                message: format!(
+                    "pragma allows `{}` but suppresses no diagnostic — delete it, or \
+                     re-attach it to the violation it is meant to excuse",
+                    grant.rule.name()
+                ),
+                snippet: raw
+                    .get(grant.line - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    diags.sort_by_key(|d| (d.line, d.rule));
     diags
+}
+
+/// Raw serial-arithmetic detection on one lexed code line: returns the
+/// offending operand text if a `+ - < > <= >= += -=` operator has a
+/// serial-number operand on either side.
+///
+/// An operand is serial when it calls `.raw()` / `.stamp()` directly
+/// or names a live serial binding — unless the operand expression
+/// itself routes through an RFC 1982 helper (`wrapping_sub(..) < HALF`
+/// is the sanctioned idiom, not a violation).
+fn serial_arith_operand(code: &str, serial_names: &[&str]) -> Option<String> {
+    let toks = op_tokenize(code);
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_op || !RAW_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Binary context only: the previous token must close an
+        // operand (identifier, `)` or `]`) — otherwise this is unary
+        // minus, a generic bracket after `::<`, a pattern, etc.
+        let prev_closes_operand =
+            i > 0 && (!toks[i - 1].is_op || matches!(toks[i - 1].text.as_str(), ")" | "]"));
+        if !prev_closes_operand {
+            continue;
+        }
+        let left = operand_start(&toks, i).map(|s| join_toks(&toks[s..i]));
+        let right = operand_end(&toks, i).map(|e| join_toks(&toks[i + 1..e]));
+        for expr in [left, right].into_iter().flatten() {
+            if is_serial_operand(&expr, serial_names) {
+                return Some(expr);
+            }
+        }
+    }
+    None
+}
+
+/// Tokens the operator scanner works on: identifiers/numbers, and
+/// punctuation with two-character operators kept whole.
+struct OpTok {
+    text: String,
+    is_op: bool,
+}
+
+/// Two-character operators that must never be matched as the raw
+/// single-character ones (`->` is not a minus, `..` is not two dots).
+const TWO_CHAR: &[&str] = &[
+    "->", "=>", "<<", ">>", "<=", ">=", "==", "!=", "::", "..", "+=", "-=", "&&", "||",
+];
+
+/// The raw operators the `serial-arith` rule polices. `<=`/`>=` and the
+/// compound assignments are included; shifts/equality/ranges are not
+/// (equality is wrap-safe, ranges and shifts are not ordering).
+const RAW_OPS: &[&str] = &["+", "-", "<", ">", "<=", ">=", "+=", "-="];
+
+/// Splits a lexed code line into identifier and punctuation tokens.
+fn op_tokenize(code: &str) -> Vec<OpTok> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if crate::parse::is_ident_char(c) {
+            let start = i;
+            while i < chars.len() && crate::parse::is_ident_char(chars[i]) {
+                i += 1;
+            }
+            out.push(OpTok {
+                text: chars[start..i].iter().collect(),
+                is_op: false,
+            });
+            continue;
+        }
+        if i + 1 < chars.len() {
+            let pair: String = chars[i..i + 2].iter().collect();
+            if TWO_CHAR.contains(&pair.as_str()) {
+                out.push(OpTok {
+                    text: pair,
+                    is_op: true,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        out.push(OpTok {
+            text: c.to_string(),
+            is_op: true,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Joins a token span back into expression text (no spaces — the
+/// serial tests are substring/segment matches).
+fn join_toks(toks: &[OpTok]) -> String {
+    toks.iter().map(|t| t.text.as_str()).collect()
+}
+
+/// Walks backwards over one balanced bracket group, leaving `j` at the
+/// opening token. Returns false if unbalanced.
+fn skip_group_back(toks: &[OpTok], j: &mut usize) -> bool {
+    let mut depth = 0i32;
+    loop {
+        if *j == 0 {
+            return false;
+        }
+        *j -= 1;
+        match toks[*j].text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                depth -= 1;
+                if depth == 0 {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Start index of the operand chain ending just before token `i`:
+/// identifiers, `.`/`::` links and balanced call/index groups.
+fn operand_start(toks: &[OpTok], i: usize) -> Option<usize> {
+    let mut j = i;
+    loop {
+        if j == 0 {
+            break;
+        }
+        let t = &toks[j - 1];
+        if !t.is_op {
+            j -= 1;
+        } else if matches!(t.text.as_str(), ")" | "]") {
+            let mut g = j;
+            if !skip_group_back(toks, &mut g) {
+                break;
+            }
+            j = g;
+            // A call/index attaches to the identifier before it.
+            if j > 0 && !toks[j - 1].is_op {
+                j -= 1;
+            }
+        } else {
+            break;
+        }
+        // Chain continues only through `.` / `::`.
+        if j > 0 && matches!(toks[j - 1].text.as_str(), "." | "::") {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j < i {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// Walks forward over one balanced bracket group starting at `j`
+/// (which must be `(` or `[`), leaving `j` just past the close.
+fn skip_group_fwd(toks: &[OpTok], j: &mut usize) -> bool {
+    let mut depth = 0i32;
+    while *j < toks.len() {
+        match toks[*j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    *j += 1;
+                    return true;
+                }
+            }
+            _ => {}
+        }
+        *j += 1;
+    }
+    false
+}
+
+/// Exclusive end index of the operand chain starting just after token
+/// `i`: identifiers, `.`/`::` links and balanced call/index groups.
+fn operand_end(toks: &[OpTok], i: usize) -> Option<usize> {
+    let start = i + 1;
+    let mut j = start;
+    loop {
+        match toks.get(j) {
+            Some(t) if !t.is_op => {
+                j += 1;
+                while toks
+                    .get(j)
+                    .is_some_and(|t| matches!(t.text.as_str(), "(" | "["))
+                {
+                    if !skip_group_fwd(toks, &mut j) {
+                        return if j > start { Some(j) } else { None };
+                    }
+                }
+            }
+            Some(t) if t.text == "(" => {
+                if !skip_group_fwd(toks, &mut j) {
+                    break;
+                }
+            }
+            _ => break,
+        }
+        if toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "." | "::"))
+        {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    if j > start {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// Is this operand expression a serial number under raw arithmetic?
+/// Routing through an RFC 1982 helper (or a widening `from`) launders
+/// the value — `stamp.wrapping_sub(front) < HALF` is the sanctioned
+/// idiom, not a violation.
+fn is_serial_operand(expr: &str, serial_names: &[&str]) -> bool {
+    for helper in [
+        "wrapping_sub",
+        "wrapping_add",
+        "distance_from",
+        "newer_or_equal",
+        "u64::from",
+        "u32::from",
+        "usize::from",
+    ] {
+        if expr.contains(helper) {
+            return false;
+        }
+    }
+    if expr.contains(".raw()") || expr.contains(".stamp()") || expr.contains(".seq()") {
+        return true;
+    }
+    expr.split(|c: char| !crate::parse::is_ident_char(c))
+        .any(|seg| !seg.is_empty() && serial_names.contains(&seg))
 }
 
 /// Is there a `SAFETY:` comment on this line or in the contiguous
 /// comment/attribute block immediately above it?
-fn safety_comment_nearby(split: &[SplitLine], lines: &[&str], idx: usize) -> bool {
+fn safety_comment_nearby(split: &[SplitLine], lines: &[String], idx: usize) -> bool {
     if split[idx].comment.contains("SAFETY:") {
         return true;
     }
@@ -984,5 +1218,173 @@ mod tests {
             rules_at(text, "crates/core/src/menu.rs"),
             vec![(Rule::PanicHygiene, 3)]
         );
+    }
+
+    // --- flow-aware rules ---------------------------------------------------
+
+    #[test]
+    fn guard_live_across_fanout_fires() {
+        let text = concat!(
+            "fn f(m: &std::sync::Mutex<u32>, jobs: &[J]) {\n",
+            "    let guard = lock_unpoisoned(m);\n",
+            "    par_map(jobs, &(), |_, j| work(j));\n",
+            "}\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/ingest/src/service.rs"),
+            vec![(Rule::GuardAcrossFanout, 3)]
+        );
+    }
+
+    #[test]
+    fn guard_dropped_before_fanout_is_clean() {
+        let text = concat!(
+            "fn f(m: &std::sync::Mutex<u32>, jobs: &[J]) {\n",
+            "    let guard = m.lock();\n",
+            "    let n = *guard;\n",
+            "    drop(guard);\n",
+            "    par_map(jobs, &n, |_, j| work(j));\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/ingest/src/service.rs").is_empty());
+    }
+
+    #[test]
+    fn lock_inside_worker_closure_is_clean() {
+        let text = concat!(
+            "fn f(shards: &[std::sync::Mutex<S>], jobs: &[J]) {\n",
+            "    par_map(jobs, shards, |_, m| {\n",
+            "        lock_unpoisoned(m).process_queue();\n",
+            "    });\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/ingest/src/service.rs").is_empty());
+    }
+
+    #[test]
+    fn guard_across_fanout_exempt_inside_par() {
+        let text = concat!(
+            "fn f(m: &std::sync::Mutex<u32>, jobs: &[J]) {\n",
+            "    let guard = m.lock();\n",
+            "    par_map(jobs, &(), |_, j| work(j));\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/par/src/pool.rs")
+            .iter()
+            .all(|(r, _)| *r != Rule::GuardAcrossFanout));
+    }
+
+    #[test]
+    fn serial_arith_flags_raw_comparisons_on_tainted_bindings() {
+        let text = concat!(
+            "fn f(record: &Record, last: u16) {\n",
+            "    let stamp = record.stamp();\n",
+            "    if stamp < last {\n",
+            "        resync();\n",
+            "    }\n",
+            "}\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/host/src/session.rs"),
+            vec![(Rule::SerialArith, 3)]
+        );
+    }
+
+    #[test]
+    fn serial_arith_flags_direct_raw_accessor_arithmetic() {
+        let text = "fn f(s: Seq16) -> u16 { s.raw() + 1 }\n";
+        assert_eq!(
+            rules_at(text, "crates/host/src/session.rs"),
+            vec![(Rule::SerialArith, 1)]
+        );
+    }
+
+    #[test]
+    fn serial_arith_laundered_through_rfc1982_helpers_is_clean() {
+        let text = concat!(
+            "fn f(record: &Record, front: Seq16) {\n",
+            "    let stamp = record.stamp();\n",
+            "    let delta = u64::from(stamp.wrapping_sub(front));\n",
+            "    if delta < SERIAL_HALF {\n",
+            "        advance();\n",
+            "    }\n",
+            "    if stamp.wrapping_sub(front) < HALF {\n",
+            "        advance();\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(rules_at(text, "crates/host/src/session.rs").is_empty());
+    }
+
+    #[test]
+    fn serial_arith_exempt_inside_hw_and_ignores_type_position() {
+        let raw = "fn f(s: Seq16, t: Seq16) -> bool { s.raw() < t.raw() }\n";
+        assert!(rules_at(raw, "crates/hw/src/arq.rs").is_empty());
+        // `Seq16` in type position (generics) is not an operand.
+        let types = "fn f(v: Vec<Seq16>) -> usize { v.len() + 1 }\n";
+        assert!(rules_at(types, "crates/host/src/session.rs").is_empty());
+    }
+
+    #[test]
+    fn unused_pragma_is_flagged_at_the_pragma_line() {
+        let text = concat!(
+            "// lint:allow(panic-hygiene) nothing here panics any more\n",
+            "pub fn fine() -> u32 { 7 }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::UnusedPragma, 1)]
+        );
+    }
+
+    #[test]
+    fn used_pragma_is_not_flagged() {
+        let text = concat!(
+            "// lint:allow(panic-hygiene) startup invariant holds here\n",
+            "pub fn f() { Some(1).unwrap(); }\n",
+        );
+        assert!(rules_at(text, "crates/core/src/menu.rs").is_empty());
+    }
+
+    #[test]
+    fn unused_pragma_cannot_be_suppressed_by_a_pragma() {
+        let text = concat!(
+            "// lint:allow(unused-pragma) trying to excuse staleness itself\n",
+            "pub fn fine() -> u32 { 7 }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::UnusedPragma, 1)]
+        );
+    }
+
+    #[test]
+    fn invalid_pragma_is_bad_but_not_also_unused() {
+        let text = concat!(
+            "// lint:allow(no-such-rule) reason text long enough\n",
+            "pub fn fine() -> u32 { 7 }\n",
+        );
+        assert_eq!(
+            rules_at(text, "crates/core/src/menu.rs"),
+            vec![(Rule::BadPragma, 1)]
+        );
+    }
+
+    #[test]
+    fn serial_operand_extraction_handles_chains() {
+        assert_eq!(
+            serial_arith_operand("if record.stamp() < last {", &[]),
+            Some("record.stamp()".to_string())
+        );
+        assert_eq!(
+            serial_arith_operand("let d = stamp.wrapping_sub(front) < HALF;", &["stamp"]),
+            None
+        );
+        assert_eq!(
+            serial_arith_operand("x += seq.raw();", &[]),
+            Some("seq.raw()".to_string())
+        );
+        assert_eq!(serial_arith_operand("let r = 0..n;", &["n"]), None);
+        assert_eq!(serial_arith_operand("fn f() -> u16 {", &[]), None);
     }
 }

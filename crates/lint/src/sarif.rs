@@ -1,0 +1,181 @@
+//! SARIF 2.1.0 emission — the interchange format code-scanning UIs
+//! ingest. One `run` from one tool (`distscroll-lint`), a
+//! `reportingDescriptor` per rule in [`ALL_RULES`] order, and one
+//! `result` per diagnostic whose `ruleIndex` points back into that
+//! table. The output is deterministic: same diagnostics in, same bytes
+//! out, because CI diffs artifacts across runs.
+
+use crate::json_escape;
+use crate::rules::{ALL_RULES, RULES_VERSION};
+use crate::Diagnostic;
+
+/// Renders diagnostics as a complete SARIF 2.1.0 document.
+pub fn diagnostics_to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096 + diags.len() * 256);
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"distscroll-lint\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{RULES_VERSION}.0.0\",\n"
+    ));
+    out.push_str("          \"informationUri\": \"https://github.com/distscroll/distscroll\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!(
+            "              \"id\": \"{}\",\n",
+            json_escape(rule.name())
+        ));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},\n",
+            json_escape(rule.name())
+        ));
+        out.push_str(&format!(
+            "              \"fullDescription\": {{ \"text\": \"{}\" }},\n",
+            json_escape(rule.describe())
+        ));
+        out.push_str("              \"defaultConfiguration\": { \"level\": \"error\" }\n");
+        out.push_str(if i + 1 == ALL_RULES.len() {
+            "            }\n"
+        } else {
+            "            },\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let rule_index = ALL_RULES
+            .iter()
+            .position(|r| *r == d.rule)
+            .unwrap_or_default();
+        out.push_str("        {\n");
+        out.push_str(&format!(
+            "          \"ruleId\": \"{}\",\n",
+            json_escape(d.rule.name())
+        ));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            json_escape(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+            json_escape(&d.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {}, \"snippet\": {{ \"text\": \
+             \"{}\" }} }}\n",
+            d.line,
+            json_escape(&d.snippet)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 == diags.len() {
+            "        }\n"
+        } else {
+            "        },\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::rules::Rule;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: "crates/eval/src/runner.rs".to_string(),
+                line: 42,
+                rule: Rule::WallClock,
+                message: "wall-clock read with \"quotes\" and\nnewline".to_string(),
+                snippet: "let t = Instant::now();".to_string(),
+            },
+            Diagnostic {
+                file: "crates/host/src/session.rs".to_string(),
+                line: 7,
+                rule: Rule::SerialArith,
+                message: "raw arithmetic".to_string(),
+                snippet: "if stamp < last {".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_one_rules_entry_per_rule() {
+        let doc = diagnostics_to_sarif(&sample());
+        let v = json::parse(&doc).expect("SARIF must parse as JSON");
+        assert_eq!(v.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+        let runs = v.get("runs").and_then(|r| r.as_arr()).expect("runs array");
+        assert_eq!(runs.len(), 1);
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_arr())
+            .expect("driver rules");
+        assert_eq!(rules.len(), ALL_RULES.len());
+        for (rule, entry) in ALL_RULES.iter().zip(rules) {
+            assert_eq!(entry.get("id").and_then(|i| i.as_str()), Some(rule.name()));
+        }
+    }
+
+    #[test]
+    fn results_point_back_into_the_rule_table() {
+        let doc = diagnostics_to_sarif(&sample());
+        let v = json::parse(&doc).expect("valid JSON");
+        let results = v.get("runs").and_then(|r| r.as_arr()).unwrap()[0]
+            .get("results")
+            .and_then(|r| r.as_arr())
+            .expect("results array");
+        assert_eq!(results.len(), 2);
+        for res in results {
+            let id = res.get("ruleId").and_then(|i| i.as_str()).expect("ruleId");
+            let idx = res
+                .get("ruleIndex")
+                .and_then(|i| i.as_usize())
+                .expect("ruleIndex");
+            assert_eq!(ALL_RULES[idx].name(), id);
+            let loc = &res.get("locations").and_then(|l| l.as_arr()).unwrap()[0];
+            let region = loc
+                .get("physicalLocation")
+                .and_then(|p| p.get("region"))
+                .expect("region");
+            assert!(region.get("startLine").and_then(|l| l.as_usize()).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_diagnostics_still_emit_a_complete_run() {
+        let doc = diagnostics_to_sarif(&[]);
+        let v = json::parse(&doc).expect("valid JSON");
+        let runs = v.get("runs").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(
+            runs[0]
+                .get("results")
+                .and_then(|r| r.as_arr())
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        assert_eq!(
+            diagnostics_to_sarif(&sample()),
+            diagnostics_to_sarif(&sample())
+        );
+    }
+}

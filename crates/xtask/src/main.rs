@@ -2,10 +2,13 @@
 //! for anything that must behave identically on every machine.
 //!
 //! ```text
-//! cargo run -p xtask -- lint              # scan the workspace; exit 1 on findings
-//! cargo run -p xtask -- lint --json F     # also write machine-readable diagnostics
-//! cargo run -p xtask -- lint --self-test  # prove the scanner catches its fixtures
-//! cargo run -p xtask -- lint --rules      # list the rule set
+//! cargo run -p xtask -- lint                 # scan the workspace; exit 1 on findings
+//! cargo run -p xtask -- lint --json F        # also write machine-readable diagnostics
+//! cargo run -p xtask -- lint --sarif-out F   # also write a SARIF 2.1.0 report
+//! cargo run -p xtask -- lint --rule NAME     # only report the named rule(s)
+//! cargo run -p xtask -- lint --no-cache      # ignore target/lint-cache
+//! cargo run -p xtask -- lint --self-test     # prove the scanner catches its fixtures
+//! cargo run -p xtask -- lint --rules         # list the rule set
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations found (or a fixture the
@@ -14,11 +17,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use distscroll_lint::{diagnostics_to_json, scan_workspace, self_test, ALL_RULES};
+use distscroll_lint::{
+    diagnostics_to_json, diagnostics_to_sarif, scan_workspace_with, self_test, Rule, ScanOptions,
+    ALL_RULES,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p xtask -- lint [--json FILE] [--self-test] [--rules] [--root DIR]"
+        "usage: cargo run -p xtask -- lint [--json FILE] [--sarif-out FILE] [--rule NAME]... \
+         [--no-cache] [--self-test] [--rules] [--root DIR]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +50,9 @@ fn main() -> ExitCode {
 
 fn lint(args: Vec<String>) -> ExitCode {
     let mut json_out: Option<String> = None;
+    let mut sarif_out: Option<String> = None;
+    let mut rule_filter: Vec<Rule> = Vec::new();
+    let mut use_cache = true;
     let mut run_self_test = false;
     let mut list_rules = false;
     let mut root = default_root();
@@ -54,10 +64,34 @@ fn lint(args: Vec<String>) -> ExitCode {
                 Some(path) => json_out = Some(path),
                 None => return usage(),
             },
+            "--sarif-out" => match it.next() {
+                Some(path) => sarif_out = Some(path),
+                None => return usage(),
+            },
+            "--rule" => match it.next().as_deref().map(Rule::from_name) {
+                Some(Some(rule)) => {
+                    if !rule_filter.contains(&rule) {
+                        rule_filter.push(rule);
+                    }
+                }
+                Some(None) => {
+                    eprintln!(
+                        "lint: unknown rule — known rules: {}",
+                        ALL_RULES
+                            .iter()
+                            .map(|r| r.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--no-cache" => use_cache = false,
             "--self-test" => run_self_test = true,
             "--rules" => list_rules = true,
             _ => return usage(),
@@ -66,8 +100,9 @@ fn lint(args: Vec<String>) -> ExitCode {
 
     if list_rules {
         for rule in ALL_RULES {
-            println!("{:18} {}", rule.name(), rule.describe());
+            println!("{:20} {}", rule.name(), rule.describe());
         }
+        println!("total: {} rules", ALL_RULES.len());
         return ExitCode::SUCCESS;
     }
 
@@ -79,7 +114,7 @@ fn lint(args: Vec<String>) -> ExitCode {
                     println!("self-test: {s}");
                 }
                 println!(
-                    "self-test: PASS — {} fixtures, every rule exercised",
+                    "self-test: PASS — {} fixtures, every rule exercised, SARIF validated",
                     summaries.len()
                 );
                 ExitCode::SUCCESS
@@ -95,17 +130,33 @@ fn lint(args: Vec<String>) -> ExitCode {
         };
     }
 
-    let report = match scan_workspace(&root) {
+    let mut report = match scan_workspace_with(&root, ScanOptions { use_cache }) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lint: error — {e}");
             return ExitCode::from(2);
         }
     };
+    if !rule_filter.is_empty() {
+        report.diagnostics.retain(|d| rule_filter.contains(&d.rule));
+    }
 
     if let Some(path) = &json_out {
-        let json = diagnostics_to_json(&report.diagnostics, report.files_scanned);
-        if let Err(e) = std::fs::write(path, json) {
+        let doc = diagnostics_to_json(
+            &report.diagnostics,
+            report.files_scanned,
+            &report.cache,
+            &report.index.stats(),
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("lint: wrote {path}");
+    }
+    if let Some(path) = &sarif_out {
+        let doc = diagnostics_to_sarif(&report.diagnostics);
+        if let Err(e) = std::fs::write(path, doc) {
             eprintln!("lint: cannot write {path}: {e}");
             return ExitCode::from(2);
         }
@@ -115,15 +166,23 @@ fn lint(args: Vec<String>) -> ExitCode {
     for d in &report.diagnostics {
         println!("{d}");
     }
+    let cache_note = if report.cache.enabled {
+        format!(
+            " (cache: {} hit(s), {} miss(es))",
+            report.cache.hits, report.cache.misses
+        )
+    } else {
+        " (cache off)".to_string()
+    };
     if report.diagnostics.is_empty() {
         println!(
-            "lint: PASS — {} files scanned, 0 violations",
+            "lint: PASS — {} files scanned, 0 violations{cache_note}",
             report.files_scanned
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "lint: FAIL — {} violation(s) across {} files scanned",
+            "lint: FAIL — {} violation(s) across {} files scanned{cache_note}",
             report.diagnostics.len(),
             report.files_scanned
         );

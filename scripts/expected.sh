@@ -9,3 +9,6 @@ BENCH_SCHEMA=5
 
 # Experiments the CLI must list, run and write reports for.
 N_EXPERIMENTS=16
+
+# Rules the semantic lint must register (xtask lint --rules).
+LINT_RULES=14

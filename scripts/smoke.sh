@@ -24,6 +24,15 @@ trap 'rm -rf "$workdir"' EXIT
 # link experiment (which exercises the ARQ reverse channel). This
 # catches a broken build, a registry mismatch or a CLI regression in
 # seconds, before the full matrix spends minutes.
+# The lint rule set is part of the repo contract: a rule added without
+# updating expected.sh (or silently dropped) fails here, not in review.
+cargo run --release -p xtask -- lint --rules > "$workdir/lint_rules.txt"
+grep -q "^total: $LINT_RULES rules\$" "$workdir/lint_rules.txt" || {
+    echo "smoke: lint --rules should report exactly $LINT_RULES rules, got:" >&2
+    tail -n 1 "$workdir/lint_rules.txt" >&2
+    exit 1
+}
+
 n_ids="$(cargo run --release -p distscroll-eval -- --list | tail -n +2 | wc -l)"
 if [ "$n_ids" -ne "$N_EXPERIMENTS" ]; then
     echo "smoke: --list should print $N_EXPERIMENTS experiments, got $n_ids" >&2
