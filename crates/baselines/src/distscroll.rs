@@ -10,7 +10,7 @@
 use distscroll_core::device::DistScrollDevice;
 use distscroll_core::events::{Event, TimedEvent};
 use distscroll_core::menu::Menu;
-use distscroll_core::profile::{DeviceProfile, DirectionMapping};
+use distscroll_core::profile::{DeviceProfile, DirectionMapping, RecognizerKind};
 use distscroll_user::population::UserParams;
 use distscroll_user::strategy::{DeviceGeometry, PositionAim, UserCommand};
 use rand::rngs::StdRng;
@@ -34,6 +34,20 @@ impl DistScrollTechnique {
     pub fn paper() -> Self {
         DistScrollTechnique {
             profile: DeviceProfile::paper(),
+            user_direction_belief: None,
+            environment: None,
+        }
+    }
+
+    /// DistScroll++: the paper's device with the stream-segmented
+    /// recognizer (`distscroll-recognizer`) instead of the classic
+    /// filter chain — same hardware, same mapping, different firmware
+    /// front end. Enters the shootout as its own lineup entry.
+    pub fn segmented() -> Self {
+        let mut profile = DeviceProfile::paper();
+        profile.recognizer = RecognizerKind::Segmented;
+        DistScrollTechnique {
+            profile,
             user_direction_belief: None,
             environment: None,
         }
@@ -76,7 +90,10 @@ impl DistScrollTechnique {
 
 impl ScrollTechnique for DistScrollTechnique {
     fn name(&self) -> &'static str {
-        "distscroll"
+        match self.profile.recognizer {
+            RecognizerKind::Classic => "distscroll",
+            RecognizerKind::Segmented => "distscroll++",
+        }
     }
 
     fn run_trial(

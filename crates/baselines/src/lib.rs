@@ -8,7 +8,9 @@
 //!
 //! * [`distscroll`] — the full device simulation (board + sensor +
 //!   firmware) driven by the positional-aim user controller; the
-//!   flagship,
+//!   flagship — in two firmware flavours: the paper's classic filter
+//!   chain (`distscroll`) and the stream-segmented recognizer
+//!   (`distscroll++`),
 //! * [`buttons`] — up/down keys with typematic repeat, the mainstream
 //!   phone-keypad baseline,
 //! * [`wheel`] — a ratchet scroll wheel flicked a few detents at a time
@@ -50,6 +52,7 @@ pub type TechniqueCtor = fn() -> Box<dyn ScrollTechnique>;
 pub fn all_technique_ctors() -> Vec<TechniqueCtor> {
     vec![
         || Box::new(distscroll::DistScrollTechnique::paper()),
+        || Box::new(distscroll::DistScrollTechnique::segmented()),
         || Box::new(buttons::ButtonsTechnique::new()),
         || Box::new(wheel::WheelTechnique::new()),
         || Box::new(tilt::TiltTechnique::new()),
@@ -74,11 +77,12 @@ mod tests {
     #[test]
     fn lineup_is_complete_and_distinct() {
         let ts = all_techniques();
-        assert_eq!(ts.len(), 6);
+        assert_eq!(ts.len(), 7);
         let names: std::collections::BTreeSet<&str> = ts.iter().map(|t| t.name()).collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         assert!(names.contains("distscroll"));
+        assert!(names.contains("distscroll++"));
         let one_handed = ts.iter().filter(|t| t.hands_required() == 1).count();
-        assert_eq!(one_handed, 5, "only the tuister needs both hands");
+        assert_eq!(one_handed, 6, "only the tuister needs both hands");
     }
 }

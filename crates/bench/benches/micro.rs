@@ -1,8 +1,9 @@
 //! Microbenches of the simulation's hot paths.
 //!
 //! These are the per-tick costs that bound how fast the closed-loop
-//! experiments can run: the sensor physics, the firmware filter chain,
-//! the island lookup, the frame codec, and one full device tick.
+//! experiments can run: the sensor physics, the two recognizers behind
+//! the firmware, the island lookup, the frame codec, and one full
+//! device tick.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use distscroll_bench::BENCH_SEED;
@@ -11,8 +12,8 @@ use distscroll_core::mapping::{paper_curve, IslandMap};
 use distscroll_core::menu::Menu;
 use distscroll_core::profile::DeviceProfile;
 use distscroll_hw::link::{encode_frame, FrameDecoder};
+use distscroll_recognizer::{ClassicChain, ClassicConfig, Recognizer, Segmented, SegmentedConfig};
 use distscroll_sensors::environment::Scene;
-use distscroll_sensors::filter::{Ema, MedianFilter, SlewGate};
 use distscroll_sensors::gp2d120::Gp2d120;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,15 +27,38 @@ fn bench_sensor_measure(c: &mut Criterion) {
     });
 }
 
-fn bench_filter_chain(c: &mut Criterion) {
-    let mut median = MedianFilter::new(5);
-    let mut ema = Ema::new(0.45);
-    let mut gate = SlewGate::new(120.0, 4);
-    let mut x = 0.0f64;
-    c.bench_function("filter_chain_tick", |b| {
+fn bench_classic_chain(c: &mut Criterion) {
+    // The legacy filter chain behind the recognizer trait: this is the
+    // per-sample cost on the firmware's default path, and the `classic`
+    // half of the BENCH_eval.json `recognizer` object.
+    let mut chain = ClassicChain::new(&ClassicConfig::paper());
+    let mut code = 0u16;
+    let mut tick = 0u64;
+    c.bench_function("recognizer_classic_tick", |b| {
         b.iter(|| {
-            x = (x + 1.0) % 500.0;
-            ema.push(median.push(gate.push(black_box(x))))
+            code = (code + 7) % 700;
+            tick += 1;
+            chain.process(black_box(code), tick)
+        })
+    });
+}
+
+fn bench_segmented_recognizer(c: &mut Criterion) {
+    // The segmented state-machine recognizer on the same stream: the
+    // `segmented` half of the BENCH_eval.json `recognizer` object.
+    let mut seg = Segmented::new(SegmentedConfig {
+        curve: paper_curve(),
+        near_cm: 4.0,
+        far_cm: 30.0,
+        tick_ms: 10,
+    });
+    let mut code = 0u16;
+    let mut tick = 0u64;
+    c.bench_function("recognizer_segmented_tick", |b| {
+        b.iter(|| {
+            code = (code + 7) % 700;
+            tick += 1;
+            seg.process(black_box(code), tick)
         })
     });
 }
@@ -152,7 +176,8 @@ fn bench_curve_fit(c: &mut Criterion) {
 criterion_group!(
     micro,
     bench_sensor_measure,
-    bench_filter_chain,
+    bench_classic_chain,
+    bench_segmented_recognizer,
     bench_island_lookup,
     bench_frame_codec,
     bench_device_tick,

@@ -98,6 +98,25 @@ pub enum MappingKind {
     LinearInCode,
 }
 
+/// Which recognizer turns raw ADC codes into the code the island
+/// mapping consumes.
+///
+/// The recognizer is the swap point the `distscroll-recognizer` crate
+/// introduces: the paper's filter chain and the stream-segmented state
+/// machine are interchangeable behind one trait, selected here. The
+/// default is the paper's chain, which keeps every default-path run
+/// byte-identical to the pre-refactor firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecognizerKind {
+    /// The paper's filter chain: slew gate → median → EMA (§4.2).
+    #[default]
+    Classic,
+    /// The stream-segmented recognizer: segmentation → intent
+    /// classification → rate-normalized emission (evaluated as the
+    /// DistScroll++ variant in E1/L2/R1).
+    Segmented,
+}
+
 /// Input filter configuration (the E7 ablation axes).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FilterConfig {
@@ -157,8 +176,11 @@ pub struct DeviceProfile {
     /// between islands ("these islands do not cover the complete
     /// spectrum of possible values", §4.2).
     pub gap_fraction: f64,
-    /// Input filter chain.
+    /// Input filter chain (the classic recognizer's settings; also the
+    /// E7 ablation axes).
     pub filters: FilterConfig,
+    /// Which recognizer processes the distance channel.
+    pub recognizer: RecognizerKind,
     /// Which motion direction scrolls down.
     pub direction: DirectionMapping,
     /// Button layout.
@@ -213,6 +235,7 @@ impl DeviceProfile {
             far_cm: 30.0,
             gap_fraction: 0.35,
             filters: FilterConfig::paper(),
+            recognizer: RecognizerKind::Classic,
             direction: DirectionMapping::TowardIsDown,
             handedness: Handedness::Right,
             expert_foldback: false,
@@ -425,5 +448,6 @@ mod tests {
         assert_eq!(DeviceProfile::default(), DeviceProfile::paper());
         assert_eq!(DirectionMapping::default(), DirectionMapping::TowardIsDown);
         assert_eq!(Handedness::default(), Handedness::Right);
+        assert_eq!(RecognizerKind::default(), RecognizerKind::Classic);
     }
 }

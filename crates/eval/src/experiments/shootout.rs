@@ -128,7 +128,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         ],
     );
     let mut plot = AsciiPlot::new(
-        "selection time vs index of difficulty (d=distscroll b=buttons w=wheel t=tilt y=yoyo T=tuister)",
+        "selection time vs index of difficulty (d=distscroll D=distscroll++ b=buttons w=wheel t=tilt y=yoyo T=tuister)",
         "ID [bits]",
         "time [s]",
     );
@@ -164,10 +164,12 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             ts.push(mean);
             pts.push((id, mean));
         }
-        let marker = if tech_name == "tuister" {
-            'T'
-        } else {
-            tech_name.chars().next().unwrap_or('?')
+        let marker = match tech_name {
+            "tuister" => 'T',
+            // Both DistScroll flavours start with 'd'; the segmented
+            // recognizer variant takes the capital.
+            "distscroll++" => 'D',
+            _ => tech_name.chars().next().unwrap_or('?'),
         };
         plot = plot.series(marker, &pts);
         match linear_fit(&ids, &ts) {

@@ -91,13 +91,32 @@ impl IngestBench {
     }
 }
 
-/// The three hot-path micro-benchmarks measured alongside the
-/// experiment matrix and rendered as the `sim_speedup`, `decode`, and
-/// `ingest` objects of the bench report.
+/// Per-sample recognizer classify latency for the `recognizer` bench
+/// object: the same code stream pushed through both recognizers.
+struct RecognizerBench {
+    samples: u64,
+    classic_wall_s: f64,
+    segmented_wall_s: f64,
+}
+
+impl RecognizerBench {
+    fn classic_ns(&self) -> f64 {
+        self.classic_wall_s * 1e9 / self.samples as f64
+    }
+
+    fn segmented_ns(&self) -> f64 {
+        self.segmented_wall_s * 1e9 / self.samples as f64
+    }
+}
+
+/// The hot-path micro-benchmarks measured alongside the experiment
+/// matrix and rendered as the `sim_speedup`, `decode`, `ingest`, and
+/// `recognizer` objects of the bench report.
 struct HotPathBenches {
     sim: SimSpeedup,
     decode: DecodeBench,
     ingest: IngestBench,
+    recognizer: RecognizerBench,
 }
 
 /// Times the standardized device workload twice: once on the
@@ -278,7 +297,55 @@ fn measure_ingest(seed: u64, jobs: usize) -> IngestBench {
     }
 }
 
-/// Renders the v5 perf report as JSON by hand — the harness has no JSON
+/// Times both recognizers on one realistic code stream: a settled hold,
+/// a sweep across the band, and periodic fold-back dips — the regimes a
+/// real session mixes. Reported as nanoseconds per sample; the stream
+/// itself is a pure function of its index, so both recognizers see
+/// byte-identical input.
+fn measure_recognizer() -> RecognizerBench {
+    use distscroll_core::mapping::paper_curve;
+    use distscroll_recognizer::{
+        ClassicChain, ClassicConfig, Recognizer, Segmented, SegmentedConfig,
+    };
+
+    let samples: u64 = 2_000_000;
+    let code_at = |i: u64| -> u16 {
+        match i % 1000 {
+            0..=199 => 520,                               // settled hold
+            200..=899 => (200 + (i % 1000 - 200)) as u16, // slow sweep
+            _ => 940,                                     // fold-back dip
+        }
+    };
+
+    let mut classic = ClassicChain::new(&ClassicConfig::paper());
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..samples {
+        acc = acc.wrapping_add(u64::from(classic.process(code_at(i), i)));
+    }
+    let classic_wall_s = t0.elapsed().as_secs_f64();
+
+    let mut segmented = Segmented::new(SegmentedConfig {
+        curve: paper_curve(),
+        near_cm: 4.0,
+        far_cm: 30.0,
+        tick_ms: 10,
+    });
+    let t0 = std::time::Instant::now();
+    for i in 0..samples {
+        acc = acc.wrapping_add(u64::from(segmented.process(code_at(i), i)));
+    }
+    let segmented_wall_s = t0.elapsed().as_secs_f64();
+    assert!(acc > 0, "recognizer bench stream produced no output");
+
+    RecognizerBench {
+        samples,
+        classic_wall_s,
+        segmented_wall_s,
+    }
+}
+
+/// Renders the v6 perf report as JSON by hand — the harness has no JSON
 /// dependency, and experiment ids contain no characters that need
 /// escaping.
 ///
@@ -296,7 +363,9 @@ fn measure_ingest(seed: u64, jobs: usize) -> IngestBench {
 /// throughput in bytes per second). v5 adds `ingest`: the fleet-scale
 /// multiplexed-ARQ ingest benchmark — a deterministic cohort replayed
 /// through the sharded service, reported as devices per second with
-/// per-round p50/p99 latency and the shed/evicted counters.
+/// per-round p50/p99 latency and the shed/evicted counters. v6 adds
+/// `recognizer`: per-sample classify latency of the classic filter
+/// chain and the segmented state machine on one shared code stream.
 fn bench_json(
     rows: &[BenchRow],
     stages: &[ExecutorStage],
@@ -309,11 +378,12 @@ fn bench_json(
         sim,
         decode,
         ingest,
+        recognizer,
     } = hot;
     let serial_wall_s = stages[0].wall_s;
     let parallel_wall_s = stages[1].wall_s;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 5,\n");
+    out.push_str("  \"schema\": 6,\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"cores\": {},\n", distscroll_par::max_jobs()));
     out.push_str(&format!(
@@ -375,6 +445,16 @@ fn bench_json(
         ingest.p99_us,
         ingest.shed,
         ingest.evicted,
+    ));
+    out.push_str(&format!(
+        "  \"recognizer\": {{\"samples\": {}, \"classic_wall_s\": {:.4}, \
+         \"segmented_wall_s\": {:.4}, \"classic_ns_per_sample\": {:.1}, \
+         \"segmented_ns_per_sample\": {:.1}}},\n",
+        recognizer.samples,
+        recognizer.classic_wall_s,
+        recognizer.segmented_wall_s,
+        recognizer.classic_ns(),
+        recognizer.segmented_ns(),
     ));
     out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
     out.push_str(&format!("  \"parallel_wall_s\": {parallel_wall_s:.4},\n"));
@@ -549,6 +629,15 @@ fn main() {
             ingest.shed,
             ingest.evicted
         );
+        eprintln!("bench: timing recognizer classify latency...");
+        let recognizer = measure_recognizer();
+        eprintln!(
+            "bench: recognizer classic {:.0} ns/sample, segmented {:.0} ns/sample \
+             ({} samples)",
+            recognizer.classic_ns(),
+            recognizer.segmented_ns(),
+            recognizer.samples
+        );
         let json = bench_json(
             &rows,
             &[serial_stage, parallel_stage],
@@ -556,6 +645,7 @@ fn main() {
                 sim,
                 decode,
                 ingest,
+                recognizer,
             },
             distscroll_par::resolve_jobs(jobs),
             effort,

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/firmware.rs
+//@ expect: raw-filter@8
+//@ expect: raw-filter@9
+
+// Firmware wiring the distance-processing stages by hand: the chain
+// escapes the recognizer's cycle and RAM budgets.
+fn hand_wired_chain() {
+    let median = MedianFilter::new(9);
+    let ema = Ema::new(0.45);
+    let _ = (median, ema);
+    // lint:allow(raw-filter) standby engine smooths the accel channel, not scroll input
+    let accel_ema = Ema::new(0.2);
+    let _ = accel_ema;
+}

@@ -1,0 +1,11 @@
+//@ path: crates/recognizer/src/classic.rs
+
+// The recognizer crate is the sanctioned construction site: stages
+// built here are counted against the chain's cycle and RAM budgets.
+fn build_stages() -> (MedianFilter, Ema, SlewGate) {
+    (
+        MedianFilter::new(9),
+        Ema::new(0.45),
+        SlewGate::new(120.0, 4),
+    )
+}

@@ -697,12 +697,7 @@ fn item_header(trim: &str) -> Option<(ItemKind, String)> {
         return Some((ItemKind::Mod, first_ident(r)?));
     }
     if let Some(r) = rest.strip_prefix("use ") {
-        let path = r
-            .split([';', '{'])
-            .next()
-            .unwrap_or("")
-            .trim()
-            .to_string();
+        let path = r.split([';', '{']).next().unwrap_or("").trim().to_string();
         return Some((ItemKind::Use, path));
     }
     if let Some(r) = rest.strip_prefix("struct ") {

@@ -15,7 +15,7 @@ use crate::Diagnostic;
 /// Version of the rule set, shared by the scan cache (a bumped version
 /// invalidates every cached entry) and the SARIF tool descriptor.
 /// Bump whenever a rule's behavior, scope, or message changes.
-pub const RULES_VERSION: u32 = 2;
+pub const RULES_VERSION: u32 = 3;
 
 /// Every lint rule the scanner knows, in stable order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -48,6 +48,9 @@ pub enum Rule {
     /// Raw `+`/`-`/`<`/`>` arithmetic on wrapping serial numbers
     /// (`Seq16`, 16-bit stamps) outside the RFC 1982 helpers.
     SerialArith,
+    /// Raw distance-filter construction (`MedianFilter`/`Ema`/`SlewGate`)
+    /// outside `crates/recognizer` and `crates/sensors`.
+    RawFilter,
     /// A valid `lint:allow` pragma that suppresses zero diagnostics.
     UnusedPragma,
     /// A `lint:allow` pragma that is unusable as written.
@@ -68,6 +71,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::FixedTick,
     Rule::GuardAcrossFanout,
     Rule::SerialArith,
+    Rule::RawFilter,
     Rule::UnusedPragma,
     Rule::BadPragma,
 ];
@@ -88,6 +92,7 @@ impl Rule {
             Rule::FixedTick => "fixed-tick",
             Rule::GuardAcrossFanout => "guard-across-fanout",
             Rule::SerialArith => "serial-arith",
+            Rule::RawFilter => "raw-filter",
             Rule::UnusedPragma => "unused-pragma",
             Rule::BadPragma => "bad-pragma",
         }
@@ -156,6 +161,12 @@ impl Rule {
                  outside crates/hw — a backwards jump under 32768 is reordering, not a wrap \
                  (the PR 5 SessionLog bug); compare through wrapping_sub/distance_from/\
                  newer_or_equal, the RFC 1982 helpers"
+            }
+            Rule::RawFilter => {
+                "MedianFilter::new / Ema::new / SlewGate::new outside crates/recognizer and \
+                 crates/sensors — the recognizer crate owns the distance-processing stages \
+                 and their cycle/RAM budgets; build a ClassicChain or Segmented recognizer \
+                 instead of wiring stages by hand"
             }
             Rule::UnusedPragma => {
                 "a lint:allow pragma that suppresses zero diagnostics — stale suppressions \
@@ -500,6 +511,21 @@ pub fn scan_parsed(parsed: &ParsedFile, ctx: &FileContext) -> Vec<Diagnostic> {
                 "raw StreamDecoder construction outside the shard registry — sessions in \
                  crates/ingest are opened by crates/ingest/src/shard.rs only, so every \
                  decoder's counters land in exactly one shard's books"
+                    .to_string(),
+            ));
+        }
+
+        if ctx.crate_name != "recognizer"
+            && ctx.crate_name != "sensors"
+            && (has_token(code, "MedianFilter::new")
+                || has_token(code, "Ema::new")
+                || has_token(code, "SlewGate::new"))
+        {
+            hits.push((
+                Rule::RawFilter,
+                "raw distance-filter construction outside crates/recognizer — the recognizer \
+                 crate owns the stage chain and its cycle/RAM budgets; build a ClassicChain \
+                 or Segmented recognizer instead of wiring MedianFilter/Ema/SlewGate by hand"
                     .to_string(),
             ));
         }
@@ -1139,6 +1165,43 @@ mod tests {
             "fn f() -> StreamDecoder { StreamDecoder::with_arq() }\n",
         );
         assert!(rules_at(pragmad, "crates/ingest/src/loadgen.rs").is_empty());
+    }
+
+    #[test]
+    fn raw_filter_flagged_outside_recognizer_and_sensors() {
+        let text = "fn f() -> MedianFilter { MedianFilter::new(9) }\n";
+        assert_eq!(
+            rules_at(text, "crates/core/src/firmware.rs"),
+            vec![(Rule::RawFilter, 1)]
+        );
+        // Test-like code gets no exemption: benches hand-wiring the
+        // stages dodge the budgeted chain exactly like library code.
+        assert_eq!(
+            rules_at(text, "crates/bench/benches/micro.rs"),
+            vec![(Rule::RawFilter, 1)]
+        );
+        // The two sanctioned construction sites: the stage owners.
+        assert!(rules_at(text, "crates/recognizer/src/classic.rs").is_empty());
+        assert!(rules_at(text, "crates/sensors/src/filter.rs").is_empty());
+        let ema = "fn f() -> Ema { Ema::new(0.45) }\n";
+        assert_eq!(
+            rules_at(ema, "crates/baselines/src/distscroll.rs"),
+            vec![(Rule::RawFilter, 1)]
+        );
+        let gate = "fn f() -> SlewGate { SlewGate::new(120.0, 4) }\n";
+        assert_eq!(
+            rules_at(gate, "crates/eval/src/runner.rs"),
+            vec![(Rule::RawFilter, 1)]
+        );
+        // Mentions in type position or prose never fire: only the
+        // word-bounded constructor tokens do.
+        let typed = "fn f(m: &MedianFilter, e: &Ema) -> u16 { m.len() as u16 }\n";
+        assert!(rules_at(typed, "crates/core/src/firmware.rs").is_empty());
+        let pragmad = concat!(
+            "// lint:allow(raw-filter) standby engine smooths the accel channel, not scroll\n",
+            "fn f() -> Ema { Ema::new(0.2) }\n",
+        );
+        assert!(rules_at(pragmad, "crates/core/src/firmware.rs").is_empty());
     }
 
     #[test]

@@ -1,0 +1,760 @@
+//! The stream-segmented recognizer: segmentation → classification →
+//! rate-normalized emission.
+//!
+//! Three composable stages, in the style of Fuchsia's input-pipeline
+//! gesture recognizers (each state owns its admission predicate and its
+//! exit events):
+//!
+//! 1. **Stream segmentation.** Raw ADC codes are converted through the
+//!    boot-calibrated sensor curve into distances and grouped into
+//!    motion streams. A stream closes on an *idle gap* (the hand held
+//!    still, or readings out of the usable band) and splits on a
+//!    *fold-back discontinuity* — a per-tick displacement no hand can
+//!    produce, which is how the <4 cm alias region announces itself.
+//!    A 3-tap median inside this stage absorbs single-sample spikes
+//!    without hiding the sensor's ~38 ms sample-and-hold structure.
+//! 2. **Intent classification.** A five-state machine — Idle →
+//!    Examining → Deliberate / Tremor / FoldBack — separates
+//!    intentional submovements from physiological tremor and fold-back
+//!    ghosts. Classifying in *centimetres* instead of ADC codes is the
+//!    point: the GP2D120 curve is steep near 4 cm and flat near 30 cm,
+//!    so no fixed code threshold (the classic chain's 120-code slew
+//!    limit) can distinguish far-band intent from near-band tremor.
+//!    Physical thresholds can.
+//! 3. **Rate-normalized emission.** The output code is a fractional
+//!    (`f64`) accumulator over admitted samples; deliberate motion is
+//!    emitted every tick, while tremor/idle refinements are coalesced
+//!    at the display-redraw cadence so the highlight cannot flicker
+//!    faster than the user can see.
+//!
+//! The whole pipeline is a pure function of the input stream — no
+//! clocks, no randomness — so replaying a stream reproduces the exact
+//! segmentation, classification and output (pinned by the proptests).
+
+use distscroll_sensors::calibrate::InverseCurveFit;
+
+use crate::{Recognizer, StageCost};
+
+/// Per-stage costs of the segmented pipeline, measured the same way the
+/// classic chain's were: a hand count of the PIC18 instruction sequence
+/// each stage compiles to.
+pub const SEGMENTED_STAGES: &[StageCost] = &[
+    StageCost {
+        name: "segmentation",
+        cycles: 26,
+        // 16-sample distance window + 3-tap spike median. The window
+        // must span more than one 8-12 Hz tremor period (160 ms at the
+        // 10 ms tick) or oscillation can never show two reversals.
+        ram_bytes: 38,
+    },
+    StageCost {
+        name: "classification",
+        cycles: 22,
+        ram_bytes: 10,
+    },
+    StageCost {
+        name: "emission",
+        cycles: 12,
+        ram_bytes: 8,
+    },
+];
+
+/// Fastest per-second hand motion the classifier accepts as physical.
+/// Minimum-jerk reaches across the whole 26 cm band peak near
+/// 0.9 m/s; anything past this limit inside one tick is an alias.
+const MAX_HAND_SPEED_CM_S: f64 = 180.0;
+
+/// Window flatness (peak-to-peak, cm) that counts as "not moving".
+const IDLE_RANGE_CM: f64 = 0.12;
+
+/// Displacement from the emitted position that wakes the classifier.
+const WAKE_CM: f64 = 0.25;
+
+/// Net one-directional displacement across the window that admits
+/// `Deliberate` — about a fifth of one island's slot, so a single-island
+/// nudge clears it easily while tremor cannot.
+const DELIBERATE_NET_CM: f64 = 0.45;
+
+/// Velocity sign alternations within the window that admit `Tremor`.
+/// The 16-sample window spans about 1.4 periods of 9 Hz tremor, so a
+/// genuine oscillation shows at least two direction reversals while a
+/// single corrective overshoot shows one.
+const TREMOR_SIGN_FLIPS: u32 = 2;
+
+/// Peak-to-peak bound (cm) for an oscillation to still count as tremor
+/// (8–12 Hz physiological tremor tops out well below one island slot).
+const TREMOR_RANGE_CM: f64 = 1.2;
+
+/// Drift of the window mean away from the held position that lets a
+/// slow intentional movement escape the `Tremor` hold.
+const TREMOR_ESCAPE_CM: f64 = 0.6;
+
+/// How close a post-discontinuity reading must return to the pre-jump
+/// position to be recognized as "the hand came back".
+const FOLD_RETURN_CM: f64 = 0.9;
+
+/// Self-consistency band for a post-discontinuity candidate stream.
+const FOLD_CONSISTENT_CM: f64 = 0.6;
+
+/// Milliseconds of flat readings that close a stream segment.
+const IDLE_GAP_MS: u64 = 120;
+
+/// Milliseconds a consistent post-discontinuity stream must persist
+/// before it is admitted as a genuine new position. Mirrors the classic
+/// slew gate's give-up horizon, but unlike the gate it also demands the
+/// candidate be *self-consistent* — a fold-back ghost flickering across
+/// alias distances keeps failing the test forever.
+const FOLD_RESUME_MS: u64 = 80;
+
+/// Milliseconds between coalesced output refreshes outside deliberate
+/// motion — the lower display's redraw cadence.
+const COALESCE_MS: u64 = 250;
+
+/// Margin below the near edge / beyond the far edge still treated as
+/// part of the usable stream (same acceptance band the firmware applies
+/// to its distance estimate).
+const NEAR_MARGIN_CM: f64 = 1.0;
+const FAR_MARGIN_CM: f64 = 3.0;
+
+/// EMA rates for the fractional output accumulator, per state.
+const TRACK_ALPHA_DELIBERATE: f64 = 0.5;
+const TRACK_ALPHA_EXAMINING: f64 = 0.3;
+const TRACK_ALPHA_SETTLED: f64 = 0.12;
+
+/// The classifier's states. Each state's admission predicate and exit
+/// events are documented on the transition logic in
+/// [`Segmented::process`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamState {
+    /// No motion stream open: the hand is still or out of band.
+    #[default]
+    Idle,
+    /// A stream opened but the evidence is still ambiguous.
+    Examining,
+    /// A sustained one-directional submovement: track at full rate.
+    Deliberate,
+    /// Oscillation consistent with physiological tremor: hold the
+    /// emitted position, drift only at the coalesced cadence.
+    Tremor,
+    /// A fold-back discontinuity: hold until the hand provably returns
+    /// or a self-consistent new stream earns admission.
+    FoldBack,
+}
+
+/// Configuration for [`Segmented`].
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentedConfig {
+    /// The boot-calibrated sensor curve (codes → centimetres).
+    pub curve: InverseCurveFit,
+    /// Near edge of the usable band, cm.
+    pub near_cm: f64,
+    /// Far edge of the usable band, cm.
+    pub far_cm: f64,
+    /// Firmware tick period, ms (converts the millisecond horizons
+    /// above into tick counts).
+    pub tick_ms: u64,
+}
+
+/// Small fixed ring of recent in-stream distances.
+#[derive(Debug, Clone, Copy, Default)]
+struct Window {
+    buf: [f64; 16],
+    len: usize,
+    head: usize,
+}
+
+impl Window {
+    fn clear(&mut self) {
+        self.len = 0;
+        self.head = 0;
+    }
+
+    fn push(&mut self, d: f64) {
+        self.buf[self.head] = d;
+        self.head = (self.head + 1) % self.buf.len();
+        if self.len < self.buf.len() {
+            self.len += 1;
+        }
+    }
+
+    /// Oldest-to-newest iteration.
+    fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| self.buf[(start + i) % cap])
+    }
+
+    fn range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in self.iter() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if self.len == 0 {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+
+    fn net(&self) -> f64 {
+        let mut first = None;
+        let mut last = 0.0;
+        for v in self.iter() {
+            if first.is_none() {
+                first = Some(v);
+            }
+            last = v;
+        }
+        first.map_or(0.0, |f| last - f)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.iter().sum::<f64>() / self.len as f64
+    }
+
+    /// Velocity sign alternations, with a deadband so the sensor's
+    /// sample-and-hold plateaus don't count as flips.
+    fn sign_flips(&self) -> u32 {
+        const DEADBAND_CM: f64 = 0.05;
+        let mut flips = 0;
+        let mut prev: Option<f64> = None;
+        let mut prev_sign = 0i8;
+        for v in self.iter() {
+            if let Some(p) = prev {
+                let dv = v - p;
+                if dv.abs() > DEADBAND_CM {
+                    let sign = if dv > 0.0 { 1 } else { -1 };
+                    if prev_sign != 0 && sign != prev_sign {
+                        flips += 1;
+                    }
+                    prev_sign = sign;
+                }
+            }
+            prev = Some(v);
+        }
+        flips
+    }
+}
+
+/// The stream-segmented recognizer.
+#[derive(Debug, Clone)]
+pub struct Segmented {
+    cfg: SegmentedConfig,
+    state: StreamState,
+    /// 3-tap spike median over raw codes (segmentation stage).
+    spike: [f64; 3],
+    spike_len: usize,
+    window: Window,
+    /// Last in-stream distance (previous tick), for velocity.
+    prev_d: Option<f64>,
+    /// Raw code paired with `prev_d`, so admitted positions can be
+    /// emitted in code space without inverting the curve.
+    prev_code: f64,
+    /// Fractional output accumulator (code space).
+    track_code: Option<f64>,
+    /// The emitted (coalesced) output, code space.
+    out_code: f64,
+    last_out_tick: u64,
+    /// Ticks of flat/out-of-band readings in a row.
+    idle_run: u64,
+    /// Position held when `Tremor` was entered (cm).
+    tremor_anchor_cm: f64,
+    /// Pre-discontinuity position (cm) while in `FoldBack`.
+    fold_origin_cm: f64,
+    /// Post-discontinuity candidate stream (cm + code + run length).
+    fold_candidate_cm: Option<f64>,
+    fold_candidate_code: f64,
+    fold_run: u64,
+    /// Derived tick horizons.
+    idle_gap_ticks: u64,
+    fold_resume_ticks: u64,
+    coalesce_ticks: u64,
+    max_step_cm: f64,
+    // Diagnostics the R1 experiment reports.
+    segments_closed: u64,
+    ghosts_rejected: u64,
+    tremor_ticks: u64,
+}
+
+impl Segmented {
+    /// Builds the recognizer from the profile's geometry and the
+    /// boot-calibrated curve.
+    #[must_use]
+    pub fn new(cfg: SegmentedConfig) -> Self {
+        let tick_ms = cfg.tick_ms.max(1);
+        Segmented {
+            state: StreamState::Idle,
+            spike: [0.0; 3],
+            spike_len: 0,
+            window: Window::default(),
+            prev_d: None,
+            prev_code: 0.0,
+            track_code: None,
+            out_code: 0.0,
+            last_out_tick: 0,
+            idle_run: 0,
+            tremor_anchor_cm: 0.0,
+            fold_origin_cm: 0.0,
+            fold_candidate_cm: None,
+            fold_candidate_code: 0.0,
+            fold_run: 0,
+            idle_gap_ticks: IDLE_GAP_MS.div_ceil(tick_ms).max(1),
+            fold_resume_ticks: FOLD_RESUME_MS.div_ceil(tick_ms).max(1),
+            coalesce_ticks: COALESCE_MS.div_ceil(tick_ms).max(1),
+            max_step_cm: MAX_HAND_SPEED_CM_S * tick_ms as f64 / 1000.0,
+            segments_closed: 0,
+            ghosts_rejected: 0,
+            tremor_ticks: 0,
+            cfg,
+        }
+    }
+
+    /// The classifier's current state.
+    #[must_use]
+    pub fn state(&self) -> StreamState {
+        self.state
+    }
+
+    /// Streams closed on idle gaps since boot/reset.
+    #[must_use]
+    pub fn segments_closed(&self) -> u64 {
+        self.segments_closed
+    }
+
+    /// Fold-back candidate streams rejected for inconsistency.
+    #[must_use]
+    pub fn ghosts_rejected(&self) -> u64 {
+        self.ghosts_rejected
+    }
+
+    /// Ticks spent holding against classified tremor.
+    #[must_use]
+    pub fn tremor_ticks(&self) -> u64 {
+        self.tremor_ticks
+    }
+
+    /// Segmentation stage, part 1: the 3-tap spike median over codes.
+    fn despike(&mut self, code: f64) -> f64 {
+        if self.spike_len < 3 {
+            self.spike[self.spike_len] = code;
+            self.spike_len += 1;
+            return code;
+        }
+        self.spike.rotate_left(1);
+        self.spike[2] = code;
+        let [a, b, c] = self.spike;
+        // Median of three without sorting the buffer itself.
+        a.max(b).min(a.min(b).max(c))
+    }
+
+    /// Codes → centimetres through the calibrated curve, with the same
+    /// acceptance band the firmware applies to its distance estimate.
+    fn to_cm(&self, code: f64) -> Option<f64> {
+        let volts = code / 1023.0 * 5.0;
+        self.cfg.curve.distance_at(volts).filter(|d| {
+            (self.cfg.near_cm - NEAR_MARGIN_CM..=self.cfg.far_cm + FAR_MARGIN_CM).contains(d)
+        })
+    }
+
+    /// Refreshes the emitted output from the tracker. Deliberate motion
+    /// refreshes every tick; everything else coalesces at the redraw
+    /// cadence.
+    fn refresh_out(&mut self, tick: u64) {
+        if let Some(t) = self.track_code {
+            let due = self.state == StreamState::Deliberate
+                || tick.saturating_sub(self.last_out_tick) >= self.coalesce_ticks;
+            if due {
+                self.out_code = t;
+                self.last_out_tick = tick;
+            }
+        }
+    }
+
+    /// Moves the fractional accumulator toward an admitted code.
+    fn track_toward(&mut self, code: f64, alpha: f64) {
+        self.track_code = Some(match self.track_code {
+            Some(t) => t + alpha * (code - t),
+            None => code,
+        });
+    }
+
+    /// An out-of-band or flat tick; closes the segment after the idle
+    /// horizon.
+    fn idle_tick(&mut self) {
+        self.idle_run += 1;
+        if self.idle_run == self.idle_gap_ticks && self.state != StreamState::Idle {
+            self.segments_closed += 1;
+            self.window.clear();
+            self.state = StreamState::Idle;
+        }
+    }
+}
+
+impl Recognizer for Segmented {
+    fn name(&self) -> &'static str {
+        "segmented"
+    }
+
+    fn process(&mut self, raw: u16, tick: u64) -> u16 {
+        // --- Stage 1: segmentation -----------------------------------
+        let code = self.despike(f64::from(raw));
+        let d_opt = self.to_cm(code);
+
+        let Some(d) = d_opt else {
+            // Out of the usable band: no stream sample. Hold the output;
+            // the mapping layer renders out-of-band codes as
+            // TooNear/TooFar holds anyway, so holding here matches the
+            // classic chain's end-to-end behaviour.
+            self.idle_tick();
+            self.prev_d = None;
+            self.refresh_out(tick);
+            return emitted(self.track_code, self.out_code, raw);
+        };
+
+        // Fold-back discontinuity: a displacement no hand produces in
+        // one tick. Admission predicate of the FoldBack state.
+        if self.state != StreamState::FoldBack {
+            if let Some(p) = self.prev_d {
+                if (d - p).abs() > self.max_step_cm {
+                    self.state = StreamState::FoldBack;
+                    self.fold_origin_cm = p;
+                    self.fold_candidate_cm = None;
+                    self.fold_run = 0;
+                    self.window.clear();
+                }
+            }
+        }
+
+        // --- Stage 2: classification ---------------------------------
+        if self.state == StreamState::FoldBack {
+            // Exit 1: the hand returned to where it was.
+            if (d - self.fold_origin_cm).abs() <= FOLD_RETURN_CM {
+                self.state = StreamState::Examining;
+                self.window.clear();
+                self.window.push(d);
+                self.prev_d = Some(d);
+                self.prev_code = code;
+                self.track_toward(code, TRACK_ALPHA_EXAMINING);
+                self.refresh_out(tick);
+                return emitted(self.track_code, self.out_code, raw);
+            }
+            // Exit 2: a self-consistent candidate stream persisted long
+            // enough to be a genuine new position.
+            match self.fold_candidate_cm {
+                Some(c) if (d - c).abs() <= FOLD_CONSISTENT_CM => {
+                    self.fold_candidate_cm = Some(c + 0.4 * (d - c));
+                    self.fold_candidate_code += 0.4 * (code - self.fold_candidate_code);
+                    self.fold_run += 1;
+                    if self.fold_run >= self.fold_resume_ticks {
+                        self.track_code = Some(self.fold_candidate_code);
+                        self.state = StreamState::Examining;
+                        self.window.clear();
+                        self.window.push(d);
+                        self.prev_d = Some(d);
+                        self.prev_code = code;
+                        self.last_out_tick = 0; // emit promptly
+                    }
+                }
+                Some(_) => {
+                    // The ghost flickered to another alias distance:
+                    // reject the candidate and start over.
+                    self.ghosts_rejected += 1;
+                    self.fold_candidate_cm = Some(d);
+                    self.fold_candidate_code = code;
+                    self.fold_run = 1;
+                }
+                None => {
+                    self.fold_candidate_cm = Some(d);
+                    self.fold_candidate_code = code;
+                    self.fold_run = 1;
+                }
+            }
+            self.refresh_out(tick);
+            return emitted(self.track_code, self.out_code, raw);
+        }
+
+        self.window.push(d);
+        self.prev_d = Some(d);
+        self.prev_code = code;
+        let range = self.window.range();
+        let net = self.window.net();
+        let flips = self.window.sign_flips();
+
+        // Idle-gap bookkeeping: a flat window (or out-of-band, handled
+        // above) eventually closes the stream.
+        let near_out = self
+            .track_code
+            .is_some_and(|t| self.to_cm(t).is_some_and(|tc| (d - tc).abs() < WAKE_CM));
+        if range < IDLE_RANGE_CM && near_out {
+            self.idle_tick();
+        } else {
+            self.idle_run = 0;
+        }
+
+        let first_contact = self.track_code.is_none();
+        match self.state {
+            StreamState::Idle => {
+                // Admission into Examining: displacement from the
+                // emitted position beyond the wake threshold, or the
+                // very first in-band contact.
+                if first_contact || !near_out {
+                    self.state = StreamState::Examining;
+                }
+                self.track_toward(code, TRACK_ALPHA_SETTLED);
+            }
+            StreamState::Examining => {
+                if net.abs() >= DELIBERATE_NET_CM && flips < TREMOR_SIGN_FLIPS {
+                    // Admission into Deliberate: sustained net motion in
+                    // a consistent direction — large-amplitude tremor
+                    // can momentarily show the same net displacement,
+                    // but never without direction reversals.
+                    self.state = StreamState::Deliberate;
+                } else if flips >= TREMOR_SIGN_FLIPS && range <= TREMOR_RANGE_CM {
+                    // Admission into Tremor: oscillation without net
+                    // drift.
+                    self.state = StreamState::Tremor;
+                    self.tremor_anchor_cm = self.window.mean();
+                } else if range < IDLE_RANGE_CM && near_out {
+                    self.state = StreamState::Idle;
+                }
+                self.track_toward(code, TRACK_ALPHA_EXAMINING);
+            }
+            StreamState::Deliberate => {
+                if flips >= TREMOR_SIGN_FLIPS && range <= TREMOR_RANGE_CM {
+                    // Exit: what looked like a reach keeps reversing —
+                    // the first half-swing of a tremor cycle is
+                    // indistinguishable from a small submovement, so
+                    // this exit is what makes the misclassification
+                    // self-correct within a cycle.
+                    self.state = StreamState::Tremor;
+                    self.tremor_anchor_cm = self.window.mean();
+                    self.track_toward(code, TRACK_ALPHA_SETTLED);
+                } else if range < IDLE_RANGE_CM {
+                    // Exit: the submovement landed.
+                    self.state = StreamState::Examining;
+                    self.track_toward(code, TRACK_ALPHA_EXAMINING);
+                } else {
+                    self.track_toward(code, TRACK_ALPHA_DELIBERATE);
+                }
+            }
+            StreamState::Tremor => {
+                self.tremor_ticks += 1;
+                let drift = (self.window.mean() - self.tremor_anchor_cm).abs();
+                if drift > TREMOR_ESCAPE_CM || range > TREMOR_RANGE_CM {
+                    // Exit: the oscillation is riding on real movement.
+                    self.state = StreamState::Examining;
+                    self.track_toward(code, TRACK_ALPHA_EXAMINING);
+                } else {
+                    // Hold: average the oscillation away slowly.
+                    self.track_toward(code, TRACK_ALPHA_SETTLED);
+                }
+            }
+            // FoldBack returned early above; Idle/Examining transitions
+            // from it re-enter here next tick.
+            StreamState::FoldBack => {}
+        }
+
+        // --- Stage 3: rate-normalized emission -----------------------
+        self.refresh_out(tick);
+        emitted(self.track_code, self.out_code, raw)
+    }
+
+    fn reset(&mut self) {
+        let cfg = self.cfg;
+        let (segments, ghosts, tremor) = (
+            self.segments_closed,
+            self.ghosts_rejected,
+            self.tremor_ticks,
+        );
+        *self = Segmented::new(cfg);
+        // Diagnostics survive a level rebuild: they describe the whole
+        // session, and R1 reads them after multi-level runs.
+        self.segments_closed = segments;
+        self.ghosts_rejected = ghosts;
+        self.tremor_ticks = tremor;
+    }
+
+    fn stage_costs(&self) -> &'static [StageCost] {
+        SEGMENTED_STAGES
+    }
+
+    fn ram_bytes(&self) -> usize {
+        SEGMENTED_STAGES.iter().map(|s| s.ram_bytes).sum()
+    }
+}
+
+/// The output rule: before the first in-band contact the raw code
+/// passes through (so out-of-band boot states still classify as
+/// TooNear/TooFar downstream, exactly like the classic chain); after
+/// that, the coalesced accumulator is authoritative.
+fn emitted(track: Option<f64>, out_code: f64, raw: u16) -> u16 {
+    if track.is_some() {
+        out_code.round().clamp(0.0, 1023.0) as u16
+    } else {
+        // Pass-through stays a valid 10-bit code even if the caller
+        // hands in garbage beyond the converter's range.
+        raw.min(1023)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distscroll_sensors::calibrate::fit_inverse_curve;
+    use distscroll_sensors::gp2d120::ideal_voltage;
+
+    fn curve() -> InverseCurveFit {
+        let pts: Vec<(f64, f64)> = (4..=30)
+            .map(|d| (f64::from(d), ideal_voltage(f64::from(d))))
+            .collect();
+        fit_inverse_curve(&pts).expect("ideal curve fits")
+    }
+
+    fn seg() -> Segmented {
+        Segmented::new(SegmentedConfig {
+            curve: curve(),
+            near_cm: 4.0,
+            far_cm: 30.0,
+            tick_ms: 10,
+        })
+    }
+
+    fn code_at(d: f64) -> u16 {
+        (ideal_voltage(d) / 5.0 * 1023.0).round() as u16
+    }
+
+    #[test]
+    fn deliberate_sweep_is_tracked() {
+        let mut s = seg();
+        let mut tick = 0;
+        for _ in 0..40 {
+            s.process(code_at(20.0), tick);
+            tick += 1;
+        }
+        // Sweep 20 cm -> 10 cm at 0.5 cm per tick (50 cm/s: deliberate).
+        let mut d = 20.0;
+        while d > 10.0 {
+            d -= 0.5;
+            s.process(code_at(d), tick);
+            tick += 1;
+        }
+        assert_eq!(s.state(), StreamState::Deliberate);
+        // Let it settle and coalesce.
+        for _ in 0..60 {
+            s.process(code_at(10.0), tick);
+            tick += 1;
+        }
+        let out = s.process(code_at(10.0), tick);
+        let got = curve().distance_at(f64::from(out) / 1023.0 * 5.0).unwrap();
+        assert!(
+            (got - 10.0).abs() < 0.8,
+            "output should land near 10 cm, got {got:.2}"
+        );
+    }
+
+    #[test]
+    fn tremor_oscillation_holds_the_output() {
+        let mut s = seg();
+        let mut tick = 0;
+        for _ in 0..60 {
+            s.process(code_at(15.0), tick);
+            tick += 1;
+        }
+        let settled = s.process(code_at(15.0), tick);
+        tick += 1;
+        // 9 Hz tremor, 0.3 cm amplitude, sampled at 100 Hz.
+        let mut outs = Vec::new();
+        for k in 0..200u64 {
+            let t = k as f64 * 0.01;
+            let d = 15.0 + 0.3 * (2.0 * std::f64::consts::PI * 9.0 * t).sin();
+            outs.push(s.process(code_at(d), tick));
+            tick += 1;
+        }
+        assert!(s.tremor_ticks() > 0, "tremor must be classified");
+        let max_dev = outs
+            .iter()
+            .map(|&o| i32::from(o).abs_diff(i32::from(settled)))
+            .max()
+            .unwrap();
+        assert!(
+            max_dev <= 6,
+            "held output should barely move under tremor: {max_dev} codes"
+        );
+    }
+
+    #[test]
+    fn foldback_ghost_is_rejected_and_return_resumes() {
+        let mut s = seg();
+        let mut tick = 0;
+        for _ in 0..60 {
+            s.process(code_at(6.0), tick);
+            tick += 1;
+        }
+        let held = s.process(code_at(6.0), tick);
+        tick += 1;
+        // An incursion below 4 cm aliases to a far distance
+        // instantaneously — an impossible jump.
+        for _ in 0..6 {
+            s.process(code_at(14.0), tick);
+            tick += 1;
+        }
+        assert_eq!(s.state(), StreamState::FoldBack);
+        let during = s.process(code_at(14.0), tick);
+        tick += 1;
+        assert_eq!(during, held, "output must hold through the ghost");
+        // The hand comes back out of the fold region.
+        for _ in 0..30 {
+            s.process(code_at(6.1), tick);
+            tick += 1;
+        }
+        assert_ne!(s.state(), StreamState::FoldBack, "return must resume");
+    }
+
+    #[test]
+    fn genuine_fast_reach_eventually_lands() {
+        let mut s = seg();
+        let mut tick = 0;
+        for _ in 0..60 {
+            s.process(code_at(25.0), tick);
+            tick += 1;
+        }
+        // A teleport-fast move (sensor re-lock) to 8 cm that then stays:
+        // the consistent candidate stream must be admitted.
+        for _ in 0..120 {
+            s.process(code_at(8.0), tick);
+            tick += 1;
+        }
+        let out = s.process(code_at(8.0), tick);
+        let got = curve().distance_at(f64::from(out) / 1023.0 * 5.0).unwrap();
+        assert!(
+            (got - 8.0).abs() < 1.0,
+            "consistent new stream must win: got {got:.2} cm"
+        );
+    }
+
+    #[test]
+    fn out_of_band_boot_passes_raw_through() {
+        let mut s = seg();
+        // 45 cm is beyond the acceptance band: raw passes through so the
+        // mapping still sees TooFar codes.
+        let raw = code_at(30.0) / 3; // a very low code, far out of band
+        assert_eq!(s.process(raw, 0), raw);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let stream: Vec<u16> = (0..400)
+            .map(|k| code_at(12.0 + 6.0 * ((k as f64) * 0.05).sin()))
+            .collect();
+        let mut a = seg();
+        let mut b = seg();
+        for (t, &c) in stream.iter().enumerate() {
+            assert_eq!(a.process(c, t as u64), b.process(c, t as u64));
+            assert_eq!(a.state(), b.state());
+        }
+    }
+}

@@ -24,6 +24,12 @@
 #     a rate below the throughput target is warn-and-record (machine
 #     speed is not a code property; absence of the measurement is).
 #
+#   * recognizer (per-sample classify latency, classic vs segmented)
+#     must be present with positive latencies for both recognizers — a
+#     missing object or a non-positive figure hard-fails; the segmented
+#     machine costing more than the classic chain is warn-and-record
+#     (it does strictly more work per sample).
+#
 # Usage: scripts/bench_gate.sh [OUT_JSON]   (default BENCH_eval.json)
 # Env:   BENCH_JOBS (default 4) — the parallel pass's --jobs value.
 #        DISTSCROLL_INGEST_DEVICES — cohort size for the ingest bench
@@ -168,6 +174,26 @@ if dps < target_dps:
         f"bench gate: WARNING — ingest {dps:.0f} devices/s below the {target_dps:.0f} "
         "devices/s target. Recorded, not failed: throughput scales with the machine; "
         "the hard gate is that the measurement exists and is positive."
+    )
+
+rec = bench.get("recognizer")
+if rec is None:
+    sys.exit("bench gate: FAIL — no `recognizer` object in the report; the classify-"
+             "latency benchmark did not run")
+classic_ns = rec.get("classic_ns_per_sample", 0)
+segmented_ns = rec.get("segmented_ns_per_sample", 0)
+if classic_ns <= 0 or segmented_ns <= 0:
+    sys.exit(f"bench gate: FAIL — recognizer latencies classic={classic_ns!r} "
+             f"segmented={segmented_ns!r}; the classify benchmark measured nothing")
+print(
+    f"bench gate: recognizer classic {classic_ns:.0f} ns/sample, segmented "
+    f"{segmented_ns:.0f} ns/sample ({rec['samples']} samples)"
+)
+if segmented_ns > 10 * classic_ns:
+    print(
+        f"bench gate: WARNING — segmented recognizer {segmented_ns / classic_ns:.1f}x "
+        "the classic chain's per-sample cost. Recorded, not failed: the state machine "
+        "does strictly more work, but an order of magnitude deserves a look."
     )
 
 print("bench gate: PASS")

@@ -5,10 +5,10 @@
 # hunt across scripts.
 
 # Version of the BENCH_eval.json document the harness writes.
-BENCH_SCHEMA=5
+BENCH_SCHEMA=6
 
 # Experiments the CLI must list, run and write reports for.
-N_EXPERIMENTS=16
+N_EXPERIMENTS=17
 
 # Rules the semantic lint must register (xtask lint --rules).
-LINT_RULES=14
+LINT_RULES=15

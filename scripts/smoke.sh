@@ -53,6 +53,11 @@ grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_l
     echo "smoke: --only L3 fast gate failed" >&2
     exit 1
 }
+cargo run --release -p distscroll-eval -- --only R1 --effort quick > "$workdir/only_r1.txt"
+grep -q "== summary: 1/1 experiments hold the paper's shape ==" "$workdir/only_r1.txt" || {
+    echo "smoke: --only R1 fast gate failed" >&2
+    exit 1
+}
 
 cargo run --release -p distscroll-eval -- --quick --jobs 1 --out "$workdir/jobs1" all \
     > "$workdir/stdout_jobs1.txt"

@@ -10,7 +10,7 @@ use distscroll::eval::experiments::{run_all, Effort};
 #[test]
 fn every_experiment_holds_the_papers_shape_quick() {
     let reports = run_all(Effort::Quick, 20050607);
-    assert_eq!(reports.len(), 16, "F4 F5 T-island S6 E1-E9 L1 L2 L3");
+    assert_eq!(reports.len(), 17, "F4 F5 T-island S6 E1-E9 L1 L2 L3 R1");
     let failures: Vec<&str> = reports
         .iter()
         .filter(|r| !r.shape_holds)
