@@ -109,14 +109,43 @@ impl RecognizerBench {
     }
 }
 
+/// Wire-front-door figures for the `wire` bench object: single-shard
+/// frame decode throughput on a corrupted stream (the resync path on
+/// the clock, where the clean `decode` object measures the happy path),
+/// plus the deterministic goodput of a full ARQ session over the harsh
+/// adversarial channel.
+struct WireBench {
+    bytes: usize,
+    frames_ok: u64,
+    frames_bad: u64,
+    wall_s: f64,
+    records_sent: u64,
+    records_delivered: u64,
+    frames_offered: u64,
+    frames_lost: u64,
+    frames_forged: u64,
+}
+
+impl WireBench {
+    fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Fraction of enqueued records the adversarial session delivered.
+    fn goodput(&self) -> f64 {
+        self.records_delivered as f64 / (self.records_sent as f64).max(1.0)
+    }
+}
+
 /// The hot-path micro-benchmarks measured alongside the experiment
-/// matrix and rendered as the `sim_speedup`, `decode`, `ingest`, and
-/// `recognizer` objects of the bench report.
+/// matrix and rendered as the `sim_speedup`, `decode`, `ingest`,
+/// `recognizer`, and `wire` objects of the bench report.
 struct HotPathBenches {
     sim: SimSpeedup,
     decode: DecodeBench,
     ingest: IngestBench,
     recognizer: RecognizerBench,
+    wire: WireBench,
 }
 
 /// Times the standardized device workload twice: once on the
@@ -345,7 +374,124 @@ fn measure_recognizer() -> RecognizerBench {
     }
 }
 
-/// Renders the v6 perf report as JSON by hand — the harness has no JSON
+/// Times the wire front door under fire.
+///
+/// Two measurements share the `wire` object:
+///
+/// 1. **Corrupted-stream decode throughput** — a multi-megabyte frame
+///    stream run through the Gilbert–Elliott burst eraser with bit
+///    errors, then pushed through a single [`FrameDecoder`]. Unlike the
+///    clean `decode` object this keeps the CRC-failure resync path (the
+///    replay queue) on the clock, so a regression in failure handling
+///    shows up even when the happy path stays fast.
+/// 2. **Adversarial goodput** — a full `ArqTx`↔`ArqRx` session over
+///    [`AdversarialChannel::harsh`] (burst loss, duplication, reordering
+///    beyond the window). Every counter is a pure function of `seed`;
+///    only the throughput figure is wall-clock.
+fn measure_wire(seed: u64) -> WireBench {
+    use distscroll_hw::arq::{decode_ack, decode_data, ArqClass, ArqRx, ArqTx};
+    use distscroll_hw::link::{
+        encode_frame, encode_frame_into, AdversarialChannel, FrameDecoder, GilbertElliott,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Part 1: decode throughput on a corrupted stream.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x77_69_72_65); // "wire"
+    let mut channel = AdversarialChannel::new(GilbertElliott::bursty());
+    channel.bit_error_rate = 2e-4;
+    let mut corrupted = Vec::new();
+    let mut frame = Vec::new();
+    let mut stamp = 0u16;
+    while corrupted.len() < 2 << 20 {
+        stamp = stamp.wrapping_add(25);
+        encode_frame_into(
+            &[
+                b'T',
+                (stamp >> 8) as u8,
+                (stamp & 0xff) as u8,
+                0x02,
+                (stamp & 0xff) as u8,
+                (stamp % 5) as u8,
+                1,
+                (stamp % 8) as u8,
+            ],
+            &mut frame,
+        );
+        channel.transmit(&frame, &mut rng, |bytes| corrupted.extend_from_slice(bytes));
+    }
+    channel.flush(|bytes| corrupted.extend_from_slice(bytes));
+
+    let mut dec = FrameDecoder::new();
+    let t0 = std::time::Instant::now();
+    for r in dec.push_all(&corrupted) {
+        let _ = r;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(dec.frames_ok() > 0, "wire bench decoded nothing");
+
+    // Part 2: deterministic adversarial-session goodput.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x61_72_71); // "arq"
+    let mut data_chan = AdversarialChannel::harsh();
+    data_chan.bit_error_rate = 0.0; // honest: loss/dup/reorder only
+    let mut ack_chan = AdversarialChannel::new(GilbertElliott::bursty());
+    let mut tx = ArqTx::new();
+    let mut rx = ArqRx::new();
+    let mut fd = FrameDecoder::new();
+    let mut fd_back = FrameDecoder::new();
+    let mut records_sent = 0u64;
+    let mut records_delivered = 0u64;
+    for tick in 0..20_000u64 {
+        if tick % 4 == 0 {
+            let rec = [b'E', (tick >> 8) as u8, (tick & 0xff) as u8, b'A', 1];
+            if tx.enqueue(ArqClass::Event, &rec, tick).is_some() {
+                records_sent += 1;
+            }
+        }
+        let mut arrivals: Vec<Vec<u8>> = Vec::new();
+        tx.service(tick, |wire| {
+            data_chan.transmit(&encode_frame(wire), &mut rng, |b| arrivals.push(b.to_vec()));
+        });
+        if tick % 64 == 0 {
+            data_chan.flush(|b| arrivals.push(b.to_vec()));
+        }
+        for bytes in arrivals {
+            for r in fd.push_all(&bytes).into_iter().flatten() {
+                if let Some((seq, inner)) = decode_data(&r) {
+                    rx.on_data(seq, inner, |_| records_delivered += 1);
+                }
+            }
+        }
+        if tick % 2 == 0 {
+            let mut acks: Vec<Vec<u8>> = Vec::new();
+            ack_chan.transmit(&encode_frame(&rx.ack_payload()), &mut rng, |b| {
+                acks.push(b.to_vec());
+            });
+            for bytes in acks {
+                for r in fd_back.push_all(&bytes).into_iter().flatten() {
+                    if let Some((cum, bitmap)) = decode_ack(&r) {
+                        tx.on_ack(cum, bitmap);
+                    }
+                }
+            }
+        }
+    }
+    let stats = data_chan.stats();
+
+    WireBench {
+        bytes: corrupted.len(),
+        frames_ok: dec.frames_ok(),
+        frames_bad: dec.frames_bad(),
+        wall_s,
+        records_sent,
+        records_delivered,
+        frames_offered: stats.offered,
+        frames_lost: stats.lost,
+        frames_forged: stats.forged,
+    }
+}
+
+/// Renders the v7 perf report as JSON by hand — the harness has no JSON
 /// dependency, and experiment ids contain no characters that need
 /// escaping.
 ///
@@ -366,6 +512,10 @@ fn measure_recognizer() -> RecognizerBench {
 /// per-round p50/p99 latency and the shed/evicted counters. v6 adds
 /// `recognizer`: per-sample classify latency of the classic filter
 /// chain and the segmented state machine on one shared code stream.
+/// v7 adds `wire`: single-shard frame decode throughput on a
+/// *corrupted* stream (the CRC-failure resync path on the clock) and
+/// the deterministic goodput of an ARQ session over the harsh
+/// adversarial channel.
 fn bench_json(
     rows: &[BenchRow],
     stages: &[ExecutorStage],
@@ -379,11 +529,12 @@ fn bench_json(
         decode,
         ingest,
         recognizer,
+        wire,
     } = hot;
     let serial_wall_s = stages[0].wall_s;
     let parallel_wall_s = stages[1].wall_s;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 6,\n");
+    out.push_str("  \"schema\": 7,\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"cores\": {},\n", distscroll_par::max_jobs()));
     out.push_str(&format!(
@@ -455,6 +606,23 @@ fn bench_json(
         recognizer.segmented_wall_s,
         recognizer.classic_ns(),
         recognizer.segmented_ns(),
+    ));
+    out.push_str(&format!(
+        "  \"wire\": {{\"bytes\": {}, \"frames_ok\": {}, \"frames_bad\": {}, \
+         \"wall_s\": {:.4}, \"bytes_per_sec\": {:.0}, \"records_sent\": {}, \
+         \"records_delivered\": {}, \"goodput\": {:.4}, \"frames_offered\": {}, \
+         \"frames_lost\": {}, \"frames_forged\": {}}},\n",
+        wire.bytes,
+        wire.frames_ok,
+        wire.frames_bad,
+        wire.wall_s,
+        wire.bytes_per_sec(),
+        wire.records_sent,
+        wire.records_delivered,
+        wire.goodput(),
+        wire.frames_offered,
+        wire.frames_lost,
+        wire.frames_forged,
     ));
     out.push_str(&format!("  \"serial_wall_s\": {serial_wall_s:.4},\n"));
     out.push_str(&format!("  \"parallel_wall_s\": {parallel_wall_s:.4},\n"));
@@ -638,6 +806,18 @@ fn main() {
             recognizer.segmented_ns(),
             recognizer.samples
         );
+        eprintln!("bench: timing wire decode under corruption + adversarial goodput...");
+        let wire = measure_wire(seed);
+        eprintln!(
+            "bench: wire {:.1} MB/s corrupted-stream decode ({} ok / {} bad frames), \
+             goodput {:.1}% ({} of {} records through the harsh channel)",
+            wire.bytes_per_sec() / 1e6,
+            wire.frames_ok,
+            wire.frames_bad,
+            wire.goodput() * 100.0,
+            wire.records_delivered,
+            wire.records_sent
+        );
         let json = bench_json(
             &rows,
             &[serial_stage, parallel_stage],
@@ -646,6 +826,7 @@ fn main() {
                 decode,
                 ingest,
                 recognizer,
+                wire,
             },
             distscroll_par::resolve_jobs(jobs),
             effort,

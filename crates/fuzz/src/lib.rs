@@ -1,0 +1,369 @@
+//! Corpus-driven fuzzing harness for the wire front door.
+//!
+//! Dependency-free (vendored `rand` only) and fully deterministic: a run
+//! is a pure function of `(corpus, seed, iterations)`. Three targets
+//! cover the three wire-facing state machines — see [`targets`] — each
+//! with differential and conservation oracles, and every caught panic is
+//! itself a violation.
+//!
+//! The loop is classic coverage-ish fuzzing scaled down: replay the
+//! checked-in corpus, then mutate random corpus entries with the
+//! protocol-aware operators in [`mutate`]; a mutant whose counter
+//! profile hashes to a previously unseen signature joins the in-memory
+//! pool (and the on-disk corpus with `--grow`). Violating inputs are
+//! shrunk by [`minimize`] and written to the reproducer directory so a
+//! CI failure ships its own regression test.
+
+pub mod corpus;
+pub mod minimize;
+pub mod mutate;
+pub mod targets;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::fnv1a;
+use crate::targets::Outcome;
+
+/// One of the three wire-facing fuzz targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// [`targets::run_frame`]: `FrameDecoder` vs the offline reference.
+    Frame,
+    /// [`targets::run_stream`]: `StreamDecoder` in all three modes.
+    Stream,
+    /// [`targets::run_arq`]: a tape-driven `ArqTx`↔`ArqRx` session.
+    Arq,
+}
+
+impl TargetKind {
+    /// Every target, in the canonical run order.
+    pub const ALL: [TargetKind; 3] = [TargetKind::Frame, TargetKind::Stream, TargetKind::Arq];
+
+    /// Stable name used in reports, reproducer files and `--target`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetKind::Frame => "frame",
+            TargetKind::Stream => "stream",
+            TargetKind::Arq => "arq",
+        }
+    }
+
+    /// Parses a `--target` argument.
+    pub fn parse(s: &str) -> Option<TargetKind> {
+        match s {
+            "frame" => Some(TargetKind::Frame),
+            "stream" => Some(TargetKind::Stream),
+            "arq" => Some(TargetKind::Arq),
+            _ => None,
+        }
+    }
+
+    /// Per-target seed salt, so targets draw independent mutation
+    /// streams from the same run seed.
+    fn salt(self) -> u64 {
+        fnv1a(self.name().as_bytes())
+    }
+
+    fn run(self, input: &[u8]) -> Outcome {
+        match self {
+            TargetKind::Frame => targets::run_frame(input),
+            TargetKind::Stream => targets::run_stream(input),
+            TargetKind::Arq => targets::run_arq(input),
+        }
+    }
+}
+
+/// Everything a fuzz run needs; the same config always produces the
+/// same run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Mutated inputs per target (corpus replay is extra).
+    pub iters: u64,
+    /// Run seed; violations report it so they reproduce exactly.
+    pub seed: u64,
+    /// Checked-in corpus directory (missing ⇒ built-in seeds only).
+    pub corpus_dir: PathBuf,
+    /// Where minimized reproducers are written.
+    pub out_dir: PathBuf,
+    /// Targets to run, in order.
+    pub targets: Vec<TargetKind>,
+    /// Persist inputs with new signatures back into `corpus_dir`.
+    pub grow: bool,
+    /// Stop a target after this many violations (minimization is the
+    /// expensive step; a broken build fails on the first anyway).
+    pub max_violations: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iters: 10_000,
+            seed: 20_050_607,
+            corpus_dir: PathBuf::from("fuzz/corpus"),
+            out_dir: PathBuf::from("target/fuzz"),
+            targets: TargetKind::ALL.to_vec(),
+            grow: false,
+            max_violations: 5,
+        }
+    }
+}
+
+/// One oracle violation, already minimized and written to disk.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// Which target tripped.
+    pub target: &'static str,
+    /// The oracle's message (or the caught panic's).
+    pub message: String,
+    /// Mutation iteration that produced it; `None` for corpus replay.
+    pub iteration: Option<u64>,
+    /// Size before minimization.
+    pub input_len: usize,
+    /// Size after minimization.
+    pub minimized_len: usize,
+    /// Where the minimized reproducer was written.
+    pub repro_path: PathBuf,
+}
+
+/// Per-target run summary.
+#[derive(Debug, Clone)]
+pub struct TargetReport {
+    /// Target name.
+    pub target: &'static str,
+    /// Inputs executed (corpus replay + mutations).
+    pub executions: u64,
+    /// Corpus entries replayed.
+    pub corpus_entries: usize,
+    /// Distinct feature signatures observed.
+    pub new_signatures: u64,
+    /// Inputs persisted to the on-disk corpus (`--grow` only).
+    pub grown: u64,
+    /// Violations found (bounded by `max_violations`).
+    pub violations: Vec<ViolationReport>,
+}
+
+impl TargetReport {
+    /// `true` when the target survived the whole run.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one input through a target with panic containment: a panic is
+/// reported as a violation, not a harness crash.
+pub fn check(kind: TargetKind, input: &[u8]) -> Outcome {
+    match panic::catch_unwind(AssertUnwindSafe(|| kind.run(input))) {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Outcome {
+                sig: fnv1a(msg.as_bytes()),
+                violation: Some(format!("{}: panic: {msg}", kind.name())),
+            }
+        }
+    }
+}
+
+/// Runs the whole configured fuzzing session.
+///
+/// The default panic hook is silenced for the duration (caught panics
+/// are violations; their backtraces would swamp the output) and
+/// restored before returning.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from corpus and reproducer I/O.
+pub fn run(cfg: &FuzzConfig) -> io::Result<Vec<TargetReport>> {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = run_inner(cfg);
+    panic::set_hook(prev_hook);
+    result
+}
+
+fn run_inner(cfg: &FuzzConfig) -> io::Result<Vec<TargetReport>> {
+    let disk = corpus::load(&cfg.corpus_dir)?;
+    let pool: Vec<Vec<u8>> = if disk.is_empty() {
+        corpus::builtin_seeds()
+    } else {
+        disk.into_iter().map(|(_, bytes)| bytes).collect()
+    };
+
+    let mut reports = Vec::new();
+    for &kind in &cfg.targets {
+        reports.push(run_target(cfg, kind, &pool)?);
+    }
+    Ok(reports)
+}
+
+fn run_target(cfg: &FuzzConfig, kind: TargetKind, pool: &[Vec<u8>]) -> io::Result<TargetReport> {
+    let mut report = TargetReport {
+        target: kind.name(),
+        executions: 0,
+        corpus_entries: pool.len(),
+        new_signatures: 0,
+        grown: 0,
+        violations: Vec::new(),
+    };
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+
+    // Phase 1: replay the corpus verbatim. Any violation here means a
+    // previously-found bug has come back.
+    for input in pool {
+        let out = check(kind, input);
+        report.executions += 1;
+        if seen.insert(out.sig) {
+            report.new_signatures += 1;
+        }
+        if let Some(msg) = out.violation {
+            record_violation(cfg, kind, input, msg, None, &mut report)?;
+            if report.violations.len() >= cfg.max_violations {
+                return Ok(report);
+            }
+        }
+    }
+
+    // Phase 2: mutate. The pool grows in memory on new signatures, so
+    // later mutants build on earlier discoveries; with `--grow` those
+    // discoveries also land on disk.
+    let mut live: Vec<Vec<u8>> = pool.to_vec();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ kind.salt());
+    for iter in 0..cfg.iters {
+        if report.violations.len() >= cfg.max_violations {
+            break;
+        }
+        let base = &live[rng.gen_range(0..live.len())];
+        let mutant = mutate::mutate(base, &mut rng);
+        let out = check(kind, &mutant);
+        report.executions += 1;
+        let fresh = seen.insert(out.sig);
+        if fresh {
+            report.new_signatures += 1;
+        }
+        if let Some(msg) = out.violation {
+            record_violation(cfg, kind, &mutant, msg, Some(iter), &mut report)?;
+        } else if fresh {
+            if cfg.grow {
+                corpus::save(&cfg.corpus_dir, &mutant)?;
+                report.grown += 1;
+            }
+            live.push(mutant);
+        }
+    }
+    Ok(report)
+}
+
+/// Minimizes a violating input and writes the reproducer.
+///
+/// The minimization predicate is "any violation persists", not "the same
+/// message persists" — a shrink that flips one oracle failure into
+/// another is still a failing input worth keeping small.
+fn record_violation(
+    cfg: &FuzzConfig,
+    kind: TargetKind,
+    input: &[u8],
+    message: String,
+    iteration: Option<u64>,
+    report: &mut TargetReport,
+) -> io::Result<()> {
+    let minimized = minimize::minimize(input, |cand| check(kind, cand).violation.is_some());
+    fs::create_dir_all(&cfg.out_dir)?;
+    let file = format!("{}-{}", kind.name(), corpus::entry_name(&minimized));
+    let path = cfg.out_dir.join(file);
+    fs::write(&path, &minimized)?;
+    report.violations.push(ViolationReport {
+        target: kind.name(),
+        message,
+        iteration,
+        input_len: input.len(),
+        minimized_len: minimized.len(),
+        repro_path: path,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg(iters: u64) -> FuzzConfig {
+        let unique = format!("distscroll-fuzz-run-{}-{iters}", std::process::id());
+        FuzzConfig {
+            iters,
+            seed: 20_050_607,
+            // Nonexistent corpus dir: built-in seeds only.
+            corpus_dir: std::env::temp_dir().join(format!("{unique}-corpus")),
+            out_dir: std::env::temp_dir().join(format!("{unique}-out")),
+            targets: TargetKind::ALL.to_vec(),
+            grow: false,
+            max_violations: 5,
+        }
+    }
+
+    #[test]
+    fn harness_runs_clean_over_builtin_seeds() {
+        let cfg = test_cfg(300);
+        let reports = run(&cfg).expect("fuzz run");
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(
+                r.ok(),
+                "target {} violated: {:?}",
+                r.target,
+                r.violations.first().map(|v| v.message.as_str())
+            );
+            assert_eq!(r.executions, r.corpus_entries as u64 + 300);
+            assert!(r.new_signatures > 1, "{}: no signature diversity", r.target);
+        }
+        let _ = fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = test_cfg(150);
+        let a = run(&cfg).expect("run a");
+        let b = run(&cfg).expect("run b");
+        let profile = |rs: &[TargetReport]| -> Vec<(u64, u64, usize)> {
+            rs.iter()
+                .map(|r| (r.executions, r.new_signatures, r.violations.len()))
+                .collect()
+        };
+        assert_eq!(profile(&a), profile(&b));
+        let _ = fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn target_kind_parses_round_trip() {
+        for kind in TargetKind::ALL {
+            assert_eq!(TargetKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(TargetKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn panics_become_violations_not_crashes() {
+        // No target panics today; exercise the containment plumbing by
+        // observing that check() on arbitrary garbage returns rather
+        // than unwinding, across a spread of hostile inputs.
+        let mut rng = StdRng::seed_from_u64(99);
+        let seeds = corpus::builtin_seeds();
+        for _ in 0..200 {
+            let base = &seeds[rng.gen_range(0..seeds.len())];
+            let m = mutate::mutate(base, &mut rng);
+            for kind in TargetKind::ALL {
+                let _ = check(kind, &m);
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Delta-debugging minimizer: shrink a violating input while the
+//! violation persists.
+//!
+//! A ddmin-style pass: try removing chunks of halving sizes, keeping any
+//! removal that still fails, until a whole pass at chunk size 1 makes no
+//! progress. The predicate budget bounds worst-case work so a pathological
+//! input cannot stall the harness; the partially-minimized input is still
+//! a valid reproducer.
+
+/// Shrinks `input` while `still_fails` returns `true` for the candidate.
+///
+/// `still_fails` must be deterministic (the fuzz targets are pure
+/// functions of their input bytes). The result is 1-minimal up to the
+/// predicate budget: removing any single remaining byte makes the
+/// violation disappear.
+pub fn minimize<F: FnMut(&[u8]) -> bool>(input: &[u8], mut still_fails: F) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    let mut budget = 4096usize;
+    loop {
+        let len_before = cur.len();
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.len() {
+                if budget == 0 {
+                    return cur;
+                }
+                budget -= 1;
+                let end = (i + chunk).min(cur.len());
+                let cand: Vec<u8> = [&cur[..i], &cur[end..]].concat();
+                if still_fails(&cand) {
+                    cur = cand;
+                    // Re-test the same offset: the next chunk slid here.
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if cur.len() == len_before {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_the_failing_core() {
+        // Failure: input contains the subsequence 0xAA 0x55 anywhere.
+        let mut input = vec![0u8; 40];
+        input[17] = 0xaa;
+        input[18] = 0x55;
+        let out = minimize(&input, |cand| cand.windows(2).any(|w| w == [0xaa, 0x55]));
+        assert_eq!(out, vec![0xaa, 0x55]);
+    }
+
+    #[test]
+    fn keeps_input_when_everything_matters() {
+        let input = vec![1, 2, 3];
+        // Only the exact input fails.
+        let out = minimize(&input, |cand| cand == [1, 2, 3]);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn empty_failing_input_stays_empty() {
+        let out = minimize(&[], |_| true);
+        assert!(out.is_empty());
+    }
+}

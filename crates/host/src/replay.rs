@@ -90,10 +90,24 @@ impl Trajectory {
         if (d_hi - d_lo).abs() < 1e-9 {
             d_hi = d_lo + 1.0;
         }
+        // Degenerate ranges must not reach the division below. The
+        // `t0 + 1e-9` nudge above is absorbed by f64 rounding once t0 is
+        // large (one sample at t0 ≈ 1e9 s gives span == 0, and the old
+        // 0/0 produced NaN that `as usize` silently turned into cell 0);
+        // worse, unsorted samples make `t - t0` exceed a tiny span, and
+        // the huge ratio indexed the grid out of bounds.
+        let span_t = t1 - t0;
+        let span_d = d_hi - d_lo;
+        let project = |offset: f64, span: f64, cells: usize| -> usize {
+            if span.is_nan() || span <= 0.0 || cells <= 1 {
+                return 0;
+            }
+            ((offset / span).clamp(0.0, 1.0) * (cells - 1) as f64).round() as usize
+        };
         let mut grid = vec![vec![' '; width]; height];
         for &(t, d) in &self.samples {
-            let col = (((t - t0) / (t1 - t0)) * (width - 1) as f64).round() as usize;
-            let row_up = (((d - d_lo) / (d_hi - d_lo)) * (height - 1) as f64).round() as usize;
+            let col = project(t - t0, span_t, width);
+            let row_up = project(d - d_lo, span_d, height);
             grid[height - 1 - row_up][col] = '*';
         }
         let mut out = String::new();
@@ -193,6 +207,50 @@ mod tests {
         let chart = traj.strip_chart(40, 8);
         assert!(chart.contains('*'));
         assert!(chart.lines().count() >= 10);
+    }
+
+    #[test]
+    fn one_sample_far_from_boot_renders_in_bounds() {
+        // Regression (found by fuzzing the projection): with one sample
+        // at a large timestamp, `t0 + 1e-9 == t0` in f64, the time span
+        // collapsed to zero and 0/0 NaN picked a garbage cell.
+        let traj = Trajectory {
+            samples: vec![(1.0e9, 17.5)],
+        };
+        let chart = traj.strip_chart(40, 8);
+        assert_eq!(chart.matches('*').count(), 1);
+        // The single sample lands in the leftmost column, bottom row.
+        assert!(chart.lines().nth(8).is_some_and(|l| l.starts_with("|*")));
+    }
+
+    #[test]
+    fn unsorted_samples_do_not_index_out_of_bounds() {
+        // Regression (found by fuzzing the projection): `samples` is pub
+        // and nothing promises time order; with t_last < t0 the nudged
+        // span was ~1e-9 and (t - t0) / span indexed columns in the
+        // billions — an out-of-bounds panic pre-fix. Out-of-range points
+        // clamp to the chart edge instead.
+        let traj = Trajectory {
+            samples: vec![(5.0, 10.0), (10.0, 12.0), (0.0, 11.0)],
+        };
+        let chart = traj.strip_chart(40, 8);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn flat_trace_renders_on_the_bottom_row() {
+        // Constant distance: the d-range widens by 1 cm for display and
+        // every sample sits on the bottom row.
+        let traj = Trajectory::from_log(&log_with_distances(&[15.0; 12]), &curve(), 0.01);
+        let chart = traj.strip_chart(30, 6);
+        let rows: Vec<&str> = chart.lines().collect();
+        assert!(rows[rows.len() - 2].contains('*'), "{chart}");
+        for row in &rows[1..rows.len() - 2] {
+            assert!(
+                !row.contains('*'),
+                "flat trace crept above the floor: {chart}"
+            );
+        }
     }
 
     #[test]

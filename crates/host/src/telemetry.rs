@@ -252,35 +252,30 @@ impl StreamDecoder {
     /// CRC-failed frames are counted and skipped.
     pub fn push_bytes_with<F: FnMut(Record)>(&mut self, bytes: &[u8], mut sink: F) {
         for &b in bytes {
-            let Some(frame) = self.frames.push_frame(b) else {
-                continue;
-            };
-            match frame {
-                Ok(payload) => match self.arq.as_mut() {
-                    Some(rx) => match arq::decode_data(payload) {
-                        Some((seq, inner)) => {
-                            let (ok, bad) = (&mut self.records_ok, &mut self.records_bad);
-                            rx.on_data(seq, inner, |rec| match parse_record(rec) {
-                                Ok(rec) => {
-                                    *ok += 1;
-                                    sink(rec);
-                                }
-                                Err(_) => *bad += 1,
-                            });
-                        }
-                        None => self.records_bad += 1,
-                    },
-                    None => match parse_record(payload) {
-                        Ok(rec) => {
-                            self.records_ok += 1;
-                            sink(rec);
-                        }
-                        Err(_) => self.records_bad += 1,
-                    },
-                },
-                Err(HwError::LinkCrc { .. }) => self.crc_failures += 1,
-                Err(_) => self.records_bad += 1,
+            if let Some(frame) = self.frames.push_frame(b) {
+                consume_frame(
+                    &mut self.arq,
+                    &mut self.records_ok,
+                    &mut self.records_bad,
+                    &mut self.crc_failures,
+                    frame,
+                    &mut sink,
+                );
             }
+        }
+        // A frame attempt that failed its CRC queues its bytes for
+        // re-examination inside the frame decoder; drain any frames that
+        // completed wholly within those bytes so the burst's records are
+        // all delivered before this call returns.
+        while let Some(frame) = self.frames.pump() {
+            consume_frame(
+                &mut self.arq,
+                &mut self.records_ok,
+                &mut self.records_bad,
+                &mut self.crc_failures,
+                frame,
+                &mut sink,
+            );
         }
     }
 
@@ -318,6 +313,66 @@ impl StreamDecoder {
     /// Frames dropped at the link layer for CRC failures.
     pub fn crc_failures(&self) -> u64 {
         self.crc_failures
+    }
+
+    /// Link-layer frames decoded with a valid CRC.
+    pub fn link_frames_ok(&self) -> u64 {
+        self.frames.frames_ok()
+    }
+
+    /// Link-layer bytes skipped while hunting for sync.
+    pub fn link_bytes_skipped(&self) -> u64 {
+        self.frames.bytes_skipped()
+    }
+
+    /// Link-layer byte-conservation terms, `(skipped, accepted, pending)`
+    /// — see [`FrameDecoder::pending_bytes`]. The fuzz harness checks
+    /// that they sum to the bytes pushed.
+    pub fn link_byte_accounting(&self) -> (u64, u64, u64) {
+        (
+            self.frames.bytes_skipped(),
+            self.frames.bytes_accepted(),
+            self.frames.pending_bytes(),
+        )
+    }
+}
+
+/// Routes one completed link frame into the ARQ/record layers.
+///
+/// Free function over disjoint [`StreamDecoder`] fields because the
+/// frame payload borrows the frame decoder's scratch buffer.
+fn consume_frame<F: FnMut(Record)>(
+    arq: &mut Option<ArqRx>,
+    records_ok: &mut u64,
+    records_bad: &mut u64,
+    crc_failures: &mut u64,
+    frame: Result<&[u8], HwError>,
+    sink: &mut F,
+) {
+    match frame {
+        Ok(payload) => match arq.as_mut() {
+            Some(rx) => match arq::decode_data(payload) {
+                Some((seq, inner)) => {
+                    rx.on_data(seq, inner, |rec| match parse_record(rec) {
+                        Ok(rec) => {
+                            *records_ok += 1;
+                            sink(rec);
+                        }
+                        Err(_) => *records_bad += 1,
+                    });
+                }
+                None => *records_bad += 1,
+            },
+            None => match parse_record(payload) {
+                Ok(rec) => {
+                    *records_ok += 1;
+                    sink(rec);
+                }
+                Err(_) => *records_bad += 1,
+            },
+        },
+        Err(HwError::LinkCrc { .. }) => *crc_failures += 1,
+        Err(_) => *records_bad += 1,
     }
 }
 

@@ -38,6 +38,9 @@ pub const ACK_TAG: u8 = b'K';
 pub const DATA_HEADER_LEN: usize = 3;
 /// Length of an acknowledgement payload.
 pub const ACK_LEN: usize = 4;
+/// Longest inner record a data payload can carry and still fit a wire
+/// frame with the ARQ header in front.
+pub const MAX_DATA_INNER: usize = MAX_PAYLOAD - DATA_HEADER_LEN;
 /// How many sequence numbers past the cumulative ack the selective
 /// bitmap (and so the receiver's reorder window) covers.
 pub const WINDOW: u16 = 8;
@@ -140,11 +143,19 @@ impl LinkQuality {
 /// Splits a data payload into its sequence number and inner record.
 ///
 /// Returns `None` for anything that is not a well-formed data payload;
-/// corrupted-but-CRC-valid payloads cannot occur over the real link, but
-/// the host must never panic on one.
+/// corrupted-but-CRC-valid payloads cannot occur by chance over the real
+/// link, but a forged frame can carry any content, so the bounds are
+/// strict rather than delegated to caller framing:
+///
+/// * a header-only payload (no inner record — `len == DATA_HEADER_LEN`)
+///   is rejected: the transmitter never produces one
+///   ([`ArqTx::enqueue`] requires a non-empty record), so accepting it
+///   would deliver a fabricated empty record to the application;
+/// * an inner record longer than [`MAX_DATA_INNER`] is rejected: it
+///   cannot have come out of a wire frame.
 pub fn decode_data(payload: &[u8]) -> Option<(Seq16, &[u8])> {
     match payload {
-        [DATA_TAG, hi, lo, inner @ ..] => {
+        [DATA_TAG, hi, lo, inner @ ..] if !inner.is_empty() && inner.len() <= MAX_DATA_INNER => {
             Some((Seq16::from_raw(u16::from(*hi) << 8 | u16::from(*lo)), inner))
         }
         _ => None,
@@ -153,7 +164,15 @@ pub fn decode_data(payload: &[u8]) -> Option<(Seq16, &[u8])> {
 
 /// Splits an ack payload into its cumulative sequence number and
 /// selective bitmap.
+///
+/// Exactly [`ACK_LEN`] bytes: oversize payloads are rejected even if
+/// they begin with a well-formed ack — trailing bytes mean the payload
+/// is not what the receiver built, and guessing at its meaning is how
+/// parsers get confused.
 pub fn decode_ack(payload: &[u8]) -> Option<(Seq16, u8)> {
+    if payload.len() != ACK_LEN {
+        return None;
+    }
     match payload {
         [ACK_TAG, hi, lo, bitmap] => Some((
             Seq16::from_raw(u16::from(*hi) << 8 | u16::from(*lo)),
@@ -262,12 +281,16 @@ impl ArqTx {
     /// # Panics
     ///
     /// Panics if the inner payload would not fit a wire frame with the
-    /// ARQ header in front.
+    /// ARQ header in front, or is empty: [`decode_data`] rejects
+    /// header-only frames (an attacker's favorite), so an empty record
+    /// would be silently unreceivable — and burn a sequence number the
+    /// receiver waits on forever.
     pub fn enqueue(&mut self, class: ArqClass, inner: &[u8], now_tick: u64) -> Option<Seq16> {
         assert!(
-            inner.len() + DATA_HEADER_LEN <= MAX_PAYLOAD,
+            inner.len() <= MAX_DATA_INNER,
             "record too long for an arq data frame"
         );
+        assert!(!inner.is_empty(), "empty record cannot be delivered");
         if self.pending.len() >= self.capacity && class == ArqClass::State {
             if let Some(oldest_state) = self.pending.iter().position(|p| p.class == ArqClass::State)
             {
@@ -616,6 +639,54 @@ mod tests {
         assert_eq!(cum, Seq16::from_raw(0xffff), "nothing delivered yet");
         assert_eq!(bitmap, 0);
         assert_eq!(decode_ack(b"K12"), None);
+    }
+
+    #[test]
+    fn decode_data_bounds_every_off_by_one() {
+        // Too short: no tag, tag only, tag + half a sequence number.
+        assert_eq!(decode_data(&[]), None);
+        assert_eq!(decode_data(&[DATA_TAG]), None);
+        assert_eq!(decode_data(&[DATA_TAG, 0x00]), None);
+        // Header-only (len == DATA_HEADER_LEN): a forged frame carrying
+        // no record must not deliver a fabricated empty record.
+        assert_eq!(decode_data(&[DATA_TAG, 0x01, 0x02]), None);
+        // Smallest real data payload: header + 1 record byte.
+        let (seq, inner) = decode_data(&[DATA_TAG, 0x01, 0x02, 0xee]).unwrap();
+        assert_eq!(seq.raw(), 0x0102);
+        assert_eq!(inner, &[0xee]);
+        // Largest payload that fits a wire frame...
+        let mut max = vec![DATA_TAG, 0x00, 0x00];
+        max.extend(std::iter::repeat_n(0xabu8, MAX_DATA_INNER));
+        assert_eq!(max.len(), MAX_PAYLOAD);
+        let (_, inner) = decode_data(&max).unwrap();
+        assert_eq!(inner.len(), MAX_DATA_INNER);
+        // ...and one byte past it.
+        max.push(0xab);
+        assert_eq!(decode_data(&max), None);
+        // Wrong tag at the right length.
+        assert_eq!(decode_data(&[ACK_TAG, 0x00, 0x00, 0xee]), None);
+    }
+
+    #[test]
+    fn decode_ack_bounds_every_off_by_one() {
+        assert_eq!(decode_ack(&[]), None);
+        assert_eq!(decode_ack(&[ACK_TAG]), None);
+        assert_eq!(decode_ack(&[ACK_TAG, 0x00]), None);
+        assert_eq!(decode_ack(&[ACK_TAG, 0x00, 0x05]), None);
+        let (cum, bitmap) = decode_ack(&[ACK_TAG, 0x00, 0x05, 0b101]).unwrap();
+        assert_eq!(cum.raw(), 5);
+        assert_eq!(bitmap, 0b101);
+        // Oversize: a well-formed ack with trailing bytes is rejected.
+        assert_eq!(decode_ack(&[ACK_TAG, 0x00, 0x05, 0b101, 0x00]), None);
+        // Wrong tag at the right length.
+        assert_eq!(decode_ack(&[DATA_TAG, 0x00, 0x05, 0b101]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty record")]
+    fn enqueue_rejects_empty_records() {
+        let mut tx = ArqTx::new();
+        let _ = tx.enqueue(ArqClass::Event, b"", 0);
     }
 
     #[test]

@@ -515,6 +515,16 @@ impl Board {
                 }
             }
         }
+        // Surface frames recovered from the bytes of CRC-failed attempts
+        // before the poll returns, so a burst's last ack is not delayed
+        // to the next poll.
+        loop {
+            match self.host_decoder.pump() {
+                Some(Ok(payload)) => sink(payload),
+                Some(Err(_)) => {}
+                None => break,
+            }
+        }
         for mut t in self.host_arrived.drain(..) {
             t.bytes.clear();
             self.spare.push(t.bytes);

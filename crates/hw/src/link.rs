@@ -15,6 +15,8 @@
 //! * [`RadioChannel`] — the air: packet drops, bit errors, latency and
 //!   jitter, all seeded and deterministic.
 
+use std::collections::VecDeque;
+
 use rand::Rng;
 
 use crate::clock::{SimDuration, SimInstant};
@@ -101,6 +103,11 @@ pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
 }
 
 /// Host-side frame decoder: feed it bytes, get frames (or CRC errors) out.
+///
+/// A failed CRC does not discard the bytes of the failed attempt: a
+/// corrupted length byte can swallow a legitimate frame that started
+/// *inside* the attempt, so the decoder queues those bytes and re-examines
+/// them for an embedded `SYNC1 SYNC2` (see [`FrameDecoder::pump`]).
 #[derive(Debug, Clone, Default)]
 pub struct FrameDecoder {
     state: DecoderState,
@@ -108,9 +115,15 @@ pub struct FrameDecoder {
     expect_len: usize,
     running_crc: u16,
     crc_hi: u8,
+    /// Bytes of a failed frame attempt, queued for re-examination: a
+    /// corrupted length byte may have swallowed a legitimate embedded
+    /// frame start, so discarding them would turn one bit error into a
+    /// lost-frame cascade under burst noise.
+    replay: VecDeque<u8>,
     frames_ok: u64,
     frames_bad: u64,
     bytes_skipped: u64,
+    bytes_accepted: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,9 +153,35 @@ impl FrameDecoder {
         self.frames_bad
     }
 
-    /// Bytes skipped while hunting for sync.
+    /// Bytes skipped while hunting for sync (including the sync pair of
+    /// every frame attempt that failed its CRC).
     pub fn bytes_skipped(&self) -> u64 {
         self.bytes_skipped
+    }
+
+    /// Bytes consumed by CRC-valid frames (sync pair, length byte,
+    /// payload and both CRC bytes — `5 + len` per frame).
+    pub fn bytes_accepted(&self) -> u64 {
+        self.bytes_accepted
+    }
+
+    /// Bytes currently held inside the decoder: the re-examination queue
+    /// plus the in-progress frame attempt.
+    ///
+    /// Every pushed byte is accounted for exactly once:
+    /// `pushed == bytes_skipped() + bytes_accepted() + pending_bytes()`.
+    /// The fuzz harness asserts this conservation law against a reference
+    /// decoder after every input.
+    pub fn pending_bytes(&self) -> u64 {
+        let in_flight = match self.state {
+            DecoderState::Sync1 => 0,
+            DecoderState::Sync2 => 1,
+            DecoderState::Len => 2,
+            DecoderState::Payload => 3 + self.payload.len(),
+            DecoderState::CrcHi => 3 + self.expect_len,
+            DecoderState::CrcLo => 4 + self.expect_len,
+        };
+        self.replay.len() as u64 + in_flight as u64
     }
 
     /// Pushes one received byte.
@@ -165,7 +204,48 @@ impl FrameDecoder {
     /// The payload borrows the decoder's internal scratch buffer — valid
     /// until the next push — so decoding a warm stream performs no heap
     /// allocation, mirroring the `drain_*_into` discipline elsewhere.
+    ///
+    /// A frame attempt that fails its CRC does not discard its bytes:
+    /// they are queued for re-examination (an embedded `SYNC1 SYNC2` may
+    /// start a legitimate frame) and drain on subsequent pushes. Callers
+    /// at the end of a burst should call [`FrameDecoder::pump`] until it
+    /// returns `None` to surface frames wholly contained in queued bytes.
     pub fn push_frame(&mut self, byte: u8) -> Option<Result<&[u8], HwError>> {
+        if self.replay.is_empty() {
+            // Fast path: one branch on a clean stream.
+            return match self.step(byte) {
+                Some(Ok(())) => Some(Ok(self.payload.as_slice())),
+                Some(Err(e)) => Some(Err(e)),
+                None => None,
+            };
+        }
+        // Bytes queued by an earlier CRC failure come first in stream
+        // order; the new byte joins the back of the line.
+        self.replay.push_back(byte);
+        self.pump()
+    }
+
+    /// Re-processes bytes queued by a failed frame attempt, returning the
+    /// first completed frame (or CRC error) found, or `None` once the
+    /// queue is drained.
+    ///
+    /// After a burst ends, call this in a loop to recover frames that lie
+    /// wholly inside the bytes of a failed attempt — without it they
+    /// would only surface once more input arrives.
+    pub fn pump(&mut self) -> Option<Result<&[u8], HwError>> {
+        while let Some(b) = self.replay.pop_front() {
+            match self.step(b) {
+                Some(Ok(())) => return Some(Ok(self.payload.as_slice())),
+                Some(Err(e)) => return Some(Err(e)),
+                None => {}
+            }
+        }
+        None
+    }
+
+    /// Advances the state machine by one byte. `Some(Ok(()))` means a
+    /// valid frame completed and its payload is in the scratch buffer.
+    fn step(&mut self, byte: u8) -> Option<Result<(), HwError>> {
         match self.state {
             DecoderState::Sync1 => {
                 if byte == SYNC1 {
@@ -178,14 +258,14 @@ impl FrameDecoder {
             DecoderState::Sync2 => {
                 if byte == SYNC2 {
                     self.state = DecoderState::Len;
-                } else {
+                } else if byte == SYNC1 {
                     // Could be the start of a real sync: 0xAA 0xAA 0x55.
+                    // The held 0xAA is discarded; this one takes its place.
                     self.bytes_skipped += 1;
-                    self.state = if byte == SYNC1 {
-                        DecoderState::Sync2
-                    } else {
-                        DecoderState::Sync1
-                    };
+                } else {
+                    // Both the held SYNC1 and this byte are discarded.
+                    self.bytes_skipped += 2;
+                    self.state = DecoderState::Sync1;
                 }
                 None
             }
@@ -220,9 +300,24 @@ impl FrameDecoder {
                 let actual = self.running_crc;
                 if expected == actual {
                     self.frames_ok += 1;
-                    Some(Ok(self.payload.as_slice()))
+                    self.bytes_accepted += 5 + self.payload.len() as u64;
+                    Some(Ok(()))
                 } else {
                     self.frames_bad += 1;
+                    // Only the sync pair that opened this attempt is
+                    // consumed for good; the rest of the attempt — length
+                    // byte, payload bytes, both CRC bytes — may contain an
+                    // embedded frame start, so it is queued ahead of any
+                    // bytes already waiting, in stream order.
+                    self.bytes_skipped += 2;
+                    self.replay.push_front(byte);
+                    self.replay.push_front(self.crc_hi);
+                    for &b in self.payload.iter().rev() {
+                        self.replay.push_front(b);
+                    }
+                    // At completion the payload has exactly `expect_len`
+                    // bytes, so this reconstructs the wire length byte.
+                    self.replay.push_front(self.payload.len() as u8);
                     self.payload.clear();
                     Some(Err(HwError::LinkCrc { expected, actual }))
                 }
@@ -231,9 +326,15 @@ impl FrameDecoder {
     }
 
     /// Pushes a whole received burst, collecting completed frames and
-    /// errors in order.
+    /// errors in order — including frames recovered from the bytes of
+    /// failed attempts ([`FrameDecoder::pump`]).
     pub fn push_all(&mut self, bytes: &[u8]) -> Vec<Result<Vec<u8>, HwError>> {
-        bytes.iter().filter_map(|&b| self.push(b)).collect()
+        let mut out: Vec<Result<Vec<u8>, HwError>> =
+            bytes.iter().filter_map(|&b| self.push(b)).collect();
+        while let Some(res) = self.pump() {
+            out.push(res.map(<[u8]>::to_vec));
+        }
+        out
     }
 }
 
@@ -345,6 +446,246 @@ impl Default for RadioChannel {
     fn default() -> Self {
         RadioChannel::clean()
     }
+}
+
+/// Two-state Gilbert–Elliott burst-loss process.
+///
+/// The channel sits in a *good* state (low loss) or a *bad* state (deep
+/// fade, high loss) with geometric sojourn times — the standard model for
+/// the bursty errors a moving short-range radio sees, as opposed to the
+/// independent per-frame losses of [`RadioChannel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-frame probability of entering the bad state.
+    pub p_good_to_bad: f64,
+    /// Per-frame probability of leaving the bad state.
+    pub p_bad_to_good: f64,
+    /// Frame-loss probability while good.
+    pub loss_good: f64,
+    /// Frame-loss probability while bad.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// No fading, no loss.
+    pub fn clean() -> Self {
+        GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+        }
+    }
+
+    /// A typical bursty short-range radio: long clean stretches broken by
+    /// short fades (mean fade ~4 frames) that lose most frames.
+    pub fn bursty() -> Self {
+        GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.25,
+            loss_good: 0.005,
+            loss_bad: 0.6,
+        }
+    }
+}
+
+/// Running totals of what an [`AdversarialChannel`] did to the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdversarialStats {
+    /// Frames offered by the sender.
+    pub offered: u64,
+    /// Delivery callbacks issued (including duplicates and forgeries).
+    pub delivered: u64,
+    /// Frames swallowed by the loss process.
+    pub lost: u64,
+    /// Extra copies injected by duplication storms.
+    pub duplicated: u64,
+    /// Frames held back for out-of-order release.
+    pub reordered: u64,
+    /// Frames replaced by a CRC-valid truncated forgery.
+    pub forged: u64,
+}
+
+/// The air with an adversary on it.
+///
+/// Extends the [`RadioChannel`] fault model with burst loss
+/// ([`GilbertElliott`]), duplication storms, reordering deeper than the
+/// ARQ window, and *malicious* frames: truncations re-framed with a valid
+/// CRC-16, which no amount of checksumming catches. The fuzz harness and
+/// the adversarial goodput benchmark drive full `ArqTx`↔`ArqRx` sessions
+/// through this model.
+///
+/// Unlike `RadioChannel` this model is framed in decisions, not time:
+/// [`AdversarialChannel::transmit`] invokes `deliver` zero or more times
+/// per offered frame. All randomness comes from the caller's seeded RNG,
+/// so sessions are deterministic and replayable from a printed seed.
+#[derive(Debug, Clone)]
+pub struct AdversarialChannel {
+    /// The burst-loss process.
+    pub ge: GilbertElliott,
+    /// Probability that any single transported bit flips.
+    pub bit_error_rate: f64,
+    /// Probability a delivered frame is immediately repeated; re-checked
+    /// after each copy, so storms of several duplicates occur.
+    pub dup_probability: f64,
+    /// Probability a frame is held back and released out of order.
+    pub reorder_probability: f64,
+    /// Held-back frames are force-released (oldest first) once more than
+    /// this many are waiting; set above the ARQ window of 8 to exercise
+    /// arrivals from beyond it.
+    pub reorder_depth: usize,
+    /// Probability a frame is replaced by a truncated copy re-framed with
+    /// a valid CRC — a forgery, not noise. Nonzero values break the
+    /// delivered-prefix oracle by design; see DESIGN.md §12.
+    pub truncate_probability: f64,
+    in_bad_state: bool,
+    held: VecDeque<Vec<u8>>,
+    stats: AdversarialStats,
+}
+
+impl AdversarialChannel {
+    /// A channel with the given loss process and no other impairments.
+    pub fn new(ge: GilbertElliott) -> Self {
+        AdversarialChannel {
+            ge,
+            bit_error_rate: 0.0,
+            dup_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_depth: 12,
+            truncate_probability: 0.0,
+            in_bad_state: false,
+            held: VecDeque::new(),
+            stats: AdversarialStats::default(),
+        }
+    }
+
+    /// An *honest but nasty* channel: burst loss, bit errors, duplication
+    /// storms and deep reordering — everything the air can do, nothing an
+    /// attacker must. Under this preset ARQ delivery oracles must hold.
+    pub fn harsh() -> Self {
+        AdversarialChannel {
+            bit_error_rate: 0.0005,
+            dup_probability: 0.2,
+            reorder_probability: 0.1,
+            ..AdversarialChannel::new(GilbertElliott::bursty())
+        }
+    }
+
+    /// A hostile channel: [`AdversarialChannel::harsh`] plus CRC-valid
+    /// truncation forgeries. Delivery oracles are void; the decoders must
+    /// merely stay sane (no panic, counters conserved).
+    pub fn hostile() -> Self {
+        AdversarialChannel {
+            truncate_probability: 0.05,
+            ..AdversarialChannel::harsh()
+        }
+    }
+
+    /// What the channel has done so far.
+    pub fn stats(&self) -> AdversarialStats {
+        self.stats
+    }
+
+    /// Frames currently held back for reordering.
+    pub fn held_frames(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Offers one wire frame to the channel; `deliver` is called zero or
+    /// more times with the bytes that actually arrive.
+    pub fn transmit<R: Rng + ?Sized, F: FnMut(&[u8])>(
+        &mut self,
+        frame: &[u8],
+        rng: &mut R,
+        mut deliver: F,
+    ) {
+        self.stats.offered += 1;
+        // The fade process advances once per offered frame.
+        if self.in_bad_state {
+            if self.ge.p_bad_to_good > 0.0 && rng.gen_bool(self.ge.p_bad_to_good) {
+                self.in_bad_state = false;
+            }
+        } else if self.ge.p_good_to_bad > 0.0 && rng.gen_bool(self.ge.p_good_to_bad) {
+            self.in_bad_state = true;
+        }
+        let loss = if self.in_bad_state {
+            self.ge.loss_bad
+        } else {
+            self.ge.loss_good
+        };
+        if loss > 0.0 && rng.gen_bool(loss) {
+            self.stats.lost += 1;
+            return;
+        }
+
+        let mut bytes = frame.to_vec();
+        if self.truncate_probability > 0.0 && rng.gen_bool(self.truncate_probability) {
+            if let Some(forged) = forge_truncated(&bytes, rng) {
+                bytes = forged;
+                self.stats.forged += 1;
+            }
+        }
+        if self.bit_error_rate > 0.0 {
+            for b in bytes.iter_mut() {
+                for bit in 0..8 {
+                    if rng.gen_bool(self.bit_error_rate) {
+                        *b ^= 1 << bit;
+                    }
+                }
+            }
+        }
+
+        if self.reorder_probability > 0.0 && rng.gen_bool(self.reorder_probability) {
+            self.stats.reordered += 1;
+            self.held.push_back(bytes);
+        } else {
+            self.stats.delivered += 1;
+            deliver(&bytes);
+            // A storm is at most 4 extra copies even at probability 1.0.
+            let mut copies = 0;
+            while copies < 4 && self.dup_probability > 0.0 && rng.gen_bool(self.dup_probability) {
+                copies += 1;
+                self.stats.delivered += 1;
+                self.stats.duplicated += 1;
+                deliver(&bytes);
+            }
+        }
+        // Force-release the oldest held frames once the queue is deeper
+        // than the reorder window — they arrive *after* newer traffic.
+        while self.held.len() > self.reorder_depth {
+            if let Some(old) = self.held.pop_front() {
+                self.stats.delivered += 1;
+                deliver(&old);
+            }
+        }
+    }
+
+    /// Releases every held-back frame, oldest first. Call at session end
+    /// so reordered traffic is not silently dropped.
+    pub fn flush<F: FnMut(&[u8])>(&mut self, mut deliver: F) {
+        while let Some(old) = self.held.pop_front() {
+            self.stats.delivered += 1;
+            deliver(&old);
+        }
+    }
+}
+
+/// Re-frames a truncation of a well-formed wire frame with a valid CRC.
+///
+/// Returns `None` when the input is not a parseable frame (nothing to
+/// forge from). This is the "malicious length byte" attack: the length
+/// *and* CRC are consistent, so the link layer accepts it and only
+/// end-to-end checks above the frame layer can object.
+fn forge_truncated<R: Rng + ?Sized>(frame: &[u8], rng: &mut R) -> Option<Vec<u8>> {
+    if frame.len() < 6 || frame[0] != SYNC1 || frame[1] != SYNC2 {
+        return None;
+    }
+    let len = usize::from(frame[2]);
+    if frame.len() != len + 5 || len == 0 {
+        return None;
+    }
+    let keep = rng.gen_range(0..len);
+    Some(encode_frame(&frame[3..3 + keep]))
 }
 
 #[cfg(test)]
@@ -580,6 +921,137 @@ mod tests {
         assert_eq!(ch.airtime(0), SimDuration::ZERO);
         // 24 bytes at 19200 bps = 240 bits -> 12.5 ms.
         assert_eq!(ch.airtime(24).as_micros(), 12_500);
+    }
+
+    #[test]
+    fn failed_attempt_bytes_are_reexamined_for_embedded_frames() {
+        // A corrupted header swallows a legitimate frame that starts
+        // inside the attempt; the decoder must recover it.
+        let inner = encode_frame(b"inner");
+        let mut stream = vec![SYNC1, SYNC2, 20]; // bogus length 20
+        stream.extend_from_slice(&inner); // 10 bytes of real frame
+        stream.extend_from_slice(&[0u8; 10]); // filler to fill the length
+        stream.extend_from_slice(&[0x00, 0x00]); // wrong CRC
+        let mut dec = FrameDecoder::new();
+        let got = dec.push_all(&stream);
+        assert!(
+            got.contains(&Ok(b"inner".to_vec())),
+            "embedded frame lost: {got:?}"
+        );
+        assert_eq!(dec.frames_ok(), 1);
+        assert!(dec.frames_bad() >= 1);
+    }
+
+    #[test]
+    fn byte_conservation_holds_across_resync() {
+        // pushed == skipped + accepted + pending, even across failed
+        // attempts and replayed bytes.
+        let mut stream = vec![0x13, SYNC1, 0x37];
+        let mut bad = encode_frame(b"doomed");
+        bad[4] ^= 0x40;
+        stream.extend_from_slice(&bad);
+        stream.extend_from_slice(&encode_frame(b"good"));
+        stream.extend_from_slice(&[SYNC1, SYNC2, 5, 1, 2]); // partial frame
+        let mut dec = FrameDecoder::new();
+        let _ = dec.push_all(&stream);
+        assert_eq!(
+            stream.len() as u64,
+            dec.bytes_skipped() + dec.bytes_accepted() + dec.pending_bytes(),
+            "skipped={} accepted={} pending={}",
+            dec.bytes_skipped(),
+            dec.bytes_accepted(),
+            dec.pending_bytes()
+        );
+    }
+
+    #[test]
+    fn sync2_mismatch_accounts_both_discarded_bytes() {
+        // Regression: a SYNC1 followed by a non-sync byte discards two
+        // bytes, but bytes_skipped only counted one.
+        let mut dec = FrameDecoder::new();
+        let mut stream = vec![SYNC1, 0x42];
+        stream.extend_from_slice(&encode_frame(b"x"));
+        let got = dec.push_all(&stream);
+        assert_eq!(got, vec![Ok(b"x".to_vec())]);
+        assert_eq!(dec.bytes_skipped(), 2);
+        assert_eq!(
+            stream.len() as u64,
+            dec.bytes_skipped() + dec.bytes_accepted() + dec.pending_bytes()
+        );
+    }
+
+    #[test]
+    fn pump_drains_recovered_frames_without_new_input() {
+        let inner = encode_frame(b"late");
+        let mut stream = vec![SYNC1, SYNC2, 13]; // swallows inner + filler
+        stream.extend_from_slice(&inner);
+        stream.extend_from_slice(&[0u8; 4]);
+        stream.extend_from_slice(&[0x00, 0x00]);
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            if let Some(r) = dec.push_frame(b) {
+                out.push(r.map(<[u8]>::to_vec));
+            }
+        }
+        // Without pumping, the recovered frame is still queued.
+        assert!(!out.contains(&Ok(b"late".to_vec())));
+        while let Some(r) = dec.pump() {
+            out.push(r.map(<[u8]>::to_vec));
+        }
+        assert!(out.contains(&Ok(b"late".to_vec())), "pump lost it: {out:?}");
+    }
+
+    #[test]
+    fn adversarial_channel_is_deterministic() {
+        let frame = encode_frame(b"determinism");
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut ch = AdversarialChannel::hostile();
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut seen: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..500 {
+                ch.transmit(&frame, &mut rng, |b| seen.push(b.to_vec()));
+            }
+            ch.flush(|b| seen.push(b.to_vec()));
+            runs.push((seen, ch.stats()));
+        }
+        assert_eq!(runs[0], runs[1]);
+        let stats = runs[0].1;
+        assert!(stats.lost > 0, "bursty loss never fired: {stats:?}");
+        assert!(stats.duplicated > 0, "dup storm never fired: {stats:?}");
+        assert!(stats.reordered > 0, "reorder never fired: {stats:?}");
+        assert!(stats.forged > 0, "forgery never fired: {stats:?}");
+        assert_eq!(ch_total(&stats), stats.offered + stats.duplicated);
+    }
+
+    /// Every offered frame is lost, delivered, or still held — plus the
+    /// injected duplicates.
+    fn ch_total(stats: &AdversarialStats) -> u64 {
+        stats.delivered + stats.lost
+    }
+
+    #[test]
+    fn forged_truncations_carry_a_valid_crc() {
+        let frame = encode_frame(b"forge me please");
+        let mut ch = AdversarialChannel::new(GilbertElliott::clean());
+        ch.truncate_probability = 1.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut dec = FrameDecoder::new();
+        let mut delivered = Vec::new();
+        for _ in 0..50 {
+            ch.transmit(&frame, &mut rng, |b| {
+                delivered.extend(dec.push_all(b));
+            });
+        }
+        assert_eq!(dec.frames_bad(), 0, "forgeries must pass the CRC");
+        assert_eq!(dec.frames_ok(), 50);
+        assert!(
+            delivered
+                .iter()
+                .any(|r| r.as_ref().is_ok_and(|p| p.len() < 15)),
+            "no truncation happened"
+        );
     }
 
     #[test]

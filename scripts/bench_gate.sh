@@ -30,6 +30,12 @@
 #     machine costing more than the classic chain is warn-and-record
 #     (it does strictly more work per sample).
 #
+#   * wire (corrupted-stream decode throughput + adversarial-session
+#     goodput) must be present with a positive bytes/sec and a goodput
+#     in (0, 1] — a missing object, a zero rate, or a goodput outside
+#     that range hard-fails (goodput > 1 would mean the receiver
+#     delivered records the transmitter never sent).
+#
 # Usage: scripts/bench_gate.sh [OUT_JSON]   (default BENCH_eval.json)
 # Env:   BENCH_JOBS (default 4) — the parallel pass's --jobs value.
 #        DISTSCROLL_INGEST_DEVICES — cohort size for the ingest bench
@@ -195,6 +201,25 @@ if segmented_ns > 10 * classic_ns:
         "the classic chain's per-sample cost. Recorded, not failed: the state machine "
         "does strictly more work, but an order of magnitude deserves a look."
     )
+
+wire = bench.get("wire")
+if wire is None:
+    sys.exit("bench gate: FAIL — no `wire` object in the report; the corrupted-stream "
+             "decode benchmark did not run")
+wbps = wire.get("bytes_per_sec", 0)
+goodput = wire.get("goodput", -1)
+if wbps <= 0:
+    sys.exit(f"bench gate: FAIL — wire bytes_per_sec is {wbps!r}; the corrupted-stream "
+             "decode benchmark measured nothing")
+if not 0 < goodput <= 1:
+    sys.exit(f"bench gate: FAIL — wire goodput {goodput!r} outside (0, 1]; either the "
+             "adversarial session delivered nothing or the receiver invented records")
+print(
+    f"bench gate: wire {wbps / 1e6:.1f} MB/s corrupted-stream decode "
+    f"({wire['frames_ok']} ok / {wire['frames_bad']} bad frames), goodput "
+    f"{goodput * 100:.1f}% ({wire['records_delivered']} of {wire['records_sent']} records, "
+    f"{wire['frames_lost']} of {wire['frames_offered']} frames lost in channel)"
+)
 
 print("bench gate: PASS")
 PY

@@ -5,7 +5,7 @@
 # hunt across scripts.
 
 # Version of the BENCH_eval.json document the harness writes.
-BENCH_SCHEMA=6
+BENCH_SCHEMA=7
 
 # Experiments the CLI must list, run and write reports for.
 N_EXPERIMENTS=17

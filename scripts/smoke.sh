@@ -33,6 +33,26 @@ grep -q "^total: $LINT_RULES rules\$" "$workdir/lint_rules.txt" || {
     exit 1
 }
 
+# Wire fuzzing fast gate: replay the checked-in corpus through all three
+# targets (no mutation), then a seeded determinism check — two identical
+# short runs must print identical per-target summaries. A corpus entry
+# that trips an oracle fails here in seconds.
+cargo run --release -p xtask -- fuzz --replay > "$workdir/fuzz_replay.txt" || {
+    echo "smoke: corpus replay tripped a fuzz oracle:" >&2
+    cat "$workdir/fuzz_replay.txt" >&2
+    exit 1
+}
+grep -q "^fuzz: PASS" "$workdir/fuzz_replay.txt" || {
+    echo "smoke: fuzz replay did not report PASS" >&2
+    exit 1
+}
+cargo run --release -p xtask -- fuzz --iters 2000 > "$workdir/fuzz_a.txt"
+cargo run --release -p xtask -- fuzz --iters 2000 > "$workdir/fuzz_b.txt"
+diff "$workdir/fuzz_a.txt" "$workdir/fuzz_b.txt" || {
+    echo "smoke: two identical fuzz runs printed different summaries — determinism broken" >&2
+    exit 1
+}
+
 n_ids="$(cargo run --release -p distscroll-eval -- --list | tail -n +2 | wc -l)"
 if [ "$n_ids" -ne "$N_EXPERIMENTS" ]; then
     echo "smoke: --list should print $N_EXPERIMENTS experiments, got $n_ids" >&2
